@@ -1,0 +1,112 @@
+// Ablation: the design choices DESIGN.md calls out.
+//  (a) FPISA-A error vs left-shift headroom (register width sweep)
+//  (b) guard bits vs aggregation error (rounding-mode interaction)
+//  (c) switch throughput leverage: values per packet with the 2-operand
+//      shift extension (instances-per-pipeline from the allocator)
+#include <cmath>
+#include <cstdio>
+
+#include "core/accumulator.h"
+#include "pisa/fpisa_program.h"
+#include "pisa/resources.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fpisa;
+  std::printf("=== Ablations ===\n\n");
+
+  // (a) Headroom sweep: aggregate 64 gradient-like values into registers of
+  // different widths; fewer headroom bits -> more overwrite error.
+  {
+    std::printf("--- (a) FPISA-A error vs headroom (register width sweep) ---\n");
+    util::Table t({"reg bits", "headroom", "mean |err| / |sum|",
+                   "overwrite rate"});
+    for (const int reg_bits : {26, 28, 32, 40, 48}) {
+      util::Rng rng(70);
+      double rel_err = 0;
+      std::uint64_t overwrites = 0;
+      std::uint64_t adds = 0;
+      const int trials = 3000;
+      for (int trial = 0; trial < trials; ++trial) {
+        core::AccumulatorConfig cfg;
+        cfg.variant = core::Variant::kApproximate;
+        cfg.reg_bits = reg_bits;
+        core::FpisaAccumulator acc(cfg);
+        double ref = 0;
+        for (int i = 0; i < 64; ++i) {
+          const float v = static_cast<float>(
+              (rng.next_u64() & 1 ? 1 : -1) * rng.lognormal(-3.0, 2.0));
+          acc.add(v);
+          ref += static_cast<double>(v);
+        }
+        rel_err += std::fabs(static_cast<double>(acc.read()) - ref) /
+                   (std::fabs(ref) + 1e-12);
+        overwrites += acc.counters().overwrites;
+        adds += acc.counters().adds;
+      }
+      core::AccumulatorConfig cfg;
+      cfg.reg_bits = reg_bits;
+      t.add_row({std::to_string(reg_bits), std::to_string(cfg.headroom()),
+                 util::Table::num(rel_err / trials, 6),
+                 util::Table::pct(static_cast<double>(overwrites) /
+                                      static_cast<double>(adds),
+                                  2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  // (b) Guard bits: same stream, error vs guard configuration.
+  {
+    std::printf("--- (b) guard bits + read rounding vs error ---\n");
+    util::Table t({"guard bits", "read rounding", "mean |err|"});
+    struct Cfg {
+      int guard;
+      core::Rounding r;
+      const char* name;
+    };
+    const Cfg cfgs[] = {{0, core::Rounding::kTowardZero, "truncate"},
+                        {2, core::Rounding::kNearestEven, "RNE"},
+                        {4, core::Rounding::kNearestEven, "RNE"}};
+    for (const auto& c : cfgs) {
+      util::Rng rng(71);
+      double err = 0;
+      const int trials = 3000;
+      for (int trial = 0; trial < trials; ++trial) {
+        core::AccumulatorConfig cfg;
+        cfg.guard_bits = c.guard;
+        cfg.read_rounding = c.r;
+        core::FpisaAccumulator acc(cfg);
+        double ref = 0;
+        for (int i = 0; i < 16; ++i) {
+          const float v = static_cast<float>(rng.uniform(0.5, 2.0));
+          acc.add(v);
+          ref += static_cast<double>(v);
+        }
+        err += std::fabs(static_cast<double>(acc.read()) - ref);
+      }
+      t.add_row({std::to_string(c.guard), c.name,
+                 util::Table::num(err / trials * 1e7, 3) + "e-7"});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  // (c) Parallelism unlocked by the shift extension.
+  {
+    std::printf("--- (c) FPISA modules per pipeline (allocator) ---\n");
+    pisa::FpisaProgramOptions opts;
+    opts.variant = core::Variant::kApproximate;
+    pisa::SwitchConfig base;
+    pisa::SwitchConfig ext = base;
+    ext.ext.two_operand_shift = true;
+    ext.ext.rsaw = true;
+    const int n0 = pisa::max_instances(
+        pisa::fpisa_resource_descriptors(base, opts), base);
+    const int n1 =
+        pisa::max_instances(pisa::fpisa_resource_descriptors(ext, opts), ext);
+    std::printf("baseline Tofino: %d module(s); with 2-operand shift: %d "
+                "modules -> %dx more FP values per packet at line rate\n",
+                n0, n1, n1 / (n0 ? n0 : 1));
+  }
+  return 0;
+}

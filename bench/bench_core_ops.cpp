@@ -1,0 +1,164 @@
+// Microbenchmarks + ablations for the core FPISA operations:
+//   * add throughput: full vs FPISA-A vs host float
+//   * read (delayed renorm) vs hypothetical renormalize-every-add
+//   * LPM-table CLZ vs native countl_zero
+//   * advanced ops (multiply / table-multiply / log2 / sqrt)
+#include <benchmark/benchmark.h>
+
+#include <bit>
+
+#include "core/accumulator.h"
+#include "core/advanced_ops.h"
+#include "core/clz_table.h"
+#include "core/vector_accumulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fpisa;
+
+std::vector<float> values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, 0.1));
+  return v;
+}
+
+void BM_FpisaAddFull(benchmark::State& state) {
+  const auto vals = values(4096, 1);
+  core::FpisaAccumulator acc;
+  for (auto _ : state) {
+    for (const float v : vals) acc.add(v);
+    benchmark::DoNotOptimize(acc.state());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FpisaAddFull);
+
+void BM_FpisaAddApprox(benchmark::State& state) {
+  const auto vals = values(4096, 2);
+  core::AccumulatorConfig cfg;
+  cfg.variant = core::Variant::kApproximate;
+  core::FpisaAccumulator acc(cfg);
+  for (auto _ : state) {
+    for (const float v : vals) acc.add(v);
+    benchmark::DoNotOptimize(acc.state());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_FpisaAddApprox);
+
+void BM_HostFloatAdd(benchmark::State& state) {
+  const auto vals = values(4096, 3);
+  float acc = 0;
+  for (auto _ : state) {
+    for (const float v : vals) acc += v;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HostFloatAdd);
+
+void BM_VectorAggregate8Workers(benchmark::State& state) {
+  std::vector<std::vector<float>> workers;
+  for (int w = 0; w < 8; ++w) workers.push_back(values(1024, 10 + w));
+  for (auto _ : state) {
+    auto r = core::aggregate(workers);
+    benchmark::DoNotOptimize(r.sum.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 1024);
+}
+BENCHMARK(BM_VectorAggregate8Workers);
+
+// Ablation: delayed renormalization (read once at the end) vs
+// renormalizing after every add — the data-dependency the design removes.
+void BM_DelayedRenorm(benchmark::State& state) {
+  const auto vals = values(1024, 20);
+  for (auto _ : state) {
+    core::FpisaAccumulator acc;
+    for (const float v : vals) acc.add(v);
+    benchmark::DoNotOptimize(acc.read());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DelayedRenorm);
+
+void BM_RenormEveryAdd(benchmark::State& state) {
+  const auto vals = values(1024, 20);
+  for (auto _ : state) {
+    core::FpisaAccumulator acc;
+    float out = 0;
+    for (const float v : vals) {
+      acc.add(v);
+      out = acc.read();  // forced renormalize each step
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RenormEveryAdd);
+
+void BM_ClzLpmTable(benchmark::State& state) {
+  const auto table = core::build_clz_lpm_table(32, 23);
+  util::Rng rng(30);
+  std::vector<std::uint32_t> keys(1024);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
+  for (auto _ : state) {
+    int sum = 0;
+    for (const auto k : keys) sum += core::lpm_lookup_shift(table, k, 32);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ClzLpmTable);
+
+void BM_NativeCountlZero(benchmark::State& state) {
+  util::Rng rng(31);
+  std::vector<std::uint32_t> keys(1024);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
+  for (auto _ : state) {
+    int sum = 0;
+    for (const auto k : keys) sum += std::countl_zero(k);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_NativeCountlZero);
+
+void BM_FpisaMultiply(benchmark::State& state) {
+  util::Rng rng(32);
+  std::vector<std::uint32_t> a(512), b(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    a[i] = core::fp32_bits(static_cast<float>(rng.normal(0, 2)));
+    b[i] = core::fp32_bits(static_cast<float>(rng.normal(0, 2)));
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < 512; ++i) {
+      sum ^= core::fpisa_multiply(a[i], b[i], core::kFp32);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FpisaMultiply);
+
+void BM_Log2Table(benchmark::State& state) {
+  const core::Log2Table table;
+  util::Rng rng(33);
+  std::vector<std::uint32_t> xs(512);
+  for (auto& x : xs) {
+    x = core::fp32_bits(static_cast<float>(rng.uniform(0.001, 1000.0)));
+  }
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (const auto x : xs) sum += table.log2_q16(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_Log2Table);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Fig 10: aggregation goodput of the five host-pipeline approaches —
+// cores sweep at 16 KB messages (left panel) and message-size sweep at
+// 4 cores (right panel). Host per-element rates are measured live; the
+// GPU/NIC constants are documented in src/host/goodput_model.h.
+#include <cstdio>
+
+#include "host/endianness.h"
+#include "host/goodput_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fpisa::host;
+  std::printf("=== Fig 10: goodput (max theoretical 92 Gbps) ===\n\n");
+  const MeasuredRates rates = measure_host_rates(40.0);
+  std::printf("measured per-core rates: quantize %.2fe9/s, dequantize %.2fe9/s "
+              "(SIMD), staging memcpy %.1f GB/s\n\n",
+              rates.quantize_vector_eps / 1e9, rates.dequantize_vector_eps / 1e9,
+              rates.memcpy_bytes_per_s / 1e9);
+
+  const Approach order[] = {Approach::kFpisaCpu, Approach::kFpisaCpuOpt,
+                            Approach::kFpisaGpu, Approach::kSwitchMlCpu,
+                            Approach::kSwitchMlGpu};
+
+  {
+    std::printf("--- cores vs goodput (16 KB messages) ---\n");
+    std::vector<std::string> hdr{"Approach"};
+    for (int c = 1; c <= 10; ++c) hdr.push_back(std::to_string(c));
+    fpisa::util::Table t(hdr);
+    for (const Approach a : order) {
+      std::vector<std::string> row{approach_name(a)};
+      for (int c = 1; c <= 10; ++c) {
+        row.push_back(fpisa::util::Table::num(
+            goodput_gbps(a, c, 16 * 1024, rates), 1));
+      }
+      t.add_row(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  {
+    std::printf("--- message size vs goodput (4 cores) ---\n");
+    std::vector<std::string> hdr{"Approach"};
+    for (double s = 4 * 1024; s <= 2 * 1024 * 1024; s *= 2) {
+      hdr.push_back(s < 1024 * 1024
+                        ? std::to_string(static_cast<int>(s / 1024)) + "KB"
+                        : std::to_string(static_cast<int>(s / 1024 / 1024)) +
+                              "MB");
+    }
+    fpisa::util::Table t(hdr);
+    for (const Approach a : order) {
+      std::vector<std::string> row{approach_name(a)};
+      for (double s = 4 * 1024; s <= 2 * 1024 * 1024; s *= 2) {
+        row.push_back(fpisa::util::Table::num(goodput_gbps(a, 4, s, rates), 1));
+      }
+      t.add_row(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  auto cores_to = [&](Approach a) {
+    for (int c = 1; c <= 10; ++c) {
+      if (goodput_gbps(a, c, 16 * 1024, rates) >= 91.0) return c;
+    }
+    return 11;
+  };
+  const int swml = cores_to(Approach::kSwitchMlCpu);
+  const int fp = cores_to(Approach::kFpisaCpu);
+  const int fpo = cores_to(Approach::kFpisaCpuOpt);
+  std::printf("cores to saturate: SwitchML/CPU=%d, FPISA-A/CPU=%d, "
+              "FPISA-A/CPU(Opt)=%d -> FPISA uses %.0f%%/%.0f%% fewer cores "
+              "(paper: 25%%/75%%; paper cores 4/3/1)\n",
+              swml, fp, fpo, 100.0 * (swml - fp) / swml,
+              100.0 * (swml - fpo) / swml);
+  return 0;
+}

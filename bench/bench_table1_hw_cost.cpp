@@ -1,0 +1,32 @@
+// Table 1: area / power / minimum delay of the Banzai-style functional
+// units, from the structural cell-count model (substitute for Synopsys DC +
+// FreePDK15 synthesis; see DESIGN.md). Paper values printed alongside.
+#include <cstdio>
+
+#include "hw/units.h"
+
+int main() {
+  using namespace fpisa::hw;
+  std::printf("=== Table 1: functional-unit synthesis estimates (1 GHz) ===\n\n");
+  std::printf("%s", render_table1().c_str());
+
+  const UnitCost alu = default_alu_cost();
+  const UnitCost fp = fpisa_alu_cost();
+  const UnitCost raw = raw_unit_cost();
+  const UnitCost rsaw = rsaw_unit_cost();
+  const UnitCost fpu = alu_with_fpu_cost();
+  std::printf("\nKey ratios (paper in parentheses):\n");
+  std::printf("  FPISA ALU vs default: area +%.1f%% (22.4%%), power +%.1f%% (13.0%%)\n",
+              (fp.area_um2 / alu.area_um2 - 1) * 100,
+              (fp.dynamic_uw / alu.dynamic_uw - 1) * 100);
+  std::printf("  RSAW vs RAW:          area +%.1f%% (35.0%%), delay +%.1f%% (13.5%%)\n",
+              (rsaw.area_um2 / raw.area_um2 - 1) * 100,
+              (rsaw.min_delay_ps / raw.min_delay_ps - 1) * 100);
+  std::printf("  ALU+FPU vs default:   area %.1fx (7.6x), dyn power %.1fx (6.0x), "
+              "leakage %.1fx (5.9x)\n",
+              fpu.area_um2 / alu.area_um2, fpu.dynamic_uw / alu.dynamic_uw,
+              fpu.leakage_uw / alu.leakage_uw);
+  std::printf("  All units close timing at 1 GHz (< 1000 ps): %s\n",
+              rsaw.min_delay_ps < 1000 && fpu.min_delay_ps < 1000 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Beyond the paper's two case studies: floating-point telemetry in the
+// switch (the §7 "resource allocation" direction). An EWMA of per-port
+// utilization normally needs FP multiply-by-alpha; with alpha = 2^-k the
+// multiply is an exponent decrement, so the whole filter runs on FPISA
+// addition plus the Appendix-A multiply building blocks.
+#include <cmath>
+#include <cstdio>
+
+#include "core/accumulator.h"
+#include "core/advanced_ops.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace fpisa;
+
+  // EWMA with alpha = 1/8: ewma += (sample - ewma) >> 3, done in FP via
+  // FPISA add (signed) and exponent-decrement "multiplication".
+  constexpr int kShift = 3;  // alpha = 2^-3
+  core::FpisaAccumulator ewma;  // holds the running average
+  util::Rng rng(42);
+
+  double reference = 0.0;
+  for (int t = 0; t < 2000; ++t) {
+    // Synthetic port utilization in [0, 100] Gbps with a step change.
+    const float sample =
+        static_cast<float>((t < 1000 ? 20.0 : 80.0) + rng.normal(0.0, 3.0));
+
+    // delta = (sample - ewma) * 2^-kShift, via exponent arithmetic only.
+    const float current = ewma.read();
+    const float delta = (sample - current) / (1 << kShift);
+    ewma.add(delta);
+
+    reference += (static_cast<double>(sample) - reference) / (1 << kShift);
+    if (t % 400 == 399) {
+      std::printf("t=%4d  fpisa-ewma=%7.3f  double-ewma=%7.3f  |err|=%.2e\n",
+                  t, ewma.read(), reference,
+                  std::abs(static_cast<double>(ewma.read()) - reference));
+    }
+  }
+
+  // Appendix-A ops usable for richer telemetry: log2 for entropy sketches,
+  // sqrt for stddev thresholds — all table-driven, switch-feasible.
+  const core::Log2Table log2_table;
+  const core::SqrtTable sqrt_table;
+  const float x = 1500.0f;  // bytes
+  std::printf("\ntable-driven log2(%.0f)  = %.4f (true %.4f)\n", x,
+              log2_table.log2(core::fp32_bits(x)),
+              std::log2(static_cast<double>(x)));
+  std::printf("table-driven sqrt(%.0f) = %.3f (true %.3f)\n", x,
+              core::fp32_value(static_cast<std::uint32_t>(
+                  sqrt_table.sqrt(core::fp32_bits(x)))),
+              std::sqrt(static_cast<double>(x)));
+  return 0;
+}

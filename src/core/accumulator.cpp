@@ -1,0 +1,142 @@
+#include "core/accumulator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fpisa::core {
+namespace detail {
+
+/// Adds two R-bit signed register values with the configured overflow
+/// behaviour. Register overflow is the paper's §3.3 "Overflow" case: with
+/// kWrap this is what the switch's RAW unit would physically do; kSaturate
+/// is the safe library default (the event is always counted so users can
+/// "handle it in an application-specific way").
+std::int64_t add_register(std::int64_t a, std::int64_t b, int reg_bits,
+                          OverflowPolicy policy, OpCounters& counters) {
+  std::int64_t sum = 0;
+  const bool wide_ovf = __builtin_add_overflow(a, b, &sum);
+  if (reg_bits >= 64) {
+    if (!wide_ovf) return sum;
+    ++counters.saturations;
+    if (policy == OverflowPolicy::kWrap) {
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                       static_cast<std::uint64_t>(b));
+    }
+    return a < 0 ? std::numeric_limits<std::int64_t>::min()
+                 : std::numeric_limits<std::int64_t>::max();
+  }
+  // reg_bits < 64: operands are in range, so the int64 add cannot overflow.
+  const std::int64_t hi = (std::int64_t{1} << (reg_bits - 1)) - 1;
+  const std::int64_t lo = -hi - 1;
+  if (sum >= lo && sum <= hi) return sum;
+  ++counters.saturations;
+  if (policy == OverflowPolicy::kWrap) {
+    const std::uint64_t mask = (std::uint64_t{1} << reg_bits) - 1;
+    std::uint64_t w = static_cast<std::uint64_t>(sum) & mask;
+    if (w >> (reg_bits - 1)) w |= ~mask;  // sign-extend
+    return static_cast<std::int64_t>(w);
+  }
+  return sum < lo ? lo : hi;
+}
+
+/// Arithmetic right shift with shift counts beyond the word width clamped
+/// (hardware shifters saturate the distance; the result for d >= width is
+/// 0 or -1, which is exactly round-toward-negative-infinity).
+std::int64_t asr(std::int64_t v, int d) {
+  if (d >= 64) return v < 0 ? -1 : 0;
+  return v >> d;
+}
+
+/// True if an arithmetic right shift by d dropped any set bits.
+bool asr_inexact(std::int64_t v, int d) {
+  if (d <= 0) return false;
+  if (d >= 64) return v != 0 && v != -1;
+  return (static_cast<std::uint64_t>(v) & ((std::uint64_t{1} << d) - 1)) != 0;
+}
+
+}  // namespace detail
+
+using detail::add_register;
+using detail::asr;
+using detail::asr_inexact;
+
+void fpisa_add(FpState& s, Decomposed in, const AccumulatorConfig& cfg,
+               OpCounters& counters) {
+  ++counters.adds;
+  if (in.man == 0) {
+    ++counters.zero_inputs;
+    return;  // adding zero is a no-op in every variant
+  }
+  const int reg_bits = cfg.effective_reg_bits();
+  const int g = cfg.guard_bits;
+  assert(cfg.format.significand_bits() + g + 1 <= reg_bits &&
+         "value does not fit the accumulator register");
+  const std::int64_t m_in = in.man << g;  // guard-aligned incoming mantissa
+
+  // Note there is deliberately no "empty register" special case: switch
+  // registers initialize to (exp 0, man 0) and run the same datapath for
+  // the first value. Full FPISA's RSAW then stores the value exactly;
+  // FPISA-A overwrites (exp 0 + headroom < any normal exponent), which is
+  // also exact since no prior state exists. Keeping the general rules makes
+  // this reference bit-identical to the switch program in src/pisa.
+  if (in.exp <= s.exp) {
+    // Align the (smaller) incoming mantissa: right shift in metadata
+    // (Fig 2 MAU3), then a plain stateful add (RAW) into the register.
+    const int d = s.exp - in.exp;
+    if (asr_inexact(m_in, d)) ++counters.rounded_adds;
+    s.man = add_register(s.man, asr(m_in, d), reg_bits, cfg.overflow, counters);
+    return;
+  }
+
+  const int d = in.exp - s.exp;
+  if (cfg.variant == Variant::kFull) {
+    // RSAW extension (§4.2): atomically right-shift the stored mantissa to
+    // the incoming scale, add, and take the incoming exponent.
+    if (asr_inexact(s.man, d)) ++counters.rounded_adds;
+    s.man = add_register(asr(s.man, d), m_in, reg_bits, cfg.overflow, counters);
+    s.exp = in.exp;
+    return;
+  }
+
+  // FPISA-A (§4.3): never shift the stored mantissa.
+  const int headroom = cfg.headroom();
+  if (d <= headroom) {
+    // Left-shift the incoming mantissa into the headroom bits. The shifted
+    // value itself always fits (significand+guard+headroom < reg_bits), but
+    // the *add* can overflow the register if the accumulated state already
+    // occupies the headroom — the paper's rare "left-shift" error.
+    const std::uint64_t before = counters.saturations;
+    s.man = add_register(s.man, m_in << d, reg_bits, cfg.overflow, counters);
+    if (counters.saturations != before) ++counters.lshift_overflows;
+    return;
+  }
+
+  // Incoming value is larger by more than 2^headroom: overwrite the stored
+  // value entirely (detected during the exponent comparison in MAU2). This
+  // drops the old accumulated value — the bounded "overwrite error".
+  if (s.man != 0) ++counters.overwrites;
+  s.exp = in.exp;
+  s.man = m_in;
+}
+
+AssembleResult fpisa_read(const FpState& state, const AccumulatorConfig& cfg) {
+  return assemble(state.exp, state.man, cfg.format, cfg.guard_bits,
+                  cfg.read_rounding);
+}
+
+void FpisaAccumulator::add_bits(std::uint64_t bits) {
+  const ExtractResult ex = extract(bits, cfg_.format);
+  if (ex.cls == FpClass::kInf || ex.cls == FpClass::kNaN) {
+    ++counters_.nonfinite_inputs;
+    return;  // policy: flag and skip (paper targets finite data)
+  }
+  fpisa_add(state_, ex.value, cfg_, counters_);
+}
+
+double FpisaAccumulator::read_value() const {
+  return std::ldexp(
+      static_cast<double>(state_.man),
+      state_.exp - cfg_.format.bias() - cfg_.format.man_bits - cfg_.guard_bits);
+}
+
+}  // namespace fpisa::core

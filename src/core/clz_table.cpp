@@ -1,0 +1,34 @@
+#include "core/clz_table.h"
+
+namespace fpisa::core {
+
+std::vector<ClzLpmEntry> build_clz_lpm_table(int reg_bits, int target_bit) {
+  std::vector<ClzLpmEntry> table;
+  table.reserve(static_cast<std::size_t>(reg_bits) + 1);
+  // Longest prefixes first: "0^(reg_bits-1) 1" down to "1".
+  for (int lz = reg_bits - 1; lz >= 0; --lz) {
+    const int lead_pos = reg_bits - 1 - lz;  // bit index of the leading 1
+    ClzLpmEntry e;
+    e.prefix_len = lz + 1;
+    e.prefix_bits = std::uint64_t{1} << lead_pos;
+    e.shift = lead_pos - target_bit;
+    e.leading_zeros = lz;
+    table.push_back(e);
+  }
+  // Default entry: key == 0, "do nothing".
+  table.push_back(ClzLpmEntry{0, 0, 0, reg_bits});
+  return table;
+}
+
+int lpm_lookup_shift(const std::vector<ClzLpmEntry>& table, std::uint64_t key,
+                     int reg_bits) {
+  for (const auto& e : table) {
+    if (e.prefix_len == 0) return e.shift;  // default
+    // Compare the top prefix_len bits.
+    const int drop = reg_bits - e.prefix_len;
+    if ((key >> drop) == (e.prefix_bits >> drop)) return e.shift;
+  }
+  return 0;
+}
+
+}  // namespace fpisa::core

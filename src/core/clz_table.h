@@ -1,0 +1,33 @@
+// The TCAM longest-prefix-match count-leading-zeros trick (paper §3.2,
+// Fig 5). No PISA switch has an lzcnt instruction; FPISA builds an LPM table
+// where entry i matches "i leading zeros then a 1" and its action is the
+// fixed shift that moves the leading 1 to the canonical significand
+// position. This module builds those entries; they are consumed both by the
+// software read path (for fidelity testing) and by the PISA switch program
+// (src/pisa/fpisa_program.*), which installs them into a simulated TCAM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fpisa::core {
+
+struct ClzLpmEntry {
+  std::uint64_t prefix_bits;  ///< left-aligned in a reg_bits-wide word
+  int prefix_len;             ///< number of significant leading bits
+  int shift;                  ///< positive = shift right, negative = left
+  int leading_zeros;          ///< what a match implies about the key
+};
+
+/// Builds the Fig 5 table for a register of `reg_bits` whose canonical
+/// leading-1 position is `target_bit` (bit index from LSB; 23 for FP32 with
+/// no guard bits). Entries are ordered by descending prefix length, i.e.
+/// longest-prefix-first, plus a final default (len 0, shift 0) entry.
+std::vector<ClzLpmEntry> build_clz_lpm_table(int reg_bits, int target_bit);
+
+/// Pure-software LPM lookup over the entry list (linear scan in priority
+/// order, exactly what a TCAM does). Returns the matched entry's shift.
+int lpm_lookup_shift(const std::vector<ClzLpmEntry>& table,
+                     std::uint64_t key, int reg_bits);
+
+}  // namespace fpisa::core

@@ -1,0 +1,54 @@
+#include "core/compare.h"
+
+namespace fpisa::core {
+namespace {
+
+/// Sign class of a decomposed value: -1, 0, +1.
+int sign_of(const Decomposed& d) {
+  if (d.man > 0) return 1;
+  if (d.man < 0) return -1;
+  return 0;
+}
+
+}  // namespace
+
+int fpisa_compare(std::uint64_t a_bits, std::uint64_t b_bits,
+                  const FloatFormat& fmt) {
+  const Decomposed a = extract(a_bits, fmt).value;
+  const Decomposed b = extract(b_bits, fmt).value;
+  const int sa = sign_of(a);
+  const int sb = sign_of(b);
+  if (sa != sb) return sa < sb ? -1 : 1;
+  if (sa == 0) return 0;  // both zero (±0 equal)
+
+  // Same nonzero sign. extract() yields canonical mantissas (leading 1 at
+  // man_bits for normals, smaller only for subnormals which sit at the
+  // minimum exponent), so magnitude order is lexicographic on (exp, |man|).
+  // The switch reaches the same answer by aligning and subtracting; this
+  // form is the exact fixed point of that procedure.
+  const std::int64_t ma = a.man < 0 ? -a.man : a.man;
+  const std::int64_t mb = b.man < 0 ? -b.man : b.man;
+  int mag;  // compare |a| vs |b|
+  if (a.exp != b.exp) {
+    mag = a.exp < b.exp ? -1 : 1;
+  } else if (ma != mb) {
+    mag = ma < mb ? -1 : 1;
+  } else {
+    mag = 0;
+  }
+  return sa > 0 ? mag : -mag;
+}
+
+bool PruneRegister::offer(std::uint64_t bits) {
+  if (empty_) {
+    empty_ = false;
+    value_ = bits;
+    return true;
+  }
+  const int cmp = fpisa_compare(bits, value_, *fmt_);
+  const bool keep = mode_ == Mode::kMax ? cmp > 0 : cmp < 0;
+  if (keep) value_ = bits;
+  return keep;
+}
+
+}  // namespace fpisa::core

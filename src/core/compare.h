@@ -1,0 +1,49 @@
+// FPISA comparison (paper §2.2: "comparisons are typically implemented
+// using subtraction"; used by the Cheetah-style query pruning of §6).
+//
+// The switch realizes `a < b` by aligning the decomposed operands and
+// subtracting mantissas — exactly the add datapath with the sign flipped.
+// These helpers mirror that, plus a register comparator that keeps a
+// running max/min the way a pruning stage's stateful register does.
+#pragma once
+
+#include <cstdint>
+
+#include "core/decompose.h"
+#include "core/float_format.h"
+
+namespace fpisa::core {
+
+/// Three-way compare of two packed finite values via decomposed
+/// subtraction. Returns -1, 0, or +1. ±0 compare equal (as in IEEE).
+/// Behaviour on inf/NaN is not defined by FPISA; callers must filter.
+int fpisa_compare(std::uint64_t a_bits, std::uint64_t b_bits,
+                  const FloatFormat& fmt);
+
+/// A stateful max- or min-holding register, as used by in-switch pruning:
+/// each incoming value is compared against the stored one and conditionally
+/// replaces it. Empty until the first offer.
+class PruneRegister {
+ public:
+  enum class Mode { kMax, kMin };
+
+  explicit PruneRegister(Mode mode, const FloatFormat& fmt = kFp32)
+      : mode_(mode), fmt_(&fmt) {}
+
+  /// Offers a value; returns true if the register kept it (i.e. the value
+  /// was a new extreme and the packet should be forwarded / retained).
+  bool offer(std::uint64_t bits);
+
+  bool empty() const { return empty_; }
+  std::uint64_t value_bits() const { return value_; }
+
+  void reset() { empty_ = true; value_ = 0; }
+
+ private:
+  Mode mode_;
+  const FloatFormat* fmt_;
+  bool empty_ = true;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace fpisa::core

@@ -1,0 +1,164 @@
+#include "core/decompose.h"
+
+#include <bit>
+
+namespace fpisa::core {
+namespace {
+
+/// U >> r with r possibly >= 64, returning the shifted base and whether any
+/// ones were dropped plus the tie information needed for round-to-nearest.
+struct ShiftOut {
+  std::uint64_t base = 0;
+  bool any_dropped = false;
+  bool above_half = false;
+  bool exactly_half = false;
+};
+
+ShiftOut shift_right_collect(std::uint64_t u, int r) {
+  ShiftOut out;
+  if (r <= 0) {
+    out.base = u;
+    return out;
+  }
+  if (r >= 64) {
+    out.base = 0;
+    out.any_dropped = u != 0;
+    // Everything dropped; the half bit is below all of u's bits only when
+    // r > 64. For r == 64 the half bit is bit 63.
+    if (r == 64 && u != 0) {
+      const std::uint64_t half = std::uint64_t{1} << 63;
+      out.above_half = (u & half) && (u & (half - 1));
+      out.exactly_half = (u & half) && !(u & (half - 1));
+    }
+    return out;
+  }
+  const std::uint64_t dropped = u & ((std::uint64_t{1} << r) - 1);
+  const std::uint64_t half = std::uint64_t{1} << (r - 1);
+  out.base = u >> r;
+  out.any_dropped = dropped != 0;
+  out.above_half = dropped > half;
+  out.exactly_half = dropped == half;
+  return out;
+}
+
+std::uint64_t round_magnitude(std::uint64_t u, int r, bool negative,
+                              Rounding mode, bool* inexact) {
+  const ShiftOut s = shift_right_collect(u, r);
+  *inexact = s.any_dropped;
+  std::uint64_t base = s.base;
+  switch (mode) {
+    case Rounding::kTowardZero:
+      break;
+    case Rounding::kNearestEven:
+      if (s.above_half || (s.exactly_half && (base & 1))) ++base;
+      break;
+    case Rounding::kTowardNegInf:
+      if (negative && s.any_dropped) ++base;  // increase magnitude
+      break;
+    case Rounding::kTowardPosInf:
+      if (!negative && s.any_dropped) ++base;
+      break;
+  }
+  return base;
+}
+
+}  // namespace
+
+ExtractResult extract(std::uint64_t bits, const FloatFormat& fmt) {
+  ExtractResult out;
+  out.cls = classify(bits, fmt);
+  const bool neg = (bits & fmt.sign_mask()) != 0;
+  const auto e = static_cast<std::int32_t>((bits >> fmt.man_bits) & fmt.exp_mask());
+  const auto f = static_cast<std::int64_t>(bits & fmt.man_mask());
+
+  switch (out.cls) {
+    case FpClass::kZero:
+      out.value = {0, 0};
+      break;
+    case FpClass::kSubnormal:
+      // value = f * 2^(1 - bias - man_bits): same scale as exponent 1,
+      // just without the implied leading 1.
+      out.value = {1, neg ? -f : f};
+      break;
+    case FpClass::kNormal: {
+      const std::int64_t sig = f | (std::int64_t{1} << fmt.man_bits);
+      out.value = {e, neg ? -sig : sig};
+      break;
+    }
+    case FpClass::kInf:
+    case FpClass::kNaN:
+      out.value = {e, 0};  // caller must consult cls
+      break;
+  }
+  return out;
+}
+
+AssembleResult assemble(std::int32_t exp, std::int64_t man,
+                        const FloatFormat& fmt, int guard_bits,
+                        Rounding rounding) {
+  AssembleResult out;
+  if (man == 0) {
+    out.bits = 0;  // canonical +0
+    return out;
+  }
+  const bool neg = man < 0;
+  const std::uint64_t sign = neg ? fmt.sign_mask() : 0;
+  // Magnitude; INT64_MIN negates safely through uint64.
+  const std::uint64_t u =
+      neg ? ~static_cast<std::uint64_t>(man) + 1 : static_cast<std::uint64_t>(man);
+
+  // Position of the leading 1 (this is what the LPM table computes, Fig 5).
+  const int p = 63 - std::countl_zero(u);
+  // Invariant: value = man * 2^(exp - bias - man_bits - guard_bits).
+  // Normalized exponent puts the leading 1 at bit man_bits.
+  const std::int64_t norm_exp =
+      static_cast<std::int64_t>(exp) + p - fmt.man_bits - guard_bits;
+  const int shift = p - fmt.man_bits;  // right shift to canonical position
+
+  if (norm_exp >= fmt.max_biased_exp()) {
+    out.bits = sign | (fmt.exp_mask() << fmt.man_bits);  // ±inf
+    out.overflowed = true;
+    return out;
+  }
+
+  bool inexact = false;
+  if (norm_exp <= 0) {
+    // Subnormal output: exponent field 0, extra right shift of 1 - norm_exp.
+    const int total_shift = shift + static_cast<int>(1 - norm_exp);
+    std::uint64_t frac = round_magnitude(u, total_shift, neg, rounding, &inexact);
+    if (frac == 0) {
+      out.bits = sign;
+      out.underflowed = true;
+      return out;
+    }
+    if (frac >= (std::uint64_t{1} << fmt.man_bits)) {
+      // Rounded up into the smallest normal number.
+      out.bits = sign | (std::uint64_t{1} << fmt.man_bits);
+      return out;
+    }
+    out.bits = sign | frac;
+    return out;
+  }
+
+  std::uint64_t sig;
+  std::int64_t e_out = norm_exp;
+  if (shift >= 0) {
+    sig = round_magnitude(u, shift, neg, rounding, &inexact);
+    if (sig >= (std::uint64_t{1} << (fmt.man_bits + 1))) {
+      sig >>= 1;  // rounding carried out of the significand
+      ++e_out;
+      if (e_out >= fmt.max_biased_exp()) {
+        out.bits = sign | (fmt.exp_mask() << fmt.man_bits);
+        out.overflowed = true;
+        return out;
+      }
+    }
+  } else {
+    sig = u << -shift;  // exact: brings leading 1 up to bit man_bits
+  }
+  out.bits = sign | (static_cast<std::uint64_t>(e_out) << fmt.man_bits) |
+             (sig & fmt.man_mask());
+  return out;
+}
+
+}  // namespace fpisa::core

@@ -1,0 +1,54 @@
+// Extract / assemble between packed floating-point bit patterns and FPISA's
+// decomposed (exponent register, signed two's-complement mantissa register)
+// representation (paper §3.1, Fig 3; dataflow MAU0-1 and MAU5-8 in Fig 2).
+#pragma once
+
+#include <cstdint>
+
+#include "core/float_format.h"
+#include "core/packed.h"
+
+namespace fpisa::core {
+
+/// A value as held in switch registers: `man` is a signed two's-complement
+/// significand (implied 1 made explicit; subnormals keep their raw fraction),
+/// `exp` is the biased exponent with subnormals remapped to exponent 1 so
+/// that `value == man * 2^(exp - bias - man_bits)` holds exactly.
+/// No guard shift is applied here; accumulators add guard bits themselves.
+struct Decomposed {
+  std::int32_t exp = 0;
+  std::int64_t man = 0;
+};
+
+struct ExtractResult {
+  Decomposed value;
+  FpClass cls = FpClass::kZero;
+};
+
+/// MAU0/MAU1 of Fig 2: split bits, add the implied "1", fold the sign into
+/// two's complement. Inf/NaN are reported via `cls` (the value fields are
+/// unspecified for them); callers decide policy (the accumulator flags them).
+ExtractResult extract(std::uint64_t bits, const FloatFormat& fmt);
+
+/// MAU5-8 of Fig 2: renormalize a (possibly denormalized) register pair and
+/// pack to the canonical format. `guard_bits` says how far the register
+/// value is pre-shifted left of the canonical significand position.
+/// Rounding of dropped low bits:
+enum class Rounding {
+  kTowardZero,    ///< truncate magnitude (hardware-faithful read path)
+  kNearestEven,   ///< requires guard bits to be meaningful
+  kTowardNegInf,
+  kTowardPosInf,
+};
+
+struct AssembleResult {
+  std::uint64_t bits = 0;
+  bool overflowed = false;   ///< exponent too large: clamped to ±inf
+  bool underflowed = false;  ///< result below subnormal range: flushed to ±0
+};
+
+AssembleResult assemble(std::int32_t exp, std::int64_t man,
+                        const FloatFormat& fmt, int guard_bits = 0,
+                        Rounding rounding = Rounding::kTowardZero);
+
+}  // namespace fpisa::core

@@ -1,0 +1,53 @@
+// Floating-point format descriptors (paper §2.2, §3.3 "Other FP formats").
+//
+// FPISA is format-agnostic: any (sign, exponent, mantissa) split can be
+// decomposed into the switch's (exponent register, signed mantissa register)
+// representation. The descriptors here drive every layer of the stack: the
+// software accumulators, the PISA switch program generator, and the
+// host-side conversion benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fpisa::core {
+
+struct FloatFormat {
+  std::string_view name;
+  int exp_bits;   ///< biased exponent field width
+  int man_bits;   ///< explicit fraction bits (excluding the implied 1)
+  int total_bits; ///< 1 + exp_bits + man_bits
+  int default_reg_bits;  ///< natural switch register width to accumulate in
+
+  constexpr int bias() const { return (1 << (exp_bits - 1)) - 1; }
+  constexpr std::int64_t max_biased_exp() const {
+    return (std::int64_t{1} << exp_bits) - 1;  // all-ones: inf/NaN
+  }
+  /// Significand width including the implied leading 1.
+  constexpr int significand_bits() const { return man_bits + 1; }
+  /// Headroom bits left of the significand in a reg_bits-wide signed
+  /// register (excluding the sign bit): FP32 in 32-bit -> 7 (paper §3.3).
+  constexpr int headroom(int reg_bits, int guard_bits = 0) const {
+    return reg_bits - significand_bits() - 1 - guard_bits;
+  }
+  constexpr std::uint64_t exp_mask() const {
+    return (std::uint64_t{1} << exp_bits) - 1;
+  }
+  constexpr std::uint64_t man_mask() const {
+    return (std::uint64_t{1} << man_bits) - 1;
+  }
+  constexpr std::uint64_t sign_mask() const {
+    return std::uint64_t{1} << (total_bits - 1);
+  }
+};
+
+/// IEEE 754 binary32. Accumulated in a 32-bit register: 7 headroom bits.
+inline constexpr FloatFormat kFp32{"fp32", 8, 23, 32, 32};
+/// IEEE 754 binary16. Accumulated in a 16-bit register: 4 headroom bits.
+inline constexpr FloatFormat kFp16{"fp16", 5, 10, 16, 16};
+/// bfloat16. Accumulated in a 16-bit register: 7 headroom bits.
+inline constexpr FloatFormat kBf16{"bf16", 8, 7, 16, 16};
+/// IEEE 754 binary64. Accumulated in a 64-bit register: 10 headroom bits.
+inline constexpr FloatFormat kFp64{"fp64", 11, 52, 64, 64};
+
+}  // namespace fpisa::core

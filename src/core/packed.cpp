@@ -1,0 +1,79 @@
+#include "core/packed.h"
+
+#include <cmath>
+
+namespace fpisa::core {
+
+FpClass classify(std::uint64_t bits, const FloatFormat& fmt) {
+  const std::uint64_t e = (bits >> fmt.man_bits) & fmt.exp_mask();
+  const std::uint64_t f = bits & fmt.man_mask();
+  if (e == fmt.exp_mask()) return f ? FpClass::kNaN : FpClass::kInf;
+  if (e == 0) return f ? FpClass::kSubnormal : FpClass::kZero;
+  return FpClass::kNormal;
+}
+
+double decode(std::uint64_t bits, const FloatFormat& fmt) {
+  const bool neg = (bits & fmt.sign_mask()) != 0;
+  const auto e = static_cast<int>((bits >> fmt.man_bits) & fmt.exp_mask());
+  const std::uint64_t f = bits & fmt.man_mask();
+
+  double mag;
+  if (e == static_cast<int>(fmt.exp_mask())) {
+    mag = f ? std::numeric_limits<double>::quiet_NaN()
+            : std::numeric_limits<double>::infinity();
+  } else if (e == 0) {
+    // Subnormal: f * 2^(1 - bias - man_bits).
+    mag = std::ldexp(static_cast<double>(f), 1 - fmt.bias() - fmt.man_bits);
+  } else {
+    const auto sig =
+        static_cast<double>(f | (std::uint64_t{1} << fmt.man_bits));
+    mag = std::ldexp(sig, e - fmt.bias() - fmt.man_bits);
+  }
+  return neg ? -mag : mag;
+}
+
+std::uint64_t encode(double value, const FloatFormat& fmt) {
+  const bool neg = std::signbit(value);
+  const std::uint64_t sign = neg ? fmt.sign_mask() : 0;
+
+  if (std::isnan(value)) {
+    // Canonical quiet NaN: exponent all-ones, top fraction bit set.
+    return sign | (fmt.exp_mask() << fmt.man_bits) |
+           (std::uint64_t{1} << (fmt.man_bits - 1));
+  }
+  const double mag = std::fabs(value);
+  if (mag == 0.0) return sign;
+  if (std::isinf(value)) return sign | (fmt.exp_mask() << fmt.man_bits);
+
+  int ex = 0;
+  (void)std::frexp(mag, &ex);  // mag = m * 2^ex, m in [0.5, 1)
+  const int unbiased = ex - 1;
+  std::int64_t biased = unbiased + fmt.bias();
+
+  if (biased <= 0) {
+    // Subnormal candidate: fraction = round(mag * 2^(man_bits + bias - 1)).
+    const double scaled = std::ldexp(mag, fmt.man_bits + fmt.bias() - 1);
+    auto f = static_cast<std::uint64_t>(std::llrint(scaled));
+    if (f >= (std::uint64_t{1} << fmt.man_bits)) {
+      // Rounded up into the smallest normal.
+      return sign | (std::uint64_t{1} << fmt.man_bits);
+    }
+    return sign | f;
+  }
+
+  // Normal candidate: significand in [2^man, 2^(man+1)).
+  double scaled = std::ldexp(mag, fmt.man_bits - unbiased);
+  auto sig = static_cast<std::uint64_t>(std::llrint(scaled));
+  if (sig >= (std::uint64_t{1} << (fmt.man_bits + 1))) {
+    sig >>= 1;
+    ++biased;
+  }
+  if (biased >= fmt.max_biased_exp()) {
+    // Overflow to infinity.
+    return sign | (fmt.exp_mask() << fmt.man_bits);
+  }
+  return sign | (static_cast<std::uint64_t>(biased) << fmt.man_bits) |
+         (sig & fmt.man_mask());
+}
+
+}  // namespace fpisa::core

@@ -1,0 +1,29 @@
+// Packed-format encode/decode between native double/float values and the
+// bit patterns of any FloatFormat. Used for FP16/BF16 emulation in the ML
+// substrate and as the boundary representation entering/leaving the switch.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "core/float_format.h"
+
+namespace fpisa::core {
+
+/// Exact value of a packed bit pattern (inf -> ±inf, NaN -> quiet NaN).
+/// Exact for every format with man_bits <= 52; binary64 is the identity.
+double decode(std::uint64_t bits, const FloatFormat& fmt);
+
+/// Round-to-nearest-even encoding of `value` into `fmt`. Handles zero,
+/// subnormals, overflow to infinity, and NaN propagation.
+std::uint64_t encode(double value, const FloatFormat& fmt);
+
+/// Convenience for the ubiquitous binary32 case.
+inline std::uint32_t fp32_bits(float v) { return std::bit_cast<std::uint32_t>(v); }
+inline float fp32_value(std::uint32_t b) { return std::bit_cast<float>(b); }
+
+/// Classification of a packed value.
+enum class FpClass { kZero, kSubnormal, kNormal, kInf, kNaN };
+FpClass classify(std::uint64_t bits, const FloatFormat& fmt);
+
+}  // namespace fpisa::core

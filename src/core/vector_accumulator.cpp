@@ -1,0 +1,95 @@
+#include "core/vector_accumulator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fpisa::core {
+
+FpisaVector::FpisaVector(std::size_t size, AccumulatorConfig cfg)
+    : cfg_(cfg), exp_(size, 0), man_(size, 0) {}
+
+void FpisaVector::add(std::span<const float> values) {
+  assert(values.size() == size());
+  assert(cfg_.format.total_bits == 32 && "use add_bits for non-FP32 formats");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const ExtractResult ex = extract(fp32_bits(values[i]), cfg_.format);
+    if (ex.cls == FpClass::kInf || ex.cls == FpClass::kNaN) {
+      ++counters_.nonfinite_inputs;
+      continue;
+    }
+    FpState s{exp_[i], man_[i]};
+    fpisa_add(s, ex.value, cfg_, counters_);
+    exp_[i] = s.exp;
+    man_[i] = s.man;
+  }
+}
+
+void FpisaVector::add_bits(std::span<const std::uint64_t> bits) {
+  assert(bits.size() == size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const ExtractResult ex = extract(bits[i], cfg_.format);
+    if (ex.cls == FpClass::kInf || ex.cls == FpClass::kNaN) {
+      ++counters_.nonfinite_inputs;
+      continue;
+    }
+    FpState s{exp_[i], man_[i]};
+    fpisa_add(s, ex.value, cfg_, counters_);
+    exp_[i] = s.exp;
+    man_[i] = s.man;
+  }
+}
+
+void FpisaVector::read(std::span<float> out) const {
+  assert(out.size() == size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto r = fpisa_read({exp_[i], man_[i]}, cfg_);
+    if (cfg_.format.total_bits == 32) {
+      out[i] = fp32_value(static_cast<std::uint32_t>(r.bits));
+    } else {
+      out[i] = static_cast<float>(decode(r.bits, cfg_.format));
+    }
+  }
+}
+
+void FpisaVector::read_bits(std::span<std::uint64_t> out) const {
+  assert(out.size() == size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = fpisa_read({exp_[i], man_[i]}, cfg_).bits;
+  }
+}
+
+double FpisaVector::read_value(std::size_t i) const {
+  return std::ldexp(
+      static_cast<double>(man_[i]),
+      exp_[i] - cfg_.format.bias() - cfg_.format.man_bits - cfg_.guard_bits);
+}
+
+void FpisaVector::reset() {
+  exp_.assign(exp_.size(), 0);
+  man_.assign(man_.size(), 0);
+  counters_ = {};
+}
+
+AggregateResult aggregate(std::span<const std::vector<float>> workers,
+                          AccumulatorConfig cfg) {
+  assert(!workers.empty());
+  FpisaVector acc(workers.front().size(), cfg);
+  if (cfg.format.total_bits == 32) {
+    for (const auto& w : workers) acc.add(w);
+  } else {
+    std::vector<std::uint64_t> bits(acc.size());
+    for (const auto& w : workers) {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        bits[i] = encode(w[i], cfg.format);
+      }
+      acc.add_bits(bits);
+    }
+  }
+  AggregateResult out;
+  out.sum.resize(acc.size());
+  acc.read(out.sum);
+  out.counters = acc.counters();
+  return out;
+}
+
+}  // namespace fpisa::core

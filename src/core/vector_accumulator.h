@@ -1,0 +1,55 @@
+// Vector-wide FPISA accumulation: the in-network-aggregation data layout.
+// One exponent register array + one mantissa register array (Fig 3), shared
+// configuration and pooled event counters. This is what a SwitchML-style
+// aggregation slot region looks like, and what the ML substrate uses to
+// aggregate gradient vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/accumulator.h"
+
+namespace fpisa::core {
+
+class FpisaVector {
+ public:
+  FpisaVector(std::size_t size, AccumulatorConfig cfg = {});
+
+  std::size_t size() const { return exp_.size(); }
+
+  /// Element-wise add of one worker's packed vector (FP32 fast path).
+  void add(std::span<const float> values);
+  /// Element-wise add in the configured format's packed encoding.
+  void add_bits(std::span<const std::uint64_t> bits);
+
+  /// Renormalize every element into `out` (state unchanged).
+  void read(std::span<float> out) const;
+  void read_bits(std::span<std::uint64_t> out) const;
+  /// Exact arithmetic value of element i's denormalized state.
+  double read_value(std::size_t i) const;
+
+  void reset();
+
+  const OpCounters& counters() const { return counters_; }
+  const AccumulatorConfig& config() const { return cfg_; }
+  FpState state(std::size_t i) const { return {exp_[i], man_[i]}; }
+
+ private:
+  AccumulatorConfig cfg_;
+  std::vector<std::int32_t> exp_;
+  std::vector<std::int64_t> man_;
+  OpCounters counters_{};
+};
+
+/// Convenience: sums `workers` vectors of equal length with the given
+/// config; returns the renormalized result and the pooled counters.
+struct AggregateResult {
+  std::vector<float> sum;
+  OpCounters counters;
+};
+AggregateResult aggregate(std::span<const std::vector<float>> workers,
+                          AccumulatorConfig cfg = {});
+
+}  // namespace fpisa::core

@@ -1,0 +1,189 @@
+#include "host/endianness.h"
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+namespace fpisa::host {
+namespace {
+
+// Scalar loops carry GCC attributes disabling auto-vectorization so they
+// model per-element DPDK API calls (the paper's measurement methodology).
+#define FPISA_NO_VECTORIZE \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+FPISA_NO_VECTORIZE std::uint64_t bswap16_scalar(std::span<std::uint16_t> d) {
+  std::uint64_t sum = 0;
+  for (auto& v : d) {
+    v = __builtin_bswap16(v);
+    sum += v;
+  }
+  return sum;
+}
+
+FPISA_NO_VECTORIZE std::uint64_t bswap32_scalar(std::span<std::uint32_t> d) {
+  std::uint64_t sum = 0;
+  for (auto& v : d) {
+    v = __builtin_bswap32(v);
+    sum += v;
+  }
+  return sum;
+}
+
+FPISA_NO_VECTORIZE std::uint64_t bswap64_scalar(std::span<std::uint64_t> d) {
+  std::uint64_t sum = 0;
+  for (auto& v : d) {
+    v = __builtin_bswap64(v);
+    sum += v;
+  }
+  return sum;
+}
+
+std::uint64_t bswap16_vector(std::span<std::uint16_t> d) {
+  std::uint64_t sum = 0;
+  for (auto& v : d) {
+    v = __builtin_bswap16(v);
+    sum += v;
+  }
+  return sum;
+}
+
+std::uint64_t bswap32_vector(std::span<std::uint32_t> d) {
+  std::uint64_t sum = 0;
+  for (auto& v : d) {
+    v = __builtin_bswap32(v);
+    sum += v;
+  }
+  return sum;
+}
+
+std::uint64_t bswap64_vector(std::span<std::uint64_t> d) {
+  std::uint64_t sum = 0;
+  for (auto& v : d) {
+    v = __builtin_bswap64(v);
+    sum += v;
+  }
+  return sum;
+}
+
+FPISA_NO_VECTORIZE std::uint64_t quantize_block(std::span<const float> in,
+                                                std::span<std::uint32_t> out,
+                                                float scale) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const auto q = static_cast<std::int32_t>(in[i] * scale);
+    out[i] = __builtin_bswap32(static_cast<std::uint32_t>(q));
+    sum += out[i];
+  }
+  return sum;
+}
+
+FPISA_NO_VECTORIZE void dequantize_block(std::span<const std::uint32_t> in,
+                                         std::span<float> out,
+                                         float inv_scale) {
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const auto q =
+        static_cast<std::int32_t>(__builtin_bswap32(in[i]));
+    out[i] = static_cast<float>(q) * inv_scale;
+  }
+}
+
+std::uint64_t quantize_block_vector(std::span<const float> in,
+                                    std::span<std::uint32_t> out, float scale) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const auto q = static_cast<std::int32_t>(in[i] * scale);
+    out[i] = __builtin_bswap32(static_cast<std::uint32_t>(q));
+  }
+  for (std::size_t i = 0; i < out.size(); i += 64) sum += out[i];
+  return sum;
+}
+
+void dequantize_block_vector(std::span<const std::uint32_t> in,
+                             std::span<float> out, float inv_scale) {
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const auto q = static_cast<std::int32_t>(__builtin_bswap32(in[i]));
+    out[i] = static_cast<float>(q) * inv_scale;
+  }
+}
+
+double desired_rate_eps(double line_gbps, int element_bits) {
+  return line_gbps * 1e9 / element_bits;
+}
+
+namespace {
+
+/// Runs `body(iteration)` until the time budget elapses; returns ops/sec
+/// where one op = `elements_per_call` elements.
+template <typename F>
+double measure_eps(double budget_ms, std::size_t elements_per_call, F&& body) {
+  // Warmup.
+  body(0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t calls = 0;
+  double elapsed = 0;
+  do {
+    body(calls);
+    ++calls;
+    elapsed = seconds_since(t0);
+  } while (elapsed * 1000.0 < budget_ms);
+  return static_cast<double>(calls) *
+         static_cast<double>(elements_per_call) / elapsed;
+}
+
+}  // namespace
+
+MeasuredRates measure_host_rates(double budget_ms) {
+  constexpr std::size_t kN = 1 << 18;  // 256K elements: L2-resident-ish
+  std::vector<std::uint16_t> b16(kN, 0x1234);
+  std::vector<std::uint32_t> b32(kN, 0x12345678u);
+  std::vector<std::uint64_t> b64(kN, 0x123456789abcdef0ull);
+  std::vector<float> f32(kN, 1.25f);
+  std::vector<std::uint32_t> q32(kN);
+  std::vector<float> deq(kN);
+  std::vector<std::uint8_t> src(1 << 20), dst(1 << 20);
+
+  volatile std::uint64_t sink = 0;
+  MeasuredRates r;
+  r.bswap16_scalar_eps =
+      measure_eps(budget_ms, kN, [&](std::size_t) { sink = sink + bswap16_scalar(b16); });
+  r.bswap32_scalar_eps =
+      measure_eps(budget_ms, kN, [&](std::size_t) { sink = sink + bswap32_scalar(b32); });
+  r.bswap64_scalar_eps =
+      measure_eps(budget_ms, kN, [&](std::size_t) { sink = sink + bswap64_scalar(b64); });
+  r.bswap16_vector_eps =
+      measure_eps(budget_ms, kN, [&](std::size_t) { sink = sink + bswap16_vector(b16); });
+  r.bswap32_vector_eps =
+      measure_eps(budget_ms, kN, [&](std::size_t) { sink = sink + bswap32_vector(b32); });
+  r.bswap64_vector_eps =
+      measure_eps(budget_ms, kN, [&](std::size_t) { sink = sink + bswap64_vector(b64); });
+  r.quantize_eps = measure_eps(budget_ms, kN, [&](std::size_t) {
+    sink = sink + quantize_block(f32, q32, 1024.0f);
+  });
+  r.dequantize_eps = measure_eps(budget_ms, kN, [&](std::size_t) {
+    dequantize_block(q32, deq, 1.0f / 1024.0f);
+    sink = sink + static_cast<std::uint64_t>(deq[0]);
+  });
+  r.quantize_vector_eps = measure_eps(budget_ms, kN, [&](std::size_t) {
+    sink = sink + quantize_block_vector(f32, q32, 1024.0f);
+  });
+  r.dequantize_vector_eps = measure_eps(budget_ms, kN, [&](std::size_t) {
+    dequantize_block_vector(q32, deq, 1.0f / 1024.0f);
+    sink = sink + static_cast<std::uint64_t>(deq[0]);
+  });
+  r.memcpy_bytes_per_s = measure_eps(budget_ms, src.size(), [&](std::size_t) {
+    std::memcpy(dst.data(), src.data(), src.size());
+    sink = sink + dst[0];
+  });
+  return r;
+}
+
+}  // namespace fpisa::host

@@ -1,0 +1,64 @@
+// Host-side per-element costs, measured on this machine (paper §4.1 /
+// Fig 6). SwitchML-style systems burn CPU on (a) endianness conversion of
+// the whole payload and (b) float<->fixed-point quantization; FPISA removes
+// both (or, without the parser extension, leaves only (a)).
+//
+// The "scalar" variants model DPDK's per-element conversion APIs as the
+// paper measured them (one element at a time, no SIMD); the vectorized
+// variants show what hand-tuned SIMD could recover — the line-rate gap
+// remains, which is the paper's point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fpisa::host {
+
+/// Byte-swap a buffer of N-bit elements, scalar (DPDK-per-element style).
+/// Returns a checksum so the work cannot be optimized away.
+std::uint64_t bswap16_scalar(std::span<std::uint16_t> data);
+std::uint64_t bswap32_scalar(std::span<std::uint32_t> data);
+std::uint64_t bswap64_scalar(std::span<std::uint64_t> data);
+
+/// Compiler-vectorized variants.
+std::uint64_t bswap16_vector(std::span<std::uint16_t> data);
+std::uint64_t bswap32_vector(std::span<std::uint32_t> data);
+std::uint64_t bswap64_vector(std::span<std::uint64_t> data);
+
+/// SwitchML worker-side transforms: scale float -> int32 + byteswap, and
+/// the inverse (byteswap + int32 -> float scale).
+std::uint64_t quantize_block(std::span<const float> in,
+                             std::span<std::uint32_t> out, float scale);
+void dequantize_block(std::span<const std::uint32_t> in, std::span<float> out,
+                      float inv_scale);
+
+/// Vectorizable variants: model SwitchML's SIMD-optimized worker loops.
+std::uint64_t quantize_block_vector(std::span<const float> in,
+                                    std::span<std::uint32_t> out, float scale);
+void dequantize_block_vector(std::span<const std::uint32_t> in,
+                             std::span<float> out, float inv_scale);
+
+struct MeasuredRates {
+  // Elements per second, single core.
+  double bswap16_scalar_eps = 0;
+  double bswap32_scalar_eps = 0;
+  double bswap64_scalar_eps = 0;
+  double bswap16_vector_eps = 0;
+  double bswap32_vector_eps = 0;
+  double bswap64_vector_eps = 0;
+  double quantize_eps = 0;           // float->int32 + bswap, per-element
+  double dequantize_eps = 0;         // bswap + int32->float, per-element
+  double quantize_vector_eps = 0;    // SIMD-optimized (SwitchML-style)
+  double dequantize_vector_eps = 0;
+  double memcpy_bytes_per_s = 0;
+};
+
+/// Measures everything on the current machine. `budget_ms` bounds the
+/// wall-clock spent per primitive.
+MeasuredRates measure_host_rates(double budget_ms = 60.0);
+
+/// Elements/second needed to keep an `element_bits`-wide stream at
+/// `line_gbps` (the Fig 6 "desired rate").
+double desired_rate_eps(double line_gbps, int element_bits);
+
+}  // namespace fpisa::host

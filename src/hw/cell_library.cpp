@@ -1,0 +1,71 @@
+#include "hw/cell_library.h"
+
+namespace fpisa::hw {
+namespace {
+
+// 15nm FinFET-class parameters (FreePDK15 ballpark): sub-micron cell areas,
+// ~1 uW/GHz-class dynamic power for simple gates at moderate activity,
+// single-digit picosecond intrinsic delays.
+constexpr CellParams kCells[] = {
+    {"INV", 0.20, 0.18, 0.006, 4.0},
+    {"NAND2", 0.25, 0.24, 0.008, 5.0},
+    {"NOR2", 0.25, 0.24, 0.008, 5.5},
+    {"AND2", 0.29, 0.28, 0.009, 6.0},
+    {"OR2", 0.29, 0.28, 0.009, 6.5},
+    {"XOR2", 0.49, 0.55, 0.015, 7.5},
+    {"MUX2", 0.44, 0.42, 0.013, 6.5},
+    {"AOI21", 0.34, 0.30, 0.010, 6.0},
+    {"FA", 1.17, 1.35, 0.036, 9.0},
+    {"HA", 0.73, 0.80, 0.022, 7.5},
+    {"DFF", 0.93, 1.10, 0.030, 11.0},
+};
+
+}  // namespace
+
+const CellParams& cell(Cell c) { return kCells[static_cast<int>(c)]; }
+
+void CellBag::add(Cell c, int count) {
+  for (auto& [cc, n] : cells_) {
+    if (cc == c) {
+      n += count;
+      return;
+    }
+  }
+  cells_.emplace_back(c, count);
+}
+
+void CellBag::add(const CellBag& other, int times) {
+  for (const auto& [c, n] : other.cells_) add(c, n * times);
+}
+
+double CellBag::area_um2() const {
+  double a = 0;
+  for (const auto& [c, n] : cells_) a += cell(c).area_um2 * n;
+  return a;
+}
+
+double CellBag::dynamic_uw() const {
+  double p = 0;
+  for (const auto& [c, n] : cells_) p += cell(c).dyn_uw * n;
+  return p;
+}
+
+double CellBag::leakage_uw() const {
+  double p = 0;
+  for (const auto& [c, n] : cells_) p += cell(c).leak_uw * n;
+  return p;
+}
+
+int CellBag::cell_count() const {
+  int t = 0;
+  for (const auto& [c, n] : cells_) t += n;
+  return t;
+}
+
+double chain_delay_ps(const std::vector<Cell>& stages) {
+  double d = 0;
+  for (const Cell c : stages) d += cell(c).delay_ps;
+  return d;
+}
+
+}  // namespace fpisa::hw

@@ -1,0 +1,60 @@
+// A FreePDK15-style standard-cell library model.
+//
+// The paper synthesizes its Banzai ALU variants with Synopsys DC and the
+// FreePDK15 FinFET library (Table 1). We have no synthesis tools here, so
+// src/hw substitutes a structural estimate: every functional unit is
+// composed from counted standard cells whose area/power/delay parameters
+// are calibrated to the 15nm class. The absolute numbers are estimates;
+// the *ratios* between units (what the paper's argument rests on) come
+// from the datapath structure itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpisa::hw {
+
+struct CellParams {
+  const char* name;
+  double area_um2;    ///< placed cell area
+  double dyn_uw;      ///< dynamic power at 1 GHz, typical activity
+  double leak_uw;     ///< leakage power
+  double delay_ps;    ///< typical loaded propagation delay
+};
+
+enum class Cell {
+  kInv,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kMux2,
+  kAoi21,
+  kFullAdder,
+  kHalfAdder,
+  kDff,
+};
+
+const CellParams& cell(Cell c);
+
+/// A bag of cells plus an explicit critical path (in gate stages of given
+/// cells). Units compose by merging bags and chaining/maxing paths.
+class CellBag {
+ public:
+  void add(Cell c, int count);
+  void add(const CellBag& other, int times = 1);
+
+  double area_um2() const;
+  double dynamic_uw() const;
+  double leakage_uw() const;
+  int cell_count() const;
+
+ private:
+  std::vector<std::pair<Cell, int>> cells_;
+};
+
+/// Series delay of a chain of cell stages.
+double chain_delay_ps(const std::vector<Cell>& stages);
+
+}  // namespace fpisa::hw

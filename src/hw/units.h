@@ -1,0 +1,49 @@
+// Structural cost models for the Banzai-style functional units of Table 1:
+//   * default stateless ALU (integer add/sub/logic/compare/imm-shift)
+//   * FPISA ALU (the §4.2 2-operand shift: distance from metadata)
+//   * RAW   (Banzai's atomic predicated read-add-write stateful unit)
+//   * RSAW  (the §4.2 read-SHIFT-add-write stateful unit)
+//   * ALU+FPU (a hard FP32 adder bolted onto the ALU — the Mellanox-style
+//     alternative the paper argues against)
+//   * integer multiplier (Appendix A: for FP multiplication support)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cell_library.h"
+
+namespace fpisa::hw {
+
+struct UnitCost {
+  std::string name;
+  double area_um2 = 0;
+  double dynamic_uw = 0;
+  double leakage_uw = 0;
+  double min_delay_ps = 0;
+  int cells = 0;
+};
+
+/// Building blocks (exposed for unit tests of the structural model).
+CellBag adder(int bits);               ///< carry-lookahead
+CellBag barrel_shifter(int bits);      ///< log2(bits) mux levels
+CellBag comparator(int bits);
+CellBag logic_unit(int bits);          ///< and/or/xor/not + select
+CellBag priority_encoder(int bits);    ///< leading-zero count
+CellBag register_bank(int bits);       ///< DFF row
+CellBag multiplier(int bits);          ///< array multiplier
+
+UnitCost default_alu_cost();
+UnitCost fpisa_alu_cost();
+UnitCost raw_unit_cost();
+UnitCost rsaw_unit_cost();
+UnitCost alu_with_fpu_cost();
+UnitCost int_multiplier_cost();
+
+/// All Table 1 rows in order.
+std::vector<UnitCost> table1_units();
+
+/// Renders the Table 1 reproduction (ours vs the paper's numbers).
+std::string render_table1();
+
+}  // namespace fpisa::hw

@@ -1,0 +1,63 @@
+#include "ml/data.h"
+
+#include "util/rng.h"
+
+namespace fpisa::ml {
+namespace {
+
+void fill_split(std::vector<float>& xs, std::vector<int>& ys, int n, int dim,
+                int classes, const std::vector<float>& centers, double noise,
+                util::Rng& rng) {
+  xs.resize(static_cast<std::size_t>(n) * dim);
+  ys.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    const int c = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(classes)));
+    ys[static_cast<std::size_t>(r)] = c;
+    const float* mu = centers.data() + static_cast<std::size_t>(c) * dim;
+    float* row = xs.data() + static_cast<std::size_t>(r) * dim;
+    for (int d = 0; d < dim; ++d) {
+      row[d] = mu[d] + static_cast<float>(rng.normal(0.0, noise));
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_blobs(int classes, int dim, int train_n, int test_n,
+                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset ds;
+  ds.dim = dim;
+  ds.classes = classes;
+
+  std::vector<float> centers(static_cast<std::size_t>(classes) * dim);
+  for (auto& c : centers) c = static_cast<float>(rng.normal(0.0, 1.0));
+
+  fill_split(ds.train_x, ds.train_y, train_n, dim, classes, centers, 0.9, rng);
+  fill_split(ds.test_x, ds.test_y, test_n, dim, classes, centers, 0.9, rng);
+  return ds;
+}
+
+Dataset make_images(int classes, int img, int train_n, int test_n,
+                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset ds;
+  const int dim = img * img;
+  ds.dim = dim;
+  ds.classes = classes;
+
+  // Per-class template: a few bright spots on the grid.
+  std::vector<float> centers(static_cast<std::size_t>(classes) * dim, 0.0f);
+  for (int c = 0; c < classes; ++c) {
+    float* t = centers.data() + static_cast<std::size_t>(c) * dim;
+    for (int s = 0; s < 5; ++s) {
+      const auto pos = rng.next_below(static_cast<std::uint64_t>(dim));
+      t[pos] = static_cast<float>(rng.uniform(1.0, 2.0));
+    }
+  }
+  fill_split(ds.train_x, ds.train_y, train_n, dim, classes, centers, 0.5, rng);
+  fill_split(ds.test_x, ds.test_y, test_n, dim, classes, centers, 0.5, rng);
+  return ds;
+}
+
+}  // namespace fpisa::ml

@@ -1,0 +1,34 @@
+// Deterministic synthetic classification datasets — the stand-in for
+// CIFAR-10 / Criteo / GBW (see DESIGN.md substitution table). Real SGD on
+// these produces real gradients with the statistical properties Figs 7-9
+// depend on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fpisa::ml {
+
+struct Dataset {
+  int dim = 0;
+  int classes = 0;
+  std::vector<float> train_x;  // row-major [n x dim]
+  std::vector<int> train_y;
+  std::vector<float> test_x;
+  std::vector<int> test_y;
+
+  int train_size() const { return static_cast<int>(train_y.size()); }
+  int test_size() const { return static_cast<int>(test_y.size()); }
+};
+
+/// Gaussian-blob classification: `classes` anisotropic clusters in `dim`
+/// dimensions with partial overlap (so accuracy is nontrivial).
+Dataset make_blobs(int classes, int dim, int train_n, int test_n,
+                   std::uint64_t seed);
+
+/// Synthetic "images": per-class spatial templates + noise on an
+/// img x img grid (for the conv model).
+Dataset make_images(int classes, int img, int train_n, int test_n,
+                    std::uint64_t seed);
+
+}  // namespace fpisa::ml

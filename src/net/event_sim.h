@@ -1,0 +1,85 @@
+// A small discrete-event simulator plus link/queueing primitives — the
+// timing substrate for the end-to-end experiments (distributed query
+// execution, aggregation transfers). Functional packet processing happens
+// in src/pisa; this module only accounts for time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fpisa::net {
+
+/// Event-driven clock: schedule closures at absolute times, run to drain.
+class EventSim {
+ public:
+  using Handler = std::function<void()>;
+
+  double now() const { return now_s_; }
+
+  void at(double time_s, Handler fn) {
+    queue_.push(Event{time_s, seq_++, std::move(fn)});
+  }
+  void after(double delay_s, Handler fn) { at(now_s_ + delay_s, std::move(fn)); }
+
+  /// Runs until the queue drains; returns the final time.
+  double run() {
+    while (!queue_.empty()) {
+      Event e = queue_.top();
+      queue_.pop();
+      now_s_ = e.time_s;
+      e.fn();
+    }
+    return now_s_;
+  }
+
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time_s;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    Handler fn;
+    bool operator>(const Event& o) const {
+      return time_s != o.time_s ? time_s > o.time_s : seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  double now_s_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+/// A serializing link: messages transmit back-to-back at `gbps`, then take
+/// `latency_us` to propagate. Usable standalone (analytic) or with EventSim.
+class Link {
+ public:
+  Link(double gbps, double latency_us)
+      : gbps_(gbps), latency_s_(latency_us * 1e-6) {}
+
+  /// Enqueues `bytes` at time `t`; returns the arrival time at the far end.
+  double send(double t, std::uint64_t bytes) {
+    const double start = t > next_free_ ? t : next_free_;
+    const double tx = static_cast<double>(bytes) * 8.0 / (gbps_ * 1e9);
+    next_free_ = start + tx;
+    busy_s_ += tx;
+    return next_free_ + latency_s_;
+  }
+
+  double gbps() const { return gbps_; }
+  double latency_s() const { return latency_s_; }
+  double busy_seconds() const { return busy_s_; }
+  double next_free() const { return next_free_; }
+  void reset() {
+    next_free_ = 0;
+    busy_s_ = 0;
+  }
+
+ private:
+  double gbps_;
+  double latency_s_;
+  double next_free_ = 0;
+  double busy_s_ = 0;
+};
+
+}  // namespace fpisa::net

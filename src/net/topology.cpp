@@ -1,0 +1,41 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fpisa::net {
+
+StarTopology::StarTopology(int hosts, double gbps, double latency_us)
+    : hop_latency_s_(latency_us * 1e-6) {
+  up_.reserve(static_cast<std::size_t>(hosts));
+  down_.reserve(static_cast<std::size_t>(hosts));
+  for (int i = 0; i < hosts; ++i) {
+    up_.emplace_back(gbps, latency_us);
+    down_.emplace_back(gbps, latency_us);
+  }
+}
+
+double StarTopology::send(double t, int src, int dst, std::uint64_t bytes) {
+  assert(src != dst);
+  const double at_switch = up_[static_cast<std::size_t>(src)].send(t, bytes);
+  return down_[static_cast<std::size_t>(dst)].send(at_switch + hop_latency_s_,
+                                                   bytes);
+}
+
+double StarTopology::gather(
+    double t, const std::vector<std::pair<int, std::uint64_t>>& flows,
+    int dst) {
+  double done = t;
+  for (const auto& [src, bytes] : flows) {
+    if (bytes == 0) continue;
+    done = std::max(done, send(t, src, dst, bytes));
+  }
+  return done;
+}
+
+void StarTopology::reset() {
+  for (auto& l : up_) l.reset();
+  for (auto& l : down_) l.reset();
+}
+
+}  // namespace fpisa::net

@@ -1,0 +1,550 @@
+#include "pisa/fpisa_program.h"
+
+#include <cassert>
+#include <string>
+
+#include "core/clz_table.h"
+#include "core/float_format.h"
+
+namespace fpisa::pisa {
+namespace {
+
+constexpr std::uint64_t kOpcodeAdd = static_cast<std::uint64_t>(FpisaOp::kAdd);
+constexpr std::uint64_t kOpcodeRead = static_cast<std::uint64_t>(FpisaOp::kRead);
+constexpr std::uint64_t kOpcodeReset =
+    static_cast<std::uint64_t>(FpisaOp::kReset);
+
+/// FP32 constants the program hardcodes (the builder is format-specialized
+/// the way a P4 program would be; other formats re-run the builder with
+/// different constants in future work).
+constexpr int kManBits = 23;
+constexpr std::int64_t kImpliedOne = std::int64_t{1} << kManBits;
+
+int headroom_fp32() { return core::kFp32.headroom(32); }  // 7
+
+/// Per-lane PHV field bundle.
+struct LaneFields {
+  FieldId val, exp_in, sign, exp_eff, man, d, code, dist;
+  FieldId r_exp, r_exp2, r_man, sign2, uman, delta, e_norm, result;
+};
+
+struct SharedFields {
+  FieldId opcode, slot, worker, wbit, bitmap_old, bitmap_new, count;
+  FieldId dup_raw, dup;
+};
+
+LaneFields declare_lane(PhvLayout& phv, int lane) {
+  const std::string s = std::to_string(lane);
+  LaneFields f;
+  f.val = phv.declare("val" + s, 32);
+  f.exp_in = phv.declare("exp_in" + s, 8);
+  f.sign = phv.declare("sign" + s, 8);
+  f.exp_eff = phv.declare("exp_eff" + s, 16);
+  f.man = phv.declare("man" + s, 32);
+  f.d = phv.declare("d" + s, 16);
+  f.code = phv.declare("code" + s, 8);
+  f.dist = phv.declare("dist" + s, 8);
+  f.r_exp = phv.declare("r_exp" + s, 16);
+  f.r_exp2 = phv.declare("r_exp2" + s, 16);
+  f.r_man = phv.declare("r_man" + s, 32);
+  f.sign2 = phv.declare("sign2" + s, 8);
+  f.uman = phv.declare("uman" + s, 32);
+  f.delta = phv.declare("delta" + s, 16);
+  f.e_norm = phv.declare("e_norm" + s, 16);
+  f.result = phv.declare("result" + s, 32);
+  return f;
+}
+
+PrimOp op_imm(OpCode op, FieldId dst, std::int64_t imm) {
+  PrimOp p;
+  p.op = op;
+  p.dst = dst;
+  p.imm = imm;
+  return p;
+}
+PrimOp op1(OpCode op, FieldId dst, FieldId src, std::int64_t imm = 0,
+           std::int64_t imm2 = 0) {
+  PrimOp p;
+  p.op = op;
+  p.dst = dst;
+  p.src1 = src;
+  p.imm = imm;
+  p.imm2 = imm2;
+  return p;
+}
+PrimOp op2(OpCode op, FieldId dst, FieldId a, FieldId b) {
+  PrimOp p;
+  p.op = op;
+  p.dst = dst;
+  p.src1 = a;
+  p.src2 = b;
+  return p;
+}
+
+}  // namespace
+
+Packet make_fpisa_packet(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
+                         std::span<const std::uint32_t> values,
+                         bool little_endian_payload) {
+  Packet pkt;
+  pkt.bytes.assign(kFpisaHeaderBytes + 4 * values.size(), 0);
+  pkt.bytes[0] = static_cast<std::uint8_t>(op);
+  write_be(&pkt.bytes[1], 2, slot);
+  pkt.bytes[3] = worker;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::uint64_t v = values[i];
+    // A host that skips htonl() leaves the value in little-endian order on
+    // the wire; writing the byte-swapped value big-endian models that.
+    if (little_endian_payload) v = byteswap(v, 4);
+    write_be(&pkt.bytes[kFpisaHeaderBytes + 4 * i], 4, v);
+  }
+  return pkt;
+}
+
+FpisaResult parse_fpisa_result(const Packet& pkt, int lanes,
+                               bool little_endian_payload) {
+  FpisaResult r;
+  r.bitmap = static_cast<std::uint32_t>(read_be(&pkt.bytes[4], 4));
+  r.count = static_cast<std::uint16_t>(read_be(&pkt.bytes[8], 2));
+  r.values.resize(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    std::uint64_t v = read_be(&pkt.bytes[kFpisaHeaderBytes + 4 * i], 4);
+    if (little_endian_payload) v = byteswap(v, 4);
+    r.values[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(v);
+  }
+  return r;
+}
+
+SwitchProgram build_fpisa_program(const SwitchConfig& config,
+                                  const FpisaProgramOptions& opts) {
+  assert(opts.lanes >= 1);
+  assert((opts.variant == core::Variant::kApproximate || config.ext.rsaw) &&
+         "full FPISA needs the RSAW extension; use FPISA-A on baseline");
+  assert((!opts.convert_endianness || config.ext.parser_endianness) &&
+         "little-endian payloads need the in-parser conversion extension");
+  (void)config;  // only consulted by the assertions above
+
+  SwitchProgram prog;
+  SharedFields sh;
+  sh.opcode = prog.phv.declare("opcode", 8);
+  sh.slot = prog.phv.declare("slot", 16);
+  sh.worker = prog.phv.declare("worker", 8);
+  sh.wbit = prog.phv.declare("wbit", 32);
+  sh.bitmap_old = prog.phv.declare("bitmap_old", 32);
+  sh.bitmap_new = prog.phv.declare("bitmap_new", 32);
+  sh.count = prog.phv.declare("count", 16);
+  sh.dup_raw = prog.phv.declare("dup_raw", 32);
+  sh.dup = prog.phv.declare("dup", 8);
+
+  std::vector<LaneFields> lanes;
+  lanes.reserve(static_cast<std::size_t>(opts.lanes));
+  for (int l = 0; l < opts.lanes; ++l) {
+    lanes.push_back(declare_lane(prog.phv, l));
+  }
+
+  // Parser / deparser bindings.
+  prog.parser.push_back({sh.opcode, 0, 1, false});
+  prog.parser.push_back({sh.slot, 1, 2, false});
+  prog.parser.push_back({sh.worker, 3, 1, false});
+  for (int l = 0; l < opts.lanes; ++l) {
+    prog.parser.push_back({lanes[static_cast<std::size_t>(l)].val,
+                           kFpisaHeaderBytes + 4 * l, 4,
+                           opts.convert_endianness});
+    prog.deparser.push_back({lanes[static_cast<std::size_t>(l)].result,
+                             kFpisaHeaderBytes + 4 * l, 4,
+                             opts.convert_endianness});
+  }
+  prog.deparser.push_back({sh.bitmap_new, 4, 4, false});
+  prog.deparser.push_back({sh.count, 8, 2, false});
+
+  // Registers: per-lane exponent + mantissa arrays, shared bitmap/counter.
+  struct LaneRegs {
+    int exp, man;
+  };
+  std::vector<LaneRegs> regs;
+  for (int l = 0; l < opts.lanes; ++l) {
+    const std::string s = std::to_string(l);
+    prog.add_register("exp_arr" + s, 8, opts.slots);
+    prog.add_register("man_arr" + s, 32, opts.slots);
+    regs.push_back({2 * l, 2 * l + 1});
+  }
+  const int bitmap_reg = 2 * opts.lanes;
+  prog.add_register("bitmap", 32, opts.slots);
+  const int count_reg = bitmap_reg + 1;
+  prog.add_register("count", 16, opts.slots);
+
+  prog.ingress.resize(5);
+  prog.egress.resize(4);
+
+  // --- MAU0: extract -------------------------------------------------------
+  {
+    StageProgram& st = prog.ingress[0];
+    Action extract{"extract", {}};
+    for (const auto& f : lanes) {
+      extract.ops.push_back(op1(OpCode::kExtractBits, f.sign, f.val, 31, 1));
+      extract.ops.push_back(op1(OpCode::kExtractBits, f.exp_in, f.val, 23, 8));
+      extract.ops.push_back(op1(OpCode::kExtractBits, f.man, f.val, 0, 23));
+    }
+    MatchTable t("extract", MatchKind::kExact, {}, {extract}, 0);
+    st.tables.push_back(std::move(t));
+
+    // Worker bitmap mask: exact table worker -> (1 << worker).
+    std::vector<Action> mask_actions;
+    for (int w = 0; w < 32; ++w) {
+      mask_actions.push_back(
+          {"w" + std::to_string(w),
+           {op_imm(OpCode::kSetImm, sh.wbit, std::int64_t{1} << w)}});
+    }
+    MatchTable wm("worker_mask", MatchKind::kExact, {sh.worker}, mask_actions);
+    for (int w = 0; w < 32; ++w) {
+      wm.add_entry({{static_cast<std::uint64_t>(w)}, {}, w});
+    }
+    st.tables.push_back(std::move(wm));
+  }
+
+  // --- MAU1: implied 1 + sign fold ----------------------------------------
+  {
+    StageProgram& st = prog.ingress[1];
+    for (const auto& f : lanes) {
+      // Subnormal (exp field 0): keep the raw fraction, effective exp 1.
+      Action subnormal{"subnormal", {op_imm(OpCode::kSetImm, f.exp_eff, 1)}};
+      Action normal{"normal",
+                    {op1(OpCode::kOrImm, f.man, f.man, kImpliedOne),
+                     op1(OpCode::kMove, f.exp_eff, f.exp_in)}};
+      MatchTable t("implied1", MatchKind::kExact, {f.exp_in},
+                   {subnormal, normal}, 1);
+      t.add_entry({{0}, {}, 0});
+      st.tables.push_back(std::move(t));
+
+      Action negate{"negate", {op1(OpCode::kNeg, f.man, f.man)}};
+      Action keep{"keep", {}};
+      MatchTable s("sign_fold", MatchKind::kExact, {f.sign}, {negate, keep}, 1);
+      s.add_entry({{1}, {}, 0});
+      st.tables.push_back(std::move(s));
+    }
+    // Shared worker bitmap: OR in this worker's bit; the OLD value exposes
+    // retransmissions (SwitchML-style dedup) which gate the later stages.
+    SaluSpec bm_add{SaluKind::kOrX, sh.slot, sh.wbit, {}, {}, sh.bitmap_old, 0};
+    st.salus.push_back({sh.opcode, kOpcodeAdd, bm_add, bitmap_reg, {}, 0});
+    st.salu_post_ops.push_back(
+        {"dup_detect",
+         {op2(OpCode::kAnd, sh.dup_raw, sh.bitmap_old, sh.wbit),
+          op2(OpCode::kOr, sh.bitmap_new, sh.bitmap_old, sh.wbit)}});
+    SaluSpec bm_read{SaluKind::kReadOnly, sh.slot, {}, {}, {}, sh.bitmap_old, 0};
+    st.salus.push_back({sh.opcode, kOpcodeRead, bm_read, bitmap_reg, {}, 0});
+    st.salu_post_ops.push_back(
+        {"", {op1(OpCode::kMove, sh.bitmap_new, sh.bitmap_old)}});
+    SaluSpec bm_rst{SaluKind::kClear, sh.slot, {}, {}, {}, sh.bitmap_old, 0};
+    st.salus.push_back({sh.opcode, kOpcodeReset, bm_rst, bitmap_reg, {}, 0});
+    st.salu_post_ops.push_back(
+        {"", {op1(OpCode::kMove, sh.bitmap_new, sh.bitmap_old)}});
+  }
+
+  // --- MAU2: exponent register (+ shared worker bitmap) --------------------
+  {
+    StageProgram& st = prog.ingress[2];
+    // Gateway: boolean dup flag from the bitmap-AND result.
+    {
+      Action fresh{"fresh", {op_imm(OpCode::kSetImm, sh.dup, 0)}};
+      Action retransmit{"retransmit", {op_imm(OpCode::kSetImm, sh.dup, 1)}};
+      MatchTable g("dup_gate", MatchKind::kTernary, {sh.dup_raw},
+                   {fresh, retransmit}, 1);
+      g.add_entry({{0}, {0xFFFFFFFFULL}, 0});
+      st.tables.push_back(std::move(g));
+    }
+    const std::int64_t headroom_imm =
+        opts.variant == core::Variant::kApproximate ? headroom_fp32() : 0;
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      const LaneFields& f = lanes[l];
+      // Add: conditional exponent update; emits the OLD exponent and then
+      // computes the clamped signed exponent difference d.
+      SaluSpec add_spec;
+      add_spec.kind = SaluKind::kExpUpdate;
+      add_spec.index = sh.slot;
+      add_spec.x = f.exp_eff;
+      add_spec.out = f.r_exp;
+      add_spec.imm = headroom_imm;
+      st.salus.push_back({sh.opcode, kOpcodeAdd, add_spec, regs[l].exp,
+                          sh.dup, 0});
+      st.salu_post_ops.push_back(
+          {"exp_diff",
+           {op2(OpCode::kSub, f.d, f.exp_eff, f.r_exp),
+            op1(OpCode::kMinImm, f.d, f.d, 32),
+            op1(OpCode::kMaxImm, f.d, f.d, -32)}});
+
+      SaluSpec read_spec;
+      read_spec.kind = SaluKind::kReadOnly;
+      read_spec.index = sh.slot;
+      read_spec.out = f.r_exp;
+      // Retransmitted adds fall back to a read (the aggregate is returned
+      // but not modified — SwitchML's dedup semantics).
+      st.salus.push_back({sh.opcode, kOpcodeAdd, read_spec, regs[l].exp,
+                          sh.dup, 1});
+      st.salu_post_ops.push_back({"", {}});
+      st.salus.push_back({sh.opcode, kOpcodeRead, read_spec, regs[l].exp, {}, 0});
+      st.salu_post_ops.push_back({"", {}});
+
+      SaluSpec reset_spec;
+      reset_spec.kind = SaluKind::kClear;
+      reset_spec.index = sh.slot;
+      reset_spec.out = f.r_exp;
+      st.salus.push_back({sh.opcode, kOpcodeReset, reset_spec, regs[l].exp, {}, 0});
+      st.salu_post_ops.push_back({"", {}});
+    }
+  }
+
+  // --- MAU3: align ----------------------------------------------------------
+  // Exact-match on the clamped exponent difference. On baseline hardware
+  // every distance is its own fixed-shift VLIW instruction — the resource
+  // bottleneck of Appendix B; with the 2-operand shift extension this whole
+  // table collapses to a couple of instructions (§4.2). Functionally both
+  // produce the same PHV, so the simulator uses the table form throughout.
+  {
+    StageProgram& st = prog.ingress[3];
+    const int headroom = headroom_fp32();
+    for (const auto& f : lanes) {
+      std::vector<Action> actions;
+      std::vector<TableEntry> entries;
+      for (int dd = -32; dd <= 32; ++dd) {
+        Action a{"d" + std::to_string(dd), {}};
+        if (dd <= 0) {
+          if (dd < 0) {
+            a.ops.push_back(op1(OpCode::kAsrImm, f.man, f.man, -dd));
+          }
+          a.ops.push_back(op_imm(OpCode::kSetImm, f.code, 0));
+          a.ops.push_back(op1(OpCode::kMove, f.r_exp2, f.r_exp));
+        } else if (opts.variant == core::Variant::kApproximate) {
+          if (dd <= headroom) {
+            a.ops.push_back(op1(OpCode::kShlImm, f.man, f.man, dd));
+            a.ops.push_back(op_imm(OpCode::kSetImm, f.code, 0));
+            a.ops.push_back(op1(OpCode::kMove, f.r_exp2, f.r_exp));
+          } else {
+            a.ops.push_back(op_imm(OpCode::kSetImm, f.code, 1));  // overwrite
+            a.ops.push_back(op1(OpCode::kMove, f.r_exp2, f.exp_eff));
+          }
+        } else {  // full FPISA: RSAW shifts the stored mantissa
+          a.ops.push_back(op_imm(OpCode::kSetImm, f.code, 2));
+          a.ops.push_back(op_imm(OpCode::kSetImm, f.dist, dd));
+          a.ops.push_back(op1(OpCode::kMove, f.r_exp2, f.exp_eff));
+        }
+        actions.push_back(std::move(a));
+        entries.push_back(
+            {{static_cast<std::uint64_t>(dd) & 0xFFFF}, {},
+             static_cast<int>(entries.size())});
+      }
+      MatchTable table("align", MatchKind::kExact, {f.d}, std::move(actions),
+                       /*default: d==0 behaviour*/ 32);
+      for (auto& e : entries) table.add_entry(std::move(e));
+      st.tables.push_back(std::move(table));
+    }
+  }
+
+  // --- MAU4: mantissa register (+ shared completion counter) ---------------
+  {
+    StageProgram& st = prog.ingress[4];
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      const LaneFields& f = lanes[l];
+      SaluSpec add_spec;
+      add_spec.kind = SaluKind::kManUpdate;
+      add_spec.index = sh.slot;
+      add_spec.x = f.man;
+      add_spec.code = f.code;
+      add_spec.distance = f.dist;
+      add_spec.out = f.r_man;
+      st.salus.push_back({sh.opcode, kOpcodeAdd, add_spec, regs[l].man,
+                          sh.dup, 0});
+      st.salu_post_ops.push_back({"", {}});
+
+      SaluSpec read_spec;
+      read_spec.kind = SaluKind::kReadOnly;
+      read_spec.index = sh.slot;
+      read_spec.out = f.r_man;
+      st.salus.push_back({sh.opcode, kOpcodeAdd, read_spec, regs[l].man,
+                          sh.dup, 1});
+      st.salu_post_ops.push_back({"", {}});
+      st.salus.push_back({sh.opcode, kOpcodeRead, read_spec, regs[l].man, {}, 0});
+      st.salu_post_ops.push_back({"", {}});
+
+      SaluSpec reset_spec;
+      reset_spec.kind = SaluKind::kClear;
+      reset_spec.index = sh.slot;
+      reset_spec.out = f.r_man;
+      st.salus.push_back({sh.opcode, kOpcodeReset, reset_spec, regs[l].man, {}, 0});
+      st.salu_post_ops.push_back({"", {}});
+    }
+    SaluSpec cnt_add{SaluKind::kIncrement, sh.slot, {}, {}, {}, sh.count, 0};
+    st.salus.push_back({sh.opcode, kOpcodeAdd, cnt_add, count_reg, sh.dup, 0});
+    st.salu_post_ops.push_back({"", {}});
+    SaluSpec cnt_read{SaluKind::kReadOnly, sh.slot, {}, {}, {}, sh.count, 0};
+    st.salus.push_back({sh.opcode, kOpcodeAdd, cnt_read, count_reg, sh.dup, 1});
+    st.salu_post_ops.push_back({"", {}});
+    st.salus.push_back({sh.opcode, kOpcodeRead, cnt_read, count_reg, {}, 0});
+    st.salu_post_ops.push_back({"", {}});
+    SaluSpec cnt_rst{SaluKind::kClear, sh.slot, {}, {}, {}, sh.count, 0};
+    st.salus.push_back({sh.opcode, kOpcodeReset, cnt_rst, count_reg, {}, 0});
+    st.salu_post_ops.push_back({"", {}});
+  }
+
+  // --- MAU5 (egress): two's complement -> sign + magnitude -----------------
+  {
+    StageProgram& st = prog.egress[0];
+    for (const auto& f : lanes) {
+      Action negative{"negative",
+                      {op1(OpCode::kExtractBits, f.sign2, f.r_man, 31, 1),
+                       op1(OpCode::kNeg, f.uman, f.r_man)}};
+      Action positive{"positive",
+                      {op_imm(OpCode::kSetImm, f.sign2, 0),
+                       op1(OpCode::kMove, f.uman, f.r_man)}};
+      MatchTable t("sign_split", MatchKind::kTernary, {f.r_man},
+                   {negative, positive}, 1);
+      t.add_entry({{0x80000000ULL}, {0x80000000ULL}, 0});
+      st.tables.push_back(std::move(t));
+    }
+  }
+
+  // --- MAU6 (egress): LPM count-leading-zeros + shift (Fig 5) --------------
+  {
+    StageProgram& st = prog.egress[1];
+    const auto clz = core::build_clz_lpm_table(32, kManBits);
+    for (const auto& f : lanes) {
+      std::vector<Action> actions;
+      std::vector<TableEntry> entries;
+      for (const auto& e : clz) {
+        Action a{"lz" + std::to_string(e.leading_zeros), {}};
+        if (e.shift > 0) {
+          a.ops.push_back(op1(OpCode::kShrImm, f.uman, f.uman, e.shift));
+        } else if (e.shift < 0) {
+          a.ops.push_back(op1(OpCode::kShlImm, f.uman, f.uman, -e.shift));
+        }
+        a.ops.push_back(op_imm(OpCode::kSetImm, f.delta,
+                               static_cast<std::int64_t>(e.shift) & 0xFFFF));
+        actions.push_back(std::move(a));
+        if (e.prefix_len == 0) continue;  // default handled below
+        const int drop = 32 - e.prefix_len;
+        const std::uint64_t mask = (~std::uint64_t{0} << drop) & 0xFFFFFFFFULL;
+        entries.push_back({{e.prefix_bits}, {mask},
+                           static_cast<int>(actions.size()) - 1});
+      }
+      MatchTable t("clz_lpm", MatchKind::kLpm, {f.uman}, std::move(actions),
+                   static_cast<int>(clz.size()) - 1);
+      for (auto& e : entries) t.add_entry(std::move(e));
+      st.tables.push_back(std::move(t));
+    }
+  }
+
+  // --- MAU7 (egress): exponent adjust ---------------------------------------
+  {
+    StageProgram& st = prog.egress[2];
+    Action adjust{"exp_adjust", {}};
+    for (const auto& f : lanes) {
+      adjust.ops.push_back(op2(OpCode::kAdd, f.e_norm, f.r_exp2, f.delta));
+    }
+    MatchTable t("exp_adjust", MatchKind::kExact, {}, {adjust}, 0);
+    st.tables.push_back(std::move(t));
+  }
+
+  // --- MAU8 (egress): range handling + pack ---------------------------------
+  {
+    StageProgram& st = prog.egress[3];
+    for (const auto& f : lanes) {
+      Action zero{"zero", {op_imm(OpCode::kSetImm, f.result, 0)}};
+      Action ftz{"flush_to_zero",
+                 {op_imm(OpCode::kSetImm, f.result, 0),
+                  op1(OpCode::kDeposit, f.result, f.sign2, 31, 1)}};
+      Action inf{"overflow_inf",
+                 {op_imm(OpCode::kSetImm, f.result, 0x7F800000LL),
+                  op1(OpCode::kDeposit, f.result, f.sign2, 31, 1)}};
+      Action pack{"pack",
+                  {op_imm(OpCode::kSetImm, f.result, 0),
+                   op1(OpCode::kDeposit, f.result, f.uman, 0, 23),
+                   op1(OpCode::kDeposit, f.result, f.e_norm, 23, 8),
+                   op1(OpCode::kDeposit, f.result, f.sign2, 31, 1)}};
+      MatchTable t("finalize", MatchKind::kTernary, {f.uman, f.e_norm},
+                   {zero, ftz, inf, pack}, 3);
+      t.add_entry({{0, 0}, {0xFFFFFFFFULL, 0}, 0});      // mantissa == 0
+      t.add_entry({{0, 0x8000}, {0, 0x8000}, 1});        // exponent < 0: FTZ
+      t.add_entry({{0, 0}, {0, 0xFFFF}, 1});             // exponent == 0: FTZ
+      for (int bit = 8; bit <= 14; ++bit) {              // exponent >= 256
+        t.add_entry({{0, std::uint64_t{1} << bit}, {0, std::uint64_t{1} << bit},
+                     2});
+      }
+      t.add_entry({{0, 255}, {0, 0xFFFF}, 2});           // exponent == 255
+      st.tables.push_back(std::move(t));
+    }
+  }
+
+  return prog;
+}
+
+std::vector<LogicalTableDesc> fpisa_resource_descriptors(
+    const SwitchConfig& config, const FpisaProgramOptions& opts) {
+  const bool ext = config.ext.two_operand_shift;
+  const bool approx = opts.variant == core::Variant::kApproximate;
+  const auto slot_bits = [&](int w) {
+    return static_cast<std::uint64_t>(opts.slots) * static_cast<std::uint64_t>(w);
+  };
+
+  std::vector<LogicalTableDesc> d;
+  // MAU0: three extract instructions per lane; shared worker-mask table.
+  d.push_back({"extract", 0, MatchKind::kExact, 0, 0, 3, 0, 0, 0, true});
+  d.push_back({"worker_mask", 0, MatchKind::kExact, 8, 32, 1, 0, 0, 0, false});
+  // MAU1: implied-1 (2 actions) + sign fold (1 negate instruction).
+  d.push_back({"implied_sign", 1, MatchKind::kExact, 9, 2, 4, 0, 0, 0, true});
+  // MAU2: exponent register + diff ops; FPISA-A also needs the left-shift
+  // instruction family here on baseline hardware (7 distances).
+  d.push_back({"exponent", 2, MatchKind::kExact, 16, 0,
+               3 + (approx && !ext ? 7 : 0), 1, slot_bits(8), 0, true});
+  d.push_back({"bitmap", 1, MatchKind::kExact, 0, 0, 0, 1, slot_bits(32), 0,
+               false});
+  // MAU3: the align table. Baseline: 31 distinct fixed right-shift
+  // instructions (Appendix B: "the need to implement variable-length shifts
+  // as multiple fixed-length shift operations ... is the limiting
+  // bottleneck"). Extension: shl/shr reg,reg + code mux = 4 slots.
+  d.push_back({"align", 3, MatchKind::kExact, 16, 65, ext ? 4 : 31, 0, 0, 1,
+               true});
+  // MAU4: mantissa register + shared completion counter.
+  d.push_back({"mantissa", 4, MatchKind::kExact, 0, 0, 0, 1, slot_bits(32), 0,
+               true});
+  d.push_back({"counter", 4, MatchKind::kExact, 0, 0, 0, 1, slot_bits(16), 0,
+               false});
+  // MAU5 (egress, stage 5): sign split — gateway + 2 instructions.
+  d.push_back({"sign_split", 5, MatchKind::kExact, 32, 2, 2, 0, 0, 0, true});
+  // MAU6 (egress): the Fig 5 LPM table. Baseline: one fixed-shift
+  // instruction per leading-zero count (31 distinct); extension: 3.
+  d.push_back({"clz_lpm", 6, MatchKind::kLpm, 32, 33, ext ? 3 : 31, 0, 0, 1,
+               true});
+  // MAU7 (egress): exponent adjust.
+  d.push_back({"exp_adjust", 7, MatchKind::kExact, 0, 0, 1, 0, 0, 0, true});
+  // MAU8 (egress): range gateway + pack (4 deposit/set instructions).
+  d.push_back({"finalize", 8, MatchKind::kExact, 48, 12, 4, 0, 0, 0, true});
+  return d;
+}
+
+FpisaResult FpisaSwitch::roundtrip(FpisaOp op, std::uint16_t slot,
+                                   std::uint8_t worker,
+                                   std::span<const std::uint32_t> values) {
+  Packet pkt = make_fpisa_packet(op, slot, worker, values,
+                                 opts_.convert_endianness);
+  sim_.process(pkt);
+  return parse_fpisa_result(pkt, opts_.lanes, opts_.convert_endianness);
+}
+
+FpisaResult FpisaSwitch::add(std::uint16_t slot, std::uint8_t worker,
+                             std::span<const std::uint32_t> values) {
+  assert(static_cast<int>(values.size()) == opts_.lanes);
+  return roundtrip(FpisaOp::kAdd, slot, worker, values);
+}
+
+FpisaResult FpisaSwitch::read(std::uint16_t slot) {
+  const std::vector<std::uint32_t> zeros(static_cast<std::size_t>(opts_.lanes),
+                                         0);
+  return roundtrip(FpisaOp::kRead, slot, 0, zeros);
+}
+
+FpisaResult FpisaSwitch::read_and_reset(std::uint16_t slot) {
+  const std::vector<std::uint32_t> zeros(static_cast<std::size_t>(opts_.lanes),
+                                         0);
+  return roundtrip(FpisaOp::kReset, slot, 0, zeros);
+}
+
+}  // namespace fpisa::pisa

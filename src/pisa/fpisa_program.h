@@ -1,0 +1,99 @@
+// The FPISA dataplane program (paper Fig 2), expressed against the PISA
+// simulator's tables/actions/stateful-ALUs — the C++ analogue of the
+// paper's ~580-line P4 implementation.
+//
+// Ingress (per lane = per parallel FPISA module):
+//   MAU0  extract sign/exponent/mantissa fields (+ worker bitmap mask)
+//   MAU1  add the implied "1", fold sign into two's complement
+//   MAU2  exponent register: compare/update, emit old exponent (+ bitmap)
+//   MAU3  align: exact-match table on the exponent difference selects the
+//         shift. Baseline Tofino: one fixed-shift VLIW instruction per
+//         distance (the Table 3 bottleneck). Extension: 2-operand shift.
+//   MAU4  mantissa register: RAW add / overwrite / RSAW (+ counter)
+// Egress:
+//   MAU5  two's complement -> sign + magnitude
+//   MAU6  TCAM LPM count-leading-zeros + shift (Fig 5)
+//   MAU7  exponent adjust
+//   MAU8  range handling (zero / underflow-FTZ / overflow-to-inf) + pack
+//
+// Fidelity notes (vs src/core): register adds wrap (hardware semantics:
+// pair with core's OverflowPolicy::kWrap); reads that would need a
+// subnormal output flush to signed zero; exponent overflow clamps to ±inf.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/accumulator.h"
+#include "pisa/pipeline.h"
+#include "pisa/resources.h"
+
+namespace fpisa::pisa {
+
+enum class FpisaOp : std::uint8_t { kAdd = 1, kRead = 2, kReset = 3 };
+
+struct FpisaProgramOptions {
+  core::Variant variant = core::Variant::kFull;  ///< kFull requires RSAW ext
+  int lanes = 1;               ///< parallel FPISA modules (FP values/packet)
+  std::size_t slots = 256;     ///< aggregation slots per lane
+  int num_workers = 8;         ///< completion threshold for the counter
+  bool convert_endianness = false;  ///< hosts send little-endian payloads
+};
+
+/// Packet layout (big-endian on the wire):
+///   [0]    opcode        [1..2] slot        [3]   worker
+///   [4..7] bitmap (out)  [8..9] count (out) [10..] lanes x 4B FP32 value
+inline constexpr int kFpisaHeaderBytes = 10;
+
+Packet make_fpisa_packet(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
+                         std::span<const std::uint32_t> values,
+                         bool little_endian_payload = false);
+
+struct FpisaResult {
+  std::vector<std::uint32_t> values;
+  std::uint32_t bitmap = 0;
+  std::uint16_t count = 0;
+};
+FpisaResult parse_fpisa_result(const Packet& pkt, int lanes,
+                               bool little_endian_payload = false);
+
+/// Builds the executable program for the given switch configuration.
+/// Asserts (via the simulator) if the options demand extensions the config
+/// does not provide (e.g. kFull variant without ext.rsaw).
+SwitchProgram build_fpisa_program(const SwitchConfig& config,
+                                  const FpisaProgramOptions& opts);
+
+/// Resource demand of one FPISA module (plus the shared bitmap/counter
+/// logic) for the Table 3 analysis. VLIW counts are per distinct
+/// instruction, matching how the Tofino compiler accounts them.
+std::vector<LogicalTableDesc> fpisa_resource_descriptors(
+    const SwitchConfig& config, const FpisaProgramOptions& opts);
+
+/// Convenience wrapper: a switch running the FPISA aggregation program.
+class FpisaSwitch {
+ public:
+  FpisaSwitch(SwitchConfig config, FpisaProgramOptions opts)
+      : opts_(opts), sim_(config, build_fpisa_program(config, opts)) {}
+
+  /// Sends one add packet carrying `values` (one per lane, FP32 bits);
+  /// returns the post-add aggregate the switch emits.
+  FpisaResult add(std::uint16_t slot, std::uint8_t worker,
+                  std::span<const std::uint32_t> values);
+  /// Reads the current aggregate without modifying it.
+  FpisaResult read(std::uint16_t slot);
+  /// Reads and clears a slot (SwitchML-style slot reuse).
+  FpisaResult read_and_reset(std::uint16_t slot);
+
+  const FpisaProgramOptions& options() const { return opts_; }
+  SwitchSim& sim() { return sim_; }
+
+ private:
+  FpisaResult roundtrip(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
+                        std::span<const std::uint32_t> values);
+
+  FpisaProgramOptions opts_;
+  SwitchSim sim_;
+};
+
+}  // namespace fpisa::pisa

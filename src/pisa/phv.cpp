@@ -1,0 +1,42 @@
+#include "pisa/phv.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace fpisa::pisa {
+
+FieldId PhvLayout::declare(std::string name, int width_bits) {
+  assert(width_bits >= 1 && width_bits <= 64);
+  assert(!find(name).valid() && "duplicate PHV field");
+  names_.push_back(std::move(name));
+  widths_.push_back(width_bits);
+  return FieldId{static_cast<std::int32_t>(widths_.size() - 1)};
+}
+
+FieldId PhvLayout::find(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return FieldId{static_cast<std::int32_t>(i)};
+  }
+  return {};
+}
+
+int PhvLayout::total_bits() const {
+  return std::accumulate(widths_.begin(), widths_.end(), 0);
+}
+
+std::int64_t Phv::get_signed(FieldId f) const {
+  const int w = layout_->width(f);
+  std::uint64_t v = get(f);
+  if (w < 64 && (v >> (w - 1)) != 0) {
+    v |= ~((std::uint64_t{1} << w) - 1);  // sign-extend
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+void Phv::set(FieldId f, std::uint64_t v) {
+  const int w = layout_->width(f);
+  if (w < 64) v &= (std::uint64_t{1} << w) - 1;
+  values_[static_cast<std::size_t>(f.index)] = v;
+}
+
+}  // namespace fpisa::pisa

@@ -1,0 +1,141 @@
+// The switch: programmable parser -> ingress MAU stages -> traffic manager
+// -> egress MAU stages -> deparser (paper Fig 1), with the architectural
+// knobs of §4 (baseline Tofino vs the proposed extensions) as configuration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pisa/action.h"
+#include "pisa/phv.h"
+#include "pisa/salu.h"
+#include "pisa/table.h"
+
+namespace fpisa::pisa {
+
+/// The §4.2 hardware proposals. All default off = today's Tofino.
+struct Extensions {
+  bool two_operand_shift = false;  ///< shl/shr reg.distance, reg.value
+  bool rsaw = false;               ///< atomic read-shift-add-write sALU
+  bool parser_endianness = false;  ///< @convert_endianness in parser/deparser
+};
+
+/// Per-stage resource capacities (public Tofino-generation figures; these
+/// drive the Table 3 reproduction — see src/pisa/resources.*).
+struct StageLimits {
+  int vliw_slots = 32;
+  int stateful_alus = 4;
+  int sram_blocks = 80;    // 128 Kb blocks
+  int tcam_blocks = 24;    // 44b x 512 blocks
+  int xbar_bytes = 194;    // 128B exact + 66B ternary crossbar
+  int hash_bits = 416;
+  int result_buses = 8;
+};
+
+struct SwitchConfig {
+  int num_stages = 12;  ///< physical MAU stages in the pipe
+  StageLimits limits;
+  Extensions ext;
+};
+
+/// A raw packet: bytes on the wire.
+struct Packet {
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Parser/deparser field binding: bytes [offset, offset+len) of the packet
+/// hold this field in network byte order (big-endian). If `convert` is set
+/// *and* the parser-endianness extension is enabled, the value is
+/// byte-swapped on extract and swap-restored on deparse — modeling hosts
+/// that send native little-endian payloads (§4.1 "Endianness conversion").
+struct ParsedField {
+  FieldId field;
+  int byte_offset = 0;
+  int byte_len = 0;
+  bool convert = false;
+};
+
+/// One stateful-ALU invocation in a stage, optionally predicated on a PHV
+/// field value (models the sALU's internal predication on packet type).
+struct StatefulCall {
+  FieldId pred_field;  ///< invalid = unconditional
+  std::uint64_t pred_value = 0;
+  SaluSpec spec;
+  int register_index = -1;  ///< index into SwitchProgram::registers
+  FieldId pred2_field;  ///< optional second predicate (e.g. dedup flag)
+  std::uint64_t pred2_value = 0;
+};
+
+/// One MAU stage's logic: match tables execute first (in order), then
+/// stateful calls (each may carry post-ops that run right after it — the
+/// sALU's output ALU path).
+struct StageProgram {
+  std::vector<MatchTable> tables;
+  std::vector<StatefulCall> salus;
+  std::vector<Action> salu_post_ops;  ///< parallel to `salus`
+};
+
+/// A complete dataplane program.
+struct SwitchProgram {
+  PhvLayout phv;
+  std::vector<ParsedField> parser;
+  std::vector<ParsedField> deparser;
+  std::vector<std::unique_ptr<RegisterArray>> registers;
+  std::vector<StageProgram> ingress;  ///< one per physical stage used
+  std::vector<StageProgram> egress;
+  /// Optional recirculation counter field (paper §2.3 footnote: the one
+  /// exception to once-per-packet register access, "costly and bandwidth
+  /// constrained"). While nonzero after egress, the packet re-enters the
+  /// ingress pipeline with the field decremented; each pass is a fresh
+  /// traversal (registers may be touched again). Bounded by
+  /// kMaxRecirculations.
+  FieldId recirc_field{};
+
+  RegisterArray& add_register(std::string name, int width_bits,
+                              std::size_t size);
+};
+
+/// Functional switch simulator: runs a program over packets.
+class SwitchSim {
+ public:
+  SwitchSim(SwitchConfig config, SwitchProgram program);
+
+  /// Processes one packet in place (parse, ingress, TM, egress, deparse).
+  void process(Packet& pkt);
+
+  /// Direct register inspection for tests.
+  const RegisterArray& reg(int index) const {
+    return *program_.registers[static_cast<std::size_t>(index)];
+  }
+  RegisterArray& reg(int index) {
+    return *program_.registers[static_cast<std::size_t>(index)];
+  }
+
+  const SwitchConfig& config() const { return config_; }
+  const SwitchProgram& program() const { return program_; }
+
+  std::uint64_t packets_processed() const { return packets_; }
+  /// Extra pipeline passes consumed by recirculation: each one costs a
+  /// slot of ingress bandwidth (why the paper calls it expensive).
+  std::uint64_t recirculations() const { return recirculations_; }
+
+  static constexpr int kMaxRecirculations = 8;
+
+ private:
+  void run_stages(std::vector<StageProgram>& stages, Phv& phv);
+
+  SwitchConfig config_;
+  SwitchProgram program_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t recirculations_ = 0;
+};
+
+/// Big-endian packet byte helpers (network order).
+std::uint64_t read_be(const std::uint8_t* p, int len);
+void write_be(std::uint8_t* p, int len, std::uint64_t v);
+std::uint64_t byteswap(std::uint64_t v, int len);
+
+}  // namespace fpisa::pisa

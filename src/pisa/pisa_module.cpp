@@ -1,0 +1,3 @@
+namespace fpisa::pisa {
+// Module translation unit; sources are added as the module grows.
+}  // namespace fpisa::pisa

@@ -1,0 +1,114 @@
+#include "pisa/salu.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fpisa::pisa {
+namespace {
+
+std::int64_t ashr(std::int64_t v, std::int64_t d) {
+  if (d >= 64) return v < 0 ? -1 : 0;
+  if (d <= 0) return v;
+  return v >> d;
+}
+
+}  // namespace
+
+std::int64_t RegisterArray::read_signed(std::size_t i) const {
+  std::uint64_t v = values_[i];
+  if (width_bits_ < 64 && (v >> (width_bits_ - 1)) != 0) {
+    v |= ~((std::uint64_t{1} << width_bits_) - 1);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+void RegisterArray::write(std::size_t i, std::uint64_t v) {
+  if (width_bits_ < 64) v &= (std::uint64_t{1} << width_bits_) - 1;
+  values_[i] = v;
+}
+
+bool RegisterArray::mark_access() {
+  if (accessed_this_packet_) return false;
+  accessed_this_packet_ = true;
+  return true;
+}
+
+void apply_salu(const SaluSpec& spec, RegisterArray& reg, Phv& phv,
+                bool rsaw_extension) {
+  const bool first_access = reg.mark_access();
+  assert(first_access && "register accessed twice in one packet traversal");
+  (void)first_access;
+
+  const auto i = static_cast<std::size_t>(phv.get(spec.index));
+  assert(i < reg.size());
+  const std::int64_t old_signed = reg.read_signed(i);
+  const std::uint64_t old_raw = reg.read(i);
+  const std::int64_t x =
+      spec.x.valid() ? phv.get_signed(spec.x) : std::int64_t{0};
+
+  std::uint64_t out = 0;
+  switch (spec.kind) {
+    case SaluKind::kReadOnly:
+      out = old_raw;
+      break;
+    case SaluKind::kWriteX:
+      reg.write(i, static_cast<std::uint64_t>(x));
+      out = old_raw;
+      break;
+    case SaluKind::kAddX:
+      reg.write(i, static_cast<std::uint64_t>(old_signed + x));
+      out = reg.read(i);
+      break;
+    case SaluKind::kOrX:
+      reg.write(i, old_raw | static_cast<std::uint64_t>(x));
+      out = old_raw;  // old value: lets the pipeline detect retransmissions
+      break;
+    case SaluKind::kIncrement:
+      reg.write(i, old_raw + 1);
+      out = reg.read(i);
+      break;
+    case SaluKind::kMaxX:
+      reg.write(i, static_cast<std::uint64_t>(std::max(old_signed, x)));
+      out = old_raw;
+      break;
+    case SaluKind::kMinX:
+      reg.write(i, static_cast<std::uint64_t>(std::min(old_signed, x)));
+      out = old_raw;
+      break;
+    case SaluKind::kClear:
+      reg.write(i, 0);
+      out = old_raw;
+      break;
+    case SaluKind::kExpUpdate: {
+      // Exponents are stored unsigned (biased); compare unsigned.
+      const auto xin = static_cast<std::uint64_t>(x);
+      if (xin > old_raw + static_cast<std::uint64_t>(spec.imm)) {
+        reg.write(i, xin);
+      }
+      out = old_raw;
+      break;
+    }
+    case SaluKind::kManUpdate: {
+      const std::uint64_t code = phv.get(spec.code);
+      if (code == 1) {  // overwrite
+        reg.write(i, static_cast<std::uint64_t>(x));
+      } else if (code == 2) {  // RSAW: read-shift-add-write
+        assert(rsaw_extension &&
+               "RSAW mantissa update requires the shift+add extension");
+        (void)rsaw_extension;
+        const std::int64_t d =
+            spec.distance.valid()
+                ? static_cast<std::int64_t>(phv.get(spec.distance))
+                : 0;
+        reg.write(i, static_cast<std::uint64_t>(ashr(old_signed, d) + x));
+      } else {  // plain add
+        reg.write(i, static_cast<std::uint64_t>(old_signed + x));
+      }
+      out = reg.read(i);
+      break;
+    }
+  }
+  if (spec.out.valid()) phv.set(spec.out, out);
+}
+
+}  // namespace fpisa::pisa

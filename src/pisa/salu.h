@@ -1,0 +1,93 @@
+// Stateful register arrays and stateful ALUs.
+//
+// PISA constraint (paper §2.3): "registers are associated with specific
+// pipeline stages, and can only be accessed from that stage... each
+// register can only be accessed once per packet". RegisterArray enforces
+// the once-per-packet rule; MauStage enforces stage binding.
+//
+// The StatefulAlu offers a menu of hardware-plausible atomic programs
+// (Tofino's stateful ALU is a predicated read-modify-write engine).
+// kExpUpdate/kManUpdate encode the FPISA exponent and mantissa stage
+// programs of Fig 2; kManUpdate's RSAW case (atomic read-shift-add-write,
+// §4.2) is only legal when the switch config enables that extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pisa/phv.h"
+
+namespace fpisa::pisa {
+
+/// Stateful register array (SRAM-backed). Values are stored masked to
+/// `width_bits`; signed reads sign-extend.
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, int width_bits, std::size_t size)
+      : name_(std::move(name)),
+        width_bits_(width_bits),
+        values_(size, 0) {}
+
+  std::uint64_t read(std::size_t i) const { return values_[i]; }
+  std::int64_t read_signed(std::size_t i) const;
+  void write(std::size_t i, std::uint64_t v);
+
+  std::size_t size() const { return values_.size(); }
+  int width_bits() const { return width_bits_; }
+  const std::string& name() const { return name_; }
+
+  /// Once-per-packet access guard (asserted by MauStage execution).
+  void begin_packet() { accessed_this_packet_ = false; }
+  bool mark_access();
+
+  /// Storage footprint in bits (for the SRAM resource model).
+  std::uint64_t storage_bits() const {
+    return static_cast<std::uint64_t>(width_bits_) * values_.size();
+  }
+
+ private:
+  std::string name_;
+  int width_bits_;
+  std::vector<std::uint64_t> values_;
+  bool accessed_this_packet_ = false;
+};
+
+/// The atomic programs the stateful ALU can run.
+enum class SaluKind {
+  kReadOnly,   ///< out = reg
+  kWriteX,     ///< out = reg (old); reg = x
+  kAddX,       ///< reg += x (wraps at width); out = new value
+  kOrX,        ///< reg |= x; out = OLD value (worker-bitmap dedup)
+  kIncrement,  ///< reg += 1; out = new value (completion counters)
+  kMaxX,       ///< reg = max_signed(reg, x); out = old value
+  kMinX,       ///< reg = min_signed(reg, x); out = old value
+  kClear,      ///< out = reg (old); reg = 0
+  /// FPISA exponent stage (Fig 2 MAU2): out = old reg.
+  ///   full variant:       if (x > reg) reg = x
+  ///   FPISA-A variant:    if (x > reg + headroom) reg = x   (overwrite)
+  kExpUpdate,
+  /// FPISA mantissa stage (Fig 2 MAU4), driven by a code field:
+  ///   code 0 (add):        reg += x
+  ///   code 1 (overwrite):  reg = x
+  ///   code 2 (rsaw):       reg = asr(reg, d) + x   [RSAW extension, §4.2]
+  /// out = new value.
+  kManUpdate,
+};
+
+struct SaluSpec {
+  SaluKind kind = SaluKind::kReadOnly;
+  FieldId index;     ///< which register element to touch
+  FieldId x;         ///< data input
+  FieldId code;      ///< kManUpdate: branch code
+  FieldId distance;  ///< kManUpdate: RSAW shift distance
+  FieldId out;       ///< result destination (invalid = discard)
+  std::int64_t imm = 0;  ///< kExpUpdate: headroom for the FPISA-A predicate
+};
+
+/// Executes one stateful ALU invocation. `rsaw_extension` gates the
+/// kManUpdate code-2 path.
+void apply_salu(const SaluSpec& spec, RegisterArray& reg, Phv& phv,
+                bool rsaw_extension);
+
+}  // namespace fpisa::pisa

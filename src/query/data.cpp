@@ -1,0 +1,103 @@
+#include "query/data.h"
+
+#include "util/rng.h"
+
+namespace fpisa::query {
+
+UserVisits make_uservisits(std::size_t rows, std::uint64_t seed,
+                           std::uint32_t key_groups,
+                           std::uint32_t url_domain) {
+  util::Rng rng(seed);
+  UserVisits t;
+  t.source_ip.resize(rows);
+  t.dest_url.resize(rows);
+  t.visit_date.resize(rows);
+  t.ad_revenue.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    // source_ip doubles as the group-by key: bounded domain.
+    t.source_ip[i] = static_cast<std::uint32_t>(rng.next_below(key_groups));
+    t.dest_url[i] = url_domain ? static_cast<std::uint32_t>(rng.next_below(url_domain))
+                               : rng.next_u32();
+    t.visit_date[i] = static_cast<std::uint16_t>(rng.next_below(3650));
+    // Ad revenue: heavy-tailed positive floats (lognormal), like money.
+    t.ad_revenue[i] = static_cast<float>(rng.lognormal(0.0, 1.5));
+  }
+  return t;
+}
+
+Rankings make_rankings(std::size_t rows, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Rankings t;
+  t.page_url.resize(rows);
+  t.page_rank.resize(rows);
+  t.avg_duration.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    t.page_url[i] = static_cast<std::uint32_t>(i);  // join key domain
+    t.page_rank[i] = static_cast<std::int32_t>(rng.next_below(10000));
+    t.avg_duration[i] = static_cast<std::int32_t>(rng.next_below(600));
+  }
+  return t;
+}
+
+TpchData make_tpch(double scale, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TpchData d;
+  const auto n_orders = static_cast<std::size_t>(60000 * scale);
+  const auto n_cust = static_cast<std::size_t>(15000 * scale) + 1;
+  const auto n_part = static_cast<std::size_t>(20000 * scale) + 1;
+  const auto n_supp = static_cast<std::size_t>(1000 * scale) + 1;
+
+  d.customer.custkey.resize(n_cust);
+  d.customer.mktsegment.resize(n_cust);
+  for (std::size_t i = 0; i < n_cust; ++i) {
+    d.customer.custkey[i] = static_cast<std::uint32_t>(i);
+    d.customer.mktsegment[i] = static_cast<std::uint8_t>(rng.next_below(5));
+  }
+
+  d.orders.orderkey.resize(n_orders);
+  d.orders.custkey.resize(n_orders);
+  d.orders.orderdate.resize(n_orders);
+  d.orders.shippriority.resize(n_orders);
+  for (std::size_t i = 0; i < n_orders; ++i) {
+    d.orders.orderkey[i] = static_cast<std::uint32_t>(i);
+    d.orders.custkey[i] =
+        static_cast<std::uint32_t>(rng.next_below(n_cust));
+    d.orders.orderdate[i] = static_cast<std::uint16_t>(rng.next_below(2400));
+    d.orders.shippriority[i] = 0;
+  }
+
+  const std::size_t n_items = n_orders * 4;
+  d.lineitem.orderkey.resize(n_items);
+  d.lineitem.partkey.resize(n_items);
+  d.lineitem.suppkey.resize(n_items);
+  d.lineitem.quantity.resize(n_items);
+  d.lineitem.extendedprice.resize(n_items);
+  d.lineitem.discount.resize(n_items);
+  d.lineitem.shipdate.resize(n_items);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    d.lineitem.orderkey[i] = static_cast<std::uint32_t>(i / 4);
+    d.lineitem.partkey[i] =
+        static_cast<std::uint32_t>(rng.next_below(n_part));
+    d.lineitem.suppkey[i] =
+        static_cast<std::uint32_t>(rng.next_below(n_supp));
+    d.lineitem.quantity[i] = static_cast<float>(rng.uniform_int(1, 50));
+    d.lineitem.extendedprice[i] =
+        static_cast<float>(rng.uniform(900.0, 105000.0));
+    d.lineitem.discount[i] = static_cast<float>(rng.uniform_int(0, 10)) / 100.0f;
+    d.lineitem.shipdate[i] = static_cast<std::uint16_t>(rng.next_below(2400));
+  }
+
+  const std::size_t n_ps = n_part * 4;
+  d.partsupp.partkey.resize(n_ps);
+  d.partsupp.suppkey.resize(n_ps);
+  d.partsupp.availqty.resize(n_ps);
+  for (std::size_t i = 0; i < n_ps; ++i) {
+    d.partsupp.partkey[i] = static_cast<std::uint32_t>(i / 4);
+    d.partsupp.suppkey[i] =
+        static_cast<std::uint32_t>(rng.next_below(n_supp));
+    d.partsupp.availqty[i] = static_cast<float>(rng.uniform_int(1, 9999));
+  }
+  return d;
+}
+
+}  // namespace fpisa::query

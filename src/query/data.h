@@ -1,0 +1,80 @@
+// Synthetic datasets for the query experiments (§6.2): the "Big Data
+// Benchmark" uservisits/rankings tables and a TPC-H subset (lineitem,
+// orders, customer, partsupp). Row counts are scaled down from the paper's
+// 30M/18M to keep bench runtimes laptop-friendly; each bench prints its
+// scale factor. The FP32 columns (adRevenue, l_extendedprice) are the ones
+// the paper converts from int32 to float.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fpisa::query {
+
+struct UserVisits {
+  std::vector<std::uint32_t> source_ip;
+  std::vector<std::uint32_t> dest_url;   // hashed
+  std::vector<std::uint16_t> visit_date; // days since epoch / 16
+  std::vector<float> ad_revenue;         // FP32 (the paper's conversion)
+  std::size_t rows() const { return ad_revenue.size(); }
+};
+
+struct Rankings {
+  std::vector<std::uint32_t> page_url;  // hashed
+  std::vector<std::int32_t> page_rank;
+  std::vector<std::int32_t> avg_duration;
+  std::size_t rows() const { return page_url.size(); }
+};
+
+/// `url_domain` > 0 bounds dest_url so it can join rankings.page_url
+/// (which make_rankings assigns as 0..rows-1).
+UserVisits make_uservisits(std::size_t rows, std::uint64_t seed,
+                           std::uint32_t key_groups = 1024,
+                           std::uint32_t url_domain = 0);
+Rankings make_rankings(std::size_t rows, std::uint64_t seed);
+
+// --- TPC-H subset -----------------------------------------------------------
+
+struct LineItem {
+  std::vector<std::uint32_t> orderkey;
+  std::vector<std::uint32_t> partkey;
+  std::vector<std::uint32_t> suppkey;
+  std::vector<float> quantity;
+  std::vector<float> extendedprice;  // FP32 per the paper's conversion
+  std::vector<float> discount;
+  std::vector<std::uint16_t> shipdate;
+  std::size_t rows() const { return orderkey.size(); }
+};
+
+struct Orders {
+  std::vector<std::uint32_t> orderkey;
+  std::vector<std::uint32_t> custkey;
+  std::vector<std::uint16_t> orderdate;
+  std::vector<std::uint8_t> shippriority;
+  std::size_t rows() const { return orderkey.size(); }
+};
+
+struct Customer {
+  std::vector<std::uint32_t> custkey;
+  std::vector<std::uint8_t> mktsegment;  // 0..4
+  std::size_t rows() const { return custkey.size(); }
+};
+
+struct PartSupp {
+  std::vector<std::uint32_t> partkey;
+  std::vector<std::uint32_t> suppkey;
+  std::vector<float> availqty;
+  std::size_t rows() const { return partkey.size(); }
+};
+
+struct TpchData {
+  LineItem lineitem;
+  Orders orders;
+  Customer customer;
+  PartSupp partsupp;
+};
+
+/// Scale 1.0 ~ 60k orders, 240k lineitems (a laptop-sized TPC-H slice).
+TpchData make_tpch(double scale, std::uint64_t seed);
+
+}  // namespace fpisa::query

@@ -1,0 +1,509 @@
+#include "query/queries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/compare.h"
+#include "core/packed.h"
+#include "net/topology.h"
+
+namespace fpisa::query {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Stage-time accounting. Spark-like execution has a shuffle barrier
+/// between the scan and the merge; the streaming pipelines overlap all
+/// three stages (scan, network, master).
+QueryStats finish_stats(std::string name, Engine engine, const CostModel& cm,
+                        std::size_t rows_scanned_per_worker,
+                        std::size_t rows_to_master, std::uint64_t compares,
+                        std::uint64_t adds) {
+  const bool spark = engine == Engine::kSparkBaseline;
+  const double worker_ns = spark ? cm.spark_worker_ns : cm.dpdk_worker_ns;
+  const double master_ns = spark ? cm.spark_master_ns : cm.dpdk_master_ns;
+
+  net::StarTopology star(cm.workers + 1, cm.link_gbps, cm.latency_us);
+  const int master = cm.workers;
+  std::vector<std::pair<int, std::uint64_t>> flows;
+  for (int w = 0; w < cm.workers; ++w) {
+    flows.emplace_back(
+        w, static_cast<std::uint64_t>(
+               static_cast<double>(rows_to_master) / cm.workers * cm.row_bytes));
+  }
+  const double net_s = star.gather(0.0, flows, master);
+  const double scan_s =
+      static_cast<double>(rows_scanned_per_worker) * worker_ns * 1e-9;
+  const double master_s =
+      static_cast<double>(rows_to_master) * master_ns * 1e-9;
+
+  QueryStats s;
+  s.query = std::move(name);
+  s.engine = engine;
+  s.rows_scanned = rows_scanned_per_worker;
+  s.rows_to_master = rows_to_master;
+  s.switch_compares = compares;
+  s.switch_adds = adds;
+  s.time_s = spark ? scan_s + std::max(net_s, master_s)
+                   : std::max({scan_s, net_s, master_s});
+  return s;
+}
+
+}  // namespace
+
+bool ThresholdPruner::offer(float value) {
+  ++compares_;
+  if (threshold_valid_ &&
+      core::fpisa_compare(core::fp32_bits(value), threshold_bits_,
+                          core::kFp32) < 0) {
+    return false;  // dropped in the switch
+  }
+  ++forwarded_;
+  auto cmp = std::greater<float>();  // min-heap
+  if (heap_.size() < n_) {
+    heap_.push_back(value);
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+  } else if (value > heap_.front()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    heap_.back() = value;
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+  }
+  if (heap_.size() == n_ && ++since_feedback_ >= feedback_every_) {
+    // Master pushes its current N-th largest down into the switch.
+    threshold_bits_ = core::fp32_bits(heap_.front());
+    threshold_valid_ = true;
+    since_feedback_ = 0;
+  }
+  return true;
+}
+
+SwitchHashAggregator::SwitchHashAggregator(std::size_t slots,
+                                           core::AccumulatorConfig cfg)
+    : keys_(slots, 0), claimed_(slots, false), cfg_(cfg) {
+  sums_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) sums_.emplace_back(cfg_);
+}
+
+bool SwitchHashAggregator::offer(std::uint64_t key, float value) {
+  // Two-choice hashing (two table stages on the switch): a key falls
+  // through to the master only when both candidate slots are taken.
+  const std::size_t idx1 = mix64(key) % keys_.size();
+  const std::size_t idx2 = mix64(key ^ 0x9e3779b97f4a7c15ULL) % keys_.size();
+  std::size_t idx = idx1;
+  if (claimed_[idx1] && keys_[idx1] != key) {
+    if (claimed_[idx2] && keys_[idx2] != key) {
+      ++collisions_;
+      return false;  // both stages occupied: forward the raw row
+    }
+    idx = idx2;
+  }
+  if (!claimed_[idx]) {
+    claimed_[idx] = true;
+    keys_[idx] = key;
+  }
+  sums_[idx].add(value);
+  ++adds_;
+  return true;
+}
+
+std::vector<std::pair<std::uint64_t, float>> SwitchHashAggregator::drain()
+    const {
+  std::vector<std::pair<std::uint64_t, float>> out;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (claimed_[i]) out.emplace_back(keys_[i], sums_[i].read());
+  }
+  return out;
+}
+
+// --- Top-N -------------------------------------------------------------------
+
+TopNResult run_top_n(const UserVisits& t, std::size_t n, Engine engine,
+                     const CostModel& cm) {
+  TopNResult r;
+  const std::size_t rows = t.rows();
+  const std::size_t per_worker = rows / static_cast<std::size_t>(cm.workers) + 1;
+
+  auto top_of = [&](std::vector<float> vals) {
+    std::partial_sort(vals.begin(),
+                      vals.begin() + std::min(n, vals.size()), vals.end(),
+                      std::greater<>());
+    vals.resize(std::min(n, vals.size()));
+    return vals;
+  };
+
+  if (engine == Engine::kSparkBaseline) {
+    // Workers compute local top-N partials; the master merges W*N rows.
+    std::vector<float> partials;
+    for (int w = 0; w < cm.workers; ++w) {
+      std::vector<float> local;
+      for (std::size_t i = static_cast<std::size_t>(w); i < rows;
+           i += static_cast<std::size_t>(cm.workers)) {
+        local.push_back(t.ad_revenue[i]);
+      }
+      auto topw = top_of(std::move(local));
+      partials.insert(partials.end(), topw.begin(), topw.end());
+    }
+    r.values = top_of(std::move(partials));
+    r.stats = finish_stats("Top-N", engine, cm, per_worker, partials.size(),
+                           0, 0);
+    return r;
+  }
+
+  if (engine == Engine::kFpisaSwitch) {
+    ThresholdPruner pruner(n);
+    for (std::size_t i = 0; i < rows; ++i) pruner.offer(t.ad_revenue[i]);
+    r.values = pruner.master_top();
+    std::sort(r.values.begin(), r.values.end(), std::greater<>());
+    r.stats = finish_stats("Top-N", engine, cm, per_worker,
+                           pruner.forwarded(), pruner.compares(), 0);
+    return r;
+  }
+
+  // DPDK streaming without the switch: the master sees every row.
+  r.values = top_of(t.ad_revenue);
+  r.stats = finish_stats("Top-N", engine, cm, per_worker, rows, 0, 0);
+  return r;
+}
+
+// --- Group-by having max -----------------------------------------------------
+
+GroupMaxResult run_group_by_max(const UserVisits& t, float having_gt,
+                                Engine engine, const CostModel& cm) {
+  GroupMaxResult r;
+  const std::size_t rows = t.rows();
+  const std::size_t per_worker = rows / static_cast<std::size_t>(cm.workers) + 1;
+
+  auto apply_having = [&](std::map<std::uint32_t, float>& m) {
+    for (auto it = m.begin(); it != m.end();) {
+      it = it->second > having_gt ? std::next(it) : m.erase(it);
+    }
+  };
+
+  if (engine == Engine::kSparkBaseline) {
+    std::map<std::uint32_t, float> merged;
+    std::size_t partial_rows = 0;
+    for (int w = 0; w < cm.workers; ++w) {
+      std::map<std::uint32_t, float> local;
+      for (std::size_t i = static_cast<std::size_t>(w); i < rows;
+           i += static_cast<std::size_t>(cm.workers)) {
+        auto [it, fresh] = local.try_emplace(t.source_ip[i], t.ad_revenue[i]);
+        if (!fresh) it->second = std::max(it->second, t.ad_revenue[i]);
+      }
+      partial_rows += local.size();
+      for (const auto& [k, v] : local) {
+        auto [it, fresh] = merged.try_emplace(k, v);
+        if (!fresh) it->second = std::max(it->second, v);
+      }
+    }
+    apply_having(merged);
+    r.group_max = std::move(merged);
+    r.stats = finish_stats("Group-by (max)", engine, cm, per_worker,
+                           partial_rows, 0, 0);
+    return r;
+  }
+
+  if (engine == Engine::kFpisaSwitch) {
+    // One FPISA prune register per group key (bounded key domain).
+    std::uint32_t key_max = 0;
+    for (const auto k : t.source_ip) key_max = std::max(key_max, k);
+    std::vector<core::PruneRegister> regs(
+        key_max + 1, core::PruneRegister(core::PruneRegister::Mode::kMax));
+    std::uint64_t compares = 0;
+    std::size_t forwarded = 0;
+    std::map<std::uint32_t, float> merged;
+    for (std::size_t i = 0; i < rows; ++i) {
+      ++compares;
+      if (regs[t.source_ip[i]].offer(core::fp32_bits(t.ad_revenue[i]))) {
+        ++forwarded;  // new group maximum: row reaches the master
+        auto [it, fresh] =
+            merged.try_emplace(t.source_ip[i], t.ad_revenue[i]);
+        if (!fresh) it->second = std::max(it->second, t.ad_revenue[i]);
+      }
+    }
+    apply_having(merged);
+    r.group_max = std::move(merged);
+    r.stats = finish_stats("Group-by (max)", engine, cm, per_worker,
+                           forwarded, compares, 0);
+    return r;
+  }
+
+  std::map<std::uint32_t, float> merged;
+  for (std::size_t i = 0; i < rows; ++i) {
+    auto [it, fresh] = merged.try_emplace(t.source_ip[i], t.ad_revenue[i]);
+    if (!fresh) it->second = std::max(it->second, t.ad_revenue[i]);
+  }
+  apply_having(merged);
+  r.group_max = std::move(merged);
+  r.stats = finish_stats("Group-by (max)", engine, cm, per_worker, rows, 0, 0);
+  return r;
+}
+
+// --- Group-by hash aggregation ----------------------------------------------
+
+GroupSumResult run_group_by_sum(const UserVisits& t, Engine engine,
+                                const CostModel& cm) {
+  GroupSumResult r;
+  const std::size_t rows = t.rows();
+  const std::size_t per_worker = rows / static_cast<std::size_t>(cm.workers) + 1;
+
+  if (engine == Engine::kSparkBaseline) {
+    std::size_t partial_rows = 0;
+    for (int w = 0; w < cm.workers; ++w) {
+      std::map<std::uint32_t, float> local;
+      for (std::size_t i = static_cast<std::size_t>(w); i < rows;
+           i += static_cast<std::size_t>(cm.workers)) {
+        local[t.source_ip[i]] += t.ad_revenue[i];
+      }
+      partial_rows += local.size();
+      for (const auto& [k, v] : local) r.group_sum[k] += v;
+    }
+    r.stats = finish_stats("Group-by (agg)", engine, cm, per_worker,
+                           partial_rows, 0, 0);
+    return r;
+  }
+
+  if (engine == Engine::kFpisaSwitch) {
+    std::uint32_t key_max = 0;
+    for (const auto k : t.source_ip) key_max = std::max(key_max, k);
+    SwitchHashAggregator agg(8 * (key_max + 1) + 64);
+    std::size_t forwarded = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (!agg.offer(t.source_ip[i], t.ad_revenue[i])) {
+        ++forwarded;  // collision path
+        r.group_sum[t.source_ip[i]] += t.ad_revenue[i];
+      }
+    }
+    const auto drained = agg.drain();
+    for (const auto& [k, v] : drained) {
+      r.group_sum[static_cast<std::uint32_t>(k)] += v;
+    }
+    r.stats = finish_stats("Group-by (agg)", engine, cm, per_worker,
+                           forwarded + drained.size(), 0, agg.adds());
+    return r;
+  }
+
+  for (std::size_t i = 0; i < rows; ++i) {
+    r.group_sum[t.source_ip[i]] += t.ad_revenue[i];
+  }
+  r.stats = finish_stats("Group-by (agg)", engine, cm, per_worker, rows, 0, 0);
+  return r;
+}
+
+// --- TPC-H Q3 -----------------------------------------------------------------
+
+Q3Result run_tpch_q3(const TpchData& d, std::uint8_t segment,
+                     std::uint16_t date, Engine engine, const CostModel& cm) {
+  Q3Result r;
+  // Shared worker-side plan: hash join customer(segment) |> orders(date)
+  // |> lineitem(date), partial revenue per order. Lineitems are partitioned
+  // by orderkey, so per-worker partials are complete sums.
+  std::unordered_map<std::uint32_t, bool> cust_in_segment;
+  for (std::size_t i = 0; i < d.customer.rows(); ++i) {
+    if (d.customer.mktsegment[i] == segment) {
+      cust_in_segment.emplace(d.customer.custkey[i], true);
+    }
+  }
+  std::unordered_map<std::uint32_t, std::uint16_t> order_date;
+  for (std::size_t i = 0; i < d.orders.rows(); ++i) {
+    if (d.orders.orderdate[i] < date &&
+        cust_in_segment.count(d.orders.custkey[i])) {
+      order_date.emplace(d.orders.orderkey[i], d.orders.orderdate[i]);
+    }
+  }
+  std::unordered_map<std::uint32_t, float> revenue;
+  for (std::size_t i = 0; i < d.lineitem.rows(); ++i) {
+    if (d.lineitem.shipdate[i] <= date) continue;
+    const auto it = order_date.find(d.lineitem.orderkey[i]);
+    if (it == order_date.end()) continue;
+    revenue[d.lineitem.orderkey[i]] +=
+        d.lineitem.extendedprice[i] * (1.0f - d.lineitem.discount[i]);
+  }
+
+  const std::size_t scanned =
+      (d.lineitem.rows() + d.orders.rows() + d.customer.rows()) /
+          static_cast<std::size_t>(cm.workers) +
+      1;
+
+  auto sort_top10 = [&](std::vector<Q3Row> rows) {
+    std::sort(rows.begin(), rows.end(), [](const Q3Row& a, const Q3Row& b) {
+      return a.revenue != b.revenue ? a.revenue > b.revenue
+                                    : a.orderkey < b.orderkey;
+    });
+    if (rows.size() > 10) rows.resize(10);
+    return rows;
+  };
+
+  std::vector<Q3Row> all;
+  all.reserve(revenue.size());
+  for (const auto& [ok, rev] : revenue) {
+    all.push_back({ok, rev, order_date.at(ok)});
+  }
+
+  if (engine == Engine::kSparkBaseline) {
+    // Each worker ships its local top-10 partials.
+    r.top = sort_top10(all);
+    r.stats = finish_stats(
+        "TPC-H Q3", engine, cm, scanned,
+        static_cast<std::size_t>(cm.workers) * 10, 0, 0);
+    return r;
+  }
+  if (engine == Engine::kFpisaSwitch) {
+    ThresholdPruner pruner(10);
+    std::vector<Q3Row> survivors;
+    for (const auto& row : all) {
+      if (pruner.offer(row.revenue)) survivors.push_back(row);
+    }
+    r.top = sort_top10(std::move(survivors));
+    r.stats = finish_stats("TPC-H Q3", engine, cm, scanned,
+                           pruner.forwarded(), pruner.compares(), 0);
+    return r;
+  }
+  r.top = sort_top10(all);
+  r.stats = finish_stats("TPC-H Q3", engine, cm, scanned, all.size(), 0, 0);
+  return r;
+}
+
+// --- TPC-H Q20 ----------------------------------------------------------------
+
+Q20Result run_tpch_q20(const TpchData& d, std::uint16_t date_lo,
+                       std::uint16_t date_hi, Engine engine,
+                       const CostModel& cm) {
+  Q20Result r;
+  auto pskey = [](std::uint32_t pk, std::uint32_t sk) {
+    return (static_cast<std::uint64_t>(pk) << 32) | sk;
+  };
+
+  // Available quantity per (part, supplier).
+  std::unordered_map<std::uint64_t, float> avail;
+  for (std::size_t i = 0; i < d.partsupp.rows(); ++i) {
+    avail[pskey(d.partsupp.partkey[i], d.partsupp.suppkey[i])] +=
+        d.partsupp.availqty[i];
+  }
+
+  auto apply_having = [&](const std::unordered_map<std::uint64_t, double>& sums) {
+    for (const auto& [k, sum] : sums) {
+      const auto it = avail.find(k);
+      if (it != avail.end() && sum > 0.5 * it->second) {
+        r.excess[k] = static_cast<float>(sum);
+      }
+    }
+  };
+
+  const std::size_t scanned =
+      (d.lineitem.rows() + d.partsupp.rows()) /
+          static_cast<std::size_t>(cm.workers) +
+      1;
+
+  if (engine == Engine::kFpisaSwitch) {
+    std::size_t filtered = 0;
+    for (std::size_t i = 0; i < d.lineitem.rows(); ++i) {
+      if (d.lineitem.shipdate[i] >= date_lo && d.lineitem.shipdate[i] < date_hi) {
+        ++filtered;
+      }
+    }
+    SwitchHashAggregator agg(4 * filtered + 64);
+    std::unordered_map<std::uint64_t, double> master;
+    std::size_t forwarded = 0;
+    for (std::size_t i = 0; i < d.lineitem.rows(); ++i) {
+      if (d.lineitem.shipdate[i] < date_lo || d.lineitem.shipdate[i] >= date_hi) {
+        continue;
+      }
+      const std::uint64_t k =
+          pskey(d.lineitem.partkey[i], d.lineitem.suppkey[i]);
+      if (!agg.offer(k, d.lineitem.quantity[i])) {
+        ++forwarded;
+        master[k] += static_cast<double>(d.lineitem.quantity[i]);
+      }
+    }
+    const auto drained = agg.drain();
+    for (const auto& [k, v] : drained) master[k] += static_cast<double>(v);
+    apply_having(master);
+    r.stats = finish_stats("TPC-H Q20", engine, cm, scanned,
+                           forwarded + drained.size(), 0, agg.adds());
+    return r;
+  }
+
+  // Baseline / no-switch: exact sums on hosts.
+  std::unordered_map<std::uint64_t, double> sums;
+  std::size_t filtered = 0;
+  for (std::size_t i = 0; i < d.lineitem.rows(); ++i) {
+    if (d.lineitem.shipdate[i] < date_lo || d.lineitem.shipdate[i] >= date_hi) {
+      continue;
+    }
+    ++filtered;
+    sums[pskey(d.lineitem.partkey[i], d.lineitem.suppkey[i])] +=
+        static_cast<double>(d.lineitem.quantity[i]);
+  }
+  apply_having(sums);
+  const std::size_t to_master = engine == Engine::kSparkBaseline
+                                    ? sums.size() * 2  // W partial maps
+                                    : filtered;
+  r.stats = finish_stats("TPC-H Q20", engine, cm, scanned, to_master, 0, 0);
+  return r;
+}
+
+// --- Extension: join + top-N (Big-Data-benchmark style) ----------------------
+
+JoinTopNResult run_join_top_n(const UserVisits& uv, const Rankings& rk,
+                              std::int32_t min_rank, std::size_t n,
+                              Engine engine, const CostModel& cm) {
+  JoinTopNResult r;
+  // Worker-side hash join: rankings is the (small) build side; visits
+  // stream as the probe side. page_url is dense 0..rows-1 by construction.
+  auto rank_of = [&](std::uint32_t url) -> std::int32_t {
+    return url < rk.rows() ? rk.page_rank[url] : -1;
+  };
+
+  std::vector<JoinTopNResult::Row> joined;
+  for (std::size_t i = 0; i < uv.rows(); ++i) {
+    const std::int32_t pr = rank_of(uv.dest_url[i]);
+    if (pr > min_rank) {
+      joined.push_back({uv.dest_url[i], pr, uv.ad_revenue[i]});
+    }
+  }
+  const std::size_t scanned =
+      (uv.rows() + rk.rows()) / static_cast<std::size_t>(cm.workers) + 1;
+
+  auto sort_top = [&](std::vector<JoinTopNResult::Row> rows) {
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.ad_revenue != b.ad_revenue ? a.ad_revenue > b.ad_revenue
+                                          : a.dest_url < b.dest_url;
+    });
+    if (rows.size() > n) rows.resize(n);
+    return rows;
+  };
+
+  if (engine == Engine::kSparkBaseline) {
+    r.top = sort_top(joined);
+    r.stats = finish_stats("Join+Top-N", engine, cm, scanned,
+                           static_cast<std::size_t>(cm.workers) * n, 0, 0);
+    return r;
+  }
+  if (engine == Engine::kFpisaSwitch) {
+    ThresholdPruner pruner(n);
+    std::vector<JoinTopNResult::Row> survivors;
+    for (const auto& row : joined) {
+      if (pruner.offer(row.ad_revenue)) survivors.push_back(row);
+    }
+    r.top = sort_top(std::move(survivors));
+    r.stats = finish_stats("Join+Top-N", engine, cm, scanned,
+                           pruner.forwarded(), pruner.compares(), 0);
+    return r;
+  }
+  const std::size_t joined_rows = joined.size();
+  r.top = sort_top(std::move(joined));
+  r.stats =
+      finish_stats("Join+Top-N", engine, cm, scanned, joined_rows, 0, 0);
+  return r;
+}
+
+}  // namespace fpisa::query

@@ -1,0 +1,176 @@
+// The five evaluated queries (paper Table 2) over a master + workers +
+// switch deployment (Fig 12), each in three variants:
+//   * kSparkBaseline — Spark-like execution: JVM-class per-row costs on
+//     workers, partial results merged at the master (no switch help).
+//   * kFpisaSwitch   — Cheetah/NETACCEL-style: workers stream rows at
+//     DPDK-class cost; the switch prunes (FPISA comparison) or aggregates
+//     (FPISA addition); the master finishes on the survivors.
+//   * kDpdkNoSwitch  — ablation: the cheap streaming pipeline *without*
+//     the switch, to show the master-side bottleneck pruning removes.
+//
+// Every variant computes the real answer (validated in tests); execution
+// time comes from the cost model + the star-topology network (src/net).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/accumulator.h"
+#include "query/data.h"
+
+namespace fpisa::query {
+
+enum class Engine { kSparkBaseline, kFpisaSwitch, kDpdkNoSwitch };
+
+/// Per-row processing costs. Spark-class numbers reflect JVM scan +
+/// shuffle bookkeeping; DPDK-class numbers reflect a tight native loop
+/// that only parses and transmits (Cheetah's design point).
+struct CostModel {
+  int workers = 2;
+  double link_gbps = 40.0;  ///< X710 40GbE, as in the paper's testbed
+  double latency_us = 10.0;
+  double spark_worker_ns = 260.0;
+  double spark_master_ns = 320.0;
+  double dpdk_worker_ns = 110.0;
+  double dpdk_master_ns = 160.0;
+  double row_bytes = 24.0;
+};
+
+struct QueryStats {
+  std::string query;
+  Engine engine{};
+  double time_s = 0;
+  std::size_t rows_scanned = 0;    ///< max per worker (parallel scan)
+  std::size_t rows_to_master = 0;
+  std::uint64_t switch_compares = 0;
+  std::uint64_t switch_adds = 0;
+};
+
+// --- Switch-side primitives -------------------------------------------------
+
+/// Top-N pruning with master feedback: the switch holds one FP32 threshold
+/// register (the master's current N-th largest, pushed back periodically);
+/// rows strictly below it are dropped. Sound: any dropped row already has
+/// >= N forwarded rows above it.
+class ThresholdPruner {
+ public:
+  ThresholdPruner(std::size_t n, std::size_t feedback_every = 256)
+      : n_(n), feedback_every_(feedback_every) {}
+
+  /// Returns true if the row survives pruning (reaches the master).
+  bool offer(float value);
+
+  const std::vector<float>& master_top() const { return heap_; }
+  std::uint64_t compares() const { return compares_; }
+  std::size_t forwarded() const { return forwarded_; }
+
+ private:
+  std::size_t n_;
+  std::size_t feedback_every_;
+  std::vector<float> heap_;  // min-heap of the master's current top-N
+  bool threshold_valid_ = false;
+  std::uint32_t threshold_bits_ = 0;
+  std::size_t since_feedback_ = 0;
+  std::uint64_t compares_ = 0;
+  std::size_t forwarded_ = 0;
+};
+
+/// NETACCEL-style in-switch hash aggregation: each slot holds a claimed
+/// key plus an FPISA (full variant: exact alignment via RSAW) accumulator.
+/// Two-choice hashing (two pipeline stages); keys that lose both probes
+/// fall through to the master unaggregated — soundness over coverage.
+class SwitchHashAggregator {
+ public:
+  explicit SwitchHashAggregator(std::size_t slots,
+                                core::AccumulatorConfig cfg = full_config());
+
+  static core::AccumulatorConfig full_config() {
+    core::AccumulatorConfig c;
+    c.variant = core::Variant::kFull;  // §6.1: queries need full FPISA
+    return c;
+  }
+
+  /// Returns true if absorbed by the switch; false = forward to master.
+  bool offer(std::uint64_t key, float value);
+
+  /// Drains (key, sum) pairs from the switch registers.
+  std::vector<std::pair<std::uint64_t, float>> drain() const;
+
+  std::uint64_t adds() const { return adds_; }
+  std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  std::vector<bool> claimed_;
+  core::AccumulatorConfig cfg_;
+  std::vector<core::FpisaAccumulator> sums_;
+  std::uint64_t adds_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+// --- The five queries -------------------------------------------------------
+
+struct TopNResult {
+  std::vector<float> values;  // descending
+  QueryStats stats;
+};
+TopNResult run_top_n(const UserVisits& t, std::size_t n, Engine engine,
+                     const CostModel& cm = {});
+
+struct GroupMaxResult {
+  std::map<std::uint32_t, float> group_max;  // groups passing HAVING
+  QueryStats stats;
+};
+GroupMaxResult run_group_by_max(const UserVisits& t, float having_gt,
+                                Engine engine, const CostModel& cm = {});
+
+struct GroupSumResult {
+  std::map<std::uint32_t, float> group_sum;
+  QueryStats stats;
+};
+GroupSumResult run_group_by_sum(const UserVisits& t, Engine engine,
+                                const CostModel& cm = {});
+
+struct Q3Row {
+  std::uint32_t orderkey;
+  float revenue;
+  std::uint16_t orderdate;
+};
+struct Q3Result {
+  std::vector<Q3Row> top;  // by revenue, descending, limit 10
+  QueryStats stats;
+};
+Q3Result run_tpch_q3(const TpchData& d, std::uint8_t segment,
+                     std::uint16_t date, Engine engine,
+                     const CostModel& cm = {});
+
+struct Q20Result {
+  // (partkey, suppkey) -> summed lineitem quantity, for pairs whose sum
+  // exceeds half the available quantity.
+  std::map<std::uint64_t, float> excess;
+  QueryStats stats;
+};
+Q20Result run_tpch_q20(const TpchData& d, std::uint16_t date_lo,
+                       std::uint16_t date_hi, Engine engine,
+                       const CostModel& cm = {});
+
+/// Extension beyond the paper's five queries: a Big-Data-benchmark-style
+/// join task. Workers hash-join uservisits onto rankings (dest_url =
+/// page_url), filter pageRank > min_rank, then the switch threshold-prunes
+/// on FP32 adRevenue for a global top-N (same machinery as Top-N/Q3).
+struct JoinTopNResult {
+  struct Row {
+    std::uint32_t dest_url;
+    std::int32_t page_rank;
+    float ad_revenue;
+  };
+  std::vector<Row> top;  // by ad_revenue desc
+  QueryStats stats;
+};
+JoinTopNResult run_join_top_n(const UserVisits& uv, const Rankings& rk,
+                              std::int32_t min_rank, std::size_t n,
+                              Engine engine, const CostModel& cm = {});
+
+}  // namespace fpisa::query

@@ -1,0 +1,130 @@
+#include "switchml/session.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/packed.h"
+
+namespace fpisa::switchml {
+
+AggregationSession::AggregationSession(pisa::SwitchConfig config,
+                                       SessionOptions opts)
+    : opts_(opts),
+      switch_(config,
+              [&] {
+                pisa::FpisaProgramOptions p;
+                p.variant = config.ext.rsaw ? core::Variant::kFull
+                                            : core::Variant::kApproximate;
+                p.lanes = opts.lanes;
+                p.slots = opts.slots;
+                p.num_workers = opts.num_workers;
+                return p;
+              }()),
+      loss_rng_(opts.loss_seed) {
+  assert(opts_.num_workers <= 32 && "bitmap is 32 bits wide");
+}
+
+bool AggregationSession::send_add(std::uint16_t slot, std::uint8_t worker,
+                                  std::span<const std::uint32_t> values,
+                                  pisa::FpisaResult* out) {
+  bool delivered_before = false;
+  for (int attempt = 0; attempt <= opts_.max_retransmits; ++attempt) {
+    if (attempt > 0) ++stats_.retransmissions;
+    ++stats_.packets_sent;
+
+    // Request direction.
+    if (loss_rng_.next_double() < opts_.loss_rate) {
+      ++stats_.packets_lost;
+      continue;  // switch never saw it: retransmit after "timeout"
+    }
+    if (delivered_before) ++stats_.duplicates_absorbed;
+    delivered_before = true;
+    const pisa::FpisaResult r = switch_.add(slot, worker, values);
+
+    // Response direction.
+    if (loss_rng_.next_double() < opts_.loss_rate) {
+      ++stats_.packets_lost;
+      continue;  // ack lost: worker retransmits; switch dedups
+    }
+    *out = r;
+    return true;
+  }
+  return false;
+}
+
+std::vector<float> AggregationSession::reduce(
+    std::span<const std::vector<float>> workers) {
+  assert(static_cast<int>(workers.size()) == opts_.num_workers);
+  const std::size_t n = workers.front().size();
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t chunks = (n + lanes - 1) / lanes;
+  std::vector<float> result(n, 0.0f);
+
+  for (std::size_t base = 0; base < chunks; base += opts_.slots) {
+    const std::size_t wave_end = std::min(base + opts_.slots, chunks);
+    // All workers stream their packets for this wave of chunks.
+    for (std::size_t c = base; c < wave_end; ++c) {
+      const auto slot = static_cast<std::uint16_t>(c - base);
+      for (int w = 0; w < opts_.num_workers; ++w) {
+        std::vector<std::uint32_t> vals(lanes, 0);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const std::size_t i = c * lanes + l;
+          if (i < n) {
+            vals[l] = core::fp32_bits(
+                workers[static_cast<std::size_t>(w)][i]);
+          }
+        }
+        pisa::FpisaResult r;
+        if (!send_add(slot, static_cast<std::uint8_t>(w), vals, &r)) {
+          throw std::runtime_error("aggregation packet exceeded retransmits");
+        }
+      }
+    }
+    // Collect + recycle every slot of the wave: an idempotent read
+    // (retried until acknowledged), then a reset (extra resets re-clear an
+    // already-empty slot, which is harmless once the value is captured).
+    for (std::size_t c = base; c < wave_end; ++c) {
+      const auto slot = static_cast<std::uint16_t>(c - base);
+      pisa::FpisaResult read;
+      bool have = false;
+      for (int attempt = 0; attempt <= opts_.max_retransmits && !have;
+           ++attempt) {
+        ++stats_.packets_sent;
+        if (loss_rng_.next_double() < opts_.loss_rate) {
+          ++stats_.packets_lost;
+          continue;
+        }
+        read = switch_.read(slot);
+        if (loss_rng_.next_double() < opts_.loss_rate) {
+          ++stats_.packets_lost;
+          continue;
+        }
+        have = true;
+      }
+      if (!have) throw std::runtime_error("read packet exceeded retransmits");
+
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::size_t i = c * lanes + l;
+        if (i < n) {
+          result[i] =
+              core::fp32_value(read.values[l]);
+        }
+      }
+
+      for (int attempt = 0; attempt <= opts_.max_retransmits; ++attempt) {
+        ++stats_.packets_sent;
+        if (loss_rng_.next_double() < opts_.loss_rate) {
+          ++stats_.packets_lost;
+          continue;
+        }
+        (void)switch_.read_and_reset(slot);
+        ++stats_.slot_reuses;
+        if (loss_rng_.next_double() >= opts_.loss_rate) break;
+        ++stats_.packets_lost;  // ack lost: re-clearing is harmless
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fpisa::switchml

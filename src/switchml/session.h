@@ -1,0 +1,64 @@
+// Packet-level in-network aggregation session (paper §5 / SwitchML §4):
+// a vector is chunked across aggregation slots; every worker sends one
+// packet per (chunk, slot); the switch aggregates and the packet that
+// completes a slot's bitmap carries the result back. Lost packets are
+// retransmitted after a timeout; the switch's worker bitmap makes
+// retransmissions idempotent (dedup), and slots are reused round-robin via
+// read-and-reset once their result is collected.
+//
+// This drives the REAL pisa::FpisaSwitch pipeline packet by packet — it is
+// the end-to-end integration of parser, MAUs, stateful ALUs and deparser,
+// with failure injection for the loss-recovery path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pisa/fpisa_program.h"
+#include "util/rng.h"
+
+namespace fpisa::switchml {
+
+struct SessionOptions {
+  int num_workers = 4;
+  std::size_t slots = 64;        ///< aggregation slots in the switch
+  int lanes = 1;                 ///< FP values per packet
+  double loss_rate = 0.0;        ///< probability a packet (either way) drops
+  std::uint64_t loss_seed = 1;
+  int max_retransmits = 64;      ///< per packet, before giving up
+};
+
+struct SessionStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates_absorbed = 0;  ///< dedup hits at the switch
+  std::uint64_t slot_reuses = 0;
+};
+
+/// Aggregates `workers` equal-length FP32 vectors through a switch,
+/// packet by packet, tolerating packet loss. Returns the aggregated sum.
+class AggregationSession {
+ public:
+  AggregationSession(pisa::SwitchConfig config, SessionOptions opts);
+
+  std::vector<float> reduce(std::span<const std::vector<float>> workers);
+
+  const SessionStats& stats() const { return stats_; }
+  pisa::FpisaSwitch& fpisa_switch() { return switch_; }
+
+ private:
+  /// Sends one worker's packet for a chunk; applies loss on both
+  /// directions; returns the switch's response if it survived.
+  bool send_add(std::uint16_t slot, std::uint8_t worker,
+                std::span<const std::uint32_t> values,
+                pisa::FpisaResult* out);
+
+  SessionOptions opts_;
+  pisa::FpisaSwitch switch_;
+  util::Rng loss_rng_;
+  SessionStats stats_{};
+};
+
+}  // namespace fpisa::switchml

@@ -1,0 +1,32 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace fpisa::util {
+
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& rows,
+                       int width) {
+  std::size_t label_w = 0;
+  double maxv = 0.0;
+  for (const auto& [label, v] : rows) {
+    label_w = std::max(label_w, label.size());
+    maxv = std::max(maxv, v);
+  }
+  if (maxv <= 0.0) maxv = 1.0;
+  std::string out;
+  char buf[64];
+  for (const auto& [label, v] : rows) {
+    out += "  ";
+    out += label;
+    out.append(label_w - label.size(), ' ');
+    out += " |";
+    const int n = static_cast<int>(v / maxv * width + 0.5);
+    out.append(static_cast<std::size_t>(n), '#');
+    std::snprintf(buf, sizeof buf, " %.4f", v);
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fpisa::util

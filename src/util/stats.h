@@ -1,0 +1,115 @@
+// Streaming statistics and histogram helpers used by the experiment
+// harnesses (error distributions, ratio distributions, latency summaries).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fpisa::util {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over log2(x): bucket i covers [2^(lo+i), 2^(lo+i+1)).
+/// Matches the paper's Fig 7 (max/min ratio vs powers of two) and Fig 8
+/// (error magnitude vs powers of ten mapped onto log buckets).
+class Log2Histogram {
+ public:
+  Log2Histogram(int lo_exp, int hi_exp)
+      : lo_(lo_exp), counts_(static_cast<std::size_t>(hi_exp - lo_exp) + 2) {}
+
+  void add(double x) {
+    ++total_;
+    if (!(x > 0.0) || !std::isfinite(x)) {
+      ++counts_.front();  // underflow bucket (zero / nonpositive / nonfinite)
+      return;
+    }
+    const int e = static_cast<int>(std::floor(std::log2(x)));
+    const int idx =
+        std::clamp(e - lo_ + 1, 0, static_cast<int>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t count(std::size_t i) const { return counts_[i]; }
+  double frequency(std::size_t i) const {
+    return total_ ? static_cast<double>(counts_[i]) /
+                        static_cast<double>(total_)
+                  : 0.0;
+  }
+  /// Lower log2 edge of bucket i (bucket 0 is the underflow bucket).
+  int bucket_log2_lo(std::size_t i) const { return lo_ + static_cast<int>(i) - 1; }
+
+  /// Fraction of samples with value < 2^e.
+  double fraction_below_pow2(int e) const {
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (i == 0 || bucket_log2_lo(i) + 1 <= e) below += counts_[i];
+    }
+    return total_ ? static_cast<double>(below) / static_cast<double>(total_)
+                  : 0.0;
+  }
+
+ private:
+  int lo_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Exact percentile over a stored sample set (fine for experiment sizes).
+class Percentiles {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+
+  /// q in [0,1]; nearest-rank.
+  double percentile(double q) {
+    if (xs_.empty()) return 0.0;
+    std::sort(xs_.begin(), xs_.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(xs_.size() - 1) + 0.5);
+    return xs_[std::min(idx, xs_.size() - 1)];
+  }
+  double median() { return percentile(0.5); }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Renders a sequence of (label, fraction) rows as a small ASCII bar chart,
+/// used by the figure-reproduction benches.
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& rows,
+                       int width = 40);
+
+}  // namespace fpisa::util

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <cstdio>
+
+namespace fpisa::util {
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (const auto w : widths) {
+      s.append(w + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      s += ' ';
+      s += cell;
+      s.append(widths[c] - cell.size() + 1, ' ');
+      s += '|';
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace fpisa::util

@@ -1,0 +1,30 @@
+// Minimal ASCII table printer. Every bench that reproduces a paper table or
+// figure prints its rows through this so outputs are uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpisa::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);  // v in [0,1] -> "x.x%"
+
+  /// Renders with column alignment and +---+ rules.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fpisa::util

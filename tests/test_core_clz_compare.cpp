@@ -1,0 +1,190 @@
+// LPM count-leading-zeros table (Fig 5) and FPISA comparison semantics.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "core/clz_table.h"
+#include "core/compare.h"
+#include "core/packed.h"
+#include "util/rng.h"
+
+namespace fpisa::core {
+namespace {
+
+TEST(ClzTable, TableShapeMatchesFig5) {
+  // 32-bit register, FP32 canonical leading-1 position = bit 23.
+  const auto table = build_clz_lpm_table(32, 23);
+  ASSERT_EQ(table.size(), 33u);  // 32 positions + default
+  // First (longest) entry: 31 leading zeros -> key 1, left shift 23.
+  EXPECT_EQ(table.front().prefix_len, 32);
+  EXPECT_EQ(table.front().prefix_bits, 1u);
+  EXPECT_EQ(table.front().shift, -23);
+  // The paper's example: 0.128.0.0/9 (bit 23 set, 8 leading zeros) ->
+  // "do nothing"... actually Fig 5 shows /9 -> do nothing for the canonical
+  // position; the entry for one position higher shifts right by 1.
+  for (const auto& e : table) {
+    if (e.leading_zeros == 8) {  // leading 1 at bit 23 == canonical
+      EXPECT_EQ(e.shift, 0);
+      EXPECT_EQ(e.prefix_len, 9);
+      EXPECT_EQ(e.prefix_bits, std::uint64_t{1} << 23);  // 0.128.0.0
+    }
+    if (e.leading_zeros == 7) {  // leading 1 at bit 24 -> right shift 1
+      EXPECT_EQ(e.shift, 1);
+    }
+    if (e.leading_zeros == 31) {  // 0.0.0.1/32 -> left shift 23
+      EXPECT_EQ(e.shift, -23);
+    }
+  }
+  // Default entry last.
+  EXPECT_EQ(table.back().prefix_len, 0);
+  EXPECT_EQ(table.back().shift, 0);
+}
+
+TEST(ClzTable, LookupMatchesCountlZeroExhaustivePositions) {
+  const auto table = build_clz_lpm_table(32, 23);
+  // Every leading-1 position, with random lower bits.
+  util::Rng rng(30);
+  for (int p = 0; p < 32; ++p) {
+    for (int trial = 0; trial < 64; ++trial) {
+      const std::uint32_t low =
+          p == 0 ? 0 : static_cast<std::uint32_t>(rng.next_u64()) &
+                           ((std::uint32_t{1} << p) - 1);
+      const std::uint32_t key = (std::uint32_t{1} << p) | low;
+      const int shift = lpm_lookup_shift(table, key, 32);
+      EXPECT_EQ(shift, p - 23) << "p=" << p;
+      // Applying the shift must put the leading 1 at bit 23.
+      const std::uint64_t normalized =
+          shift >= 0 ? (std::uint64_t{key} >> shift)
+                     : (std::uint64_t{key} << -shift);
+      EXPECT_EQ(63 - std::countl_zero(normalized), 23);
+    }
+  }
+  EXPECT_EQ(lpm_lookup_shift(table, 0, 32), 0);  // default entry
+}
+
+TEST(ClzTable, WorksForOtherRegisterWidths) {
+  for (const int width : {16, 24, 64}) {
+    const int target = width / 2;
+    const auto table = build_clz_lpm_table(width, target);
+    EXPECT_EQ(table.size(), static_cast<std::size_t>(width) + 1);
+    util::Rng rng(31);
+    for (int trial = 0; trial < 2000; ++trial) {
+      std::uint64_t key = rng.next_u64();
+      if (width < 64) key &= (std::uint64_t{1} << width) - 1;
+      if (key == 0) continue;
+      const int p = 63 - std::countl_zero(key);
+      EXPECT_EQ(lpm_lookup_shift(table, key, width), p - target);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+int sign3(float a, float b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+TEST(Compare, MatchesIeeeOnRandomPairs) {
+  util::Rng rng(32);
+  for (int i = 0; i < 300000; ++i) {
+    const auto ab = static_cast<std::uint32_t>(rng.next_u64());
+    const auto bb = static_cast<std::uint32_t>(rng.next_u64());
+    const FpClass ca = classify(ab, kFp32);
+    const FpClass cb = classify(bb, kFp32);
+    if (ca == FpClass::kInf || ca == FpClass::kNaN) continue;
+    if (cb == FpClass::kInf || cb == FpClass::kNaN) continue;
+    EXPECT_EQ(fpisa_compare(ab, bb, kFp32),
+              sign3(fp32_value(ab), fp32_value(bb)))
+        << ab << " vs " << bb;
+  }
+}
+
+TEST(Compare, AdversarialNeighborPairs) {
+  // Adjacent representable values, sign boundaries, subnormals.
+  const float vals[] = {0.0f,
+                        -0.0f,
+                        1e-45f,
+                        -1e-45f,
+                        std::nextafterf(1.0f, 2.0f),
+                        1.0f,
+                        std::nextafterf(1.0f, 0.0f),
+                        -1.0f,
+                        std::nextafterf(-1.0f, 0.0f),
+                        65536.0f,
+                        std::nextafterf(65536.0f, 0.0f),
+                        1.17549435e-38f /* min normal */,
+                        std::nextafterf(1.17549435e-38f, 0.0f) /* max subn */};
+  for (const float a : vals) {
+    for (const float b : vals) {
+      EXPECT_EQ(fpisa_compare(fp32_bits(a), fp32_bits(b), kFp32), sign3(a, b))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Compare, SignedZerosCompareEqual) {
+  EXPECT_EQ(fpisa_compare(fp32_bits(0.0f), fp32_bits(-0.0f), kFp32), 0);
+  EXPECT_EQ(fpisa_compare(fp32_bits(-0.0f), fp32_bits(0.0f), kFp32), 0);
+}
+
+TEST(Compare, OtherFormats) {
+  util::Rng rng(33);
+  for (const FloatFormat* fmt : {&kFp16, &kBf16, &kFp64}) {
+    const std::uint64_t mask = fmt->total_bits == 64
+                                   ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << fmt->total_bits) - 1;
+    for (int i = 0; i < 50000; ++i) {
+      const std::uint64_t ab = rng.next_u64() & mask;
+      const std::uint64_t bb = rng.next_u64() & mask;
+      const FpClass ca = classify(ab, *fmt);
+      const FpClass cb = classify(bb, *fmt);
+      if (ca == FpClass::kInf || ca == FpClass::kNaN) continue;
+      if (cb == FpClass::kInf || cb == FpClass::kNaN) continue;
+      const double a = decode(ab, *fmt);
+      const double b = decode(bb, *fmt);
+      const int expected = a < b ? -1 : (a > b ? 1 : 0);
+      EXPECT_EQ(fpisa_compare(ab, bb, *fmt), expected) << fmt->name;
+    }
+  }
+}
+
+TEST(PruneRegister, TracksRunningMax) {
+  PruneRegister reg(PruneRegister::Mode::kMax);
+  EXPECT_TRUE(reg.offer(fp32_bits(1.5f)));   // first value always kept
+  EXPECT_FALSE(reg.offer(fp32_bits(1.0f)));  // not a new max: prunable
+  EXPECT_TRUE(reg.offer(fp32_bits(2.5f)));
+  EXPECT_FALSE(reg.offer(fp32_bits(2.5f)));  // ties are not new extremes
+  EXPECT_EQ(fp32_value(static_cast<std::uint32_t>(reg.value_bits())), 2.5f);
+}
+
+TEST(PruneRegister, TracksRunningMinWithNegatives) {
+  PruneRegister reg(PruneRegister::Mode::kMin);
+  EXPECT_TRUE(reg.offer(fp32_bits(-1.0f)));
+  EXPECT_TRUE(reg.offer(fp32_bits(-3.5f)));
+  EXPECT_FALSE(reg.offer(fp32_bits(0.0f)));
+  EXPECT_EQ(fp32_value(static_cast<std::uint32_t>(reg.value_bits())), -3.5f);
+}
+
+TEST(PruneRegister, NeverLosesTheTrueExtreme) {
+  // Property: after offering any stream, value_bits() holds the stream max.
+  util::Rng rng(34);
+  for (int trial = 0; trial < 500; ++trial) {
+    PruneRegister reg(PruneRegister::Mode::kMax);
+    float best = -INFINITY;
+    for (int i = 0; i < 200; ++i) {
+      const float v =
+          static_cast<float>(rng.normal(0.0, 1.0) * std::exp2(rng.uniform_int(-8, 8)));
+      reg.offer(fp32_bits(v));
+      best = std::max(best, v);
+    }
+    EXPECT_EQ(fp32_value(static_cast<std::uint32_t>(reg.value_bits())), best);
+  }
+}
+
+}  // namespace
+}  // namespace fpisa::core

@@ -1,0 +1,190 @@
+// Extract/assemble and packed encode/decode: the representation boundary
+// (paper §3.1, Fig 3/4). These must be lossless for canonical inputs.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "core/decompose.h"
+#include "core/packed.h"
+#include "util/rng.h"
+
+namespace fpisa::core {
+namespace {
+
+TEST(Packed, DecodeFp32MatchesHardware) {
+  const float cases[] = {0.0f,    -0.0f,   1.0f,     -1.0f,  3.0f,
+                         0.5f,    1.5f,    1e-38f,   3.4e38f, 1e-45f,
+                         -2.75f,  123.456f, -0.0001f, 6.1e-5f};
+  for (const float f : cases) {
+    EXPECT_EQ(decode(fp32_bits(f), kFp32), static_cast<double>(f)) << f;
+  }
+}
+
+TEST(Packed, EncodeFp32MatchesHardwareRounding) {
+  util::Rng rng(1);
+  for (int i = 0; i < 200000; ++i) {
+    const double d = rng.normal(0.0, 1.0) * std::exp2(rng.uniform_int(-40, 40));
+    const auto expected = fp32_bits(static_cast<float>(d));
+    EXPECT_EQ(encode(d, kFp32), expected) << d;
+  }
+}
+
+TEST(Packed, EncodeDecodeRoundTripAllFormats) {
+  util::Rng rng(2);
+  for (const FloatFormat* fmt : {&kFp16, &kBf16, &kFp32, &kFp64}) {
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t bits =
+          rng.next_u64() & ((fmt->total_bits == 64)
+                                ? ~std::uint64_t{0}
+                                : ((std::uint64_t{1} << fmt->total_bits) - 1));
+      if (classify(bits, *fmt) == FpClass::kNaN) continue;
+      const double v = decode(bits, *fmt);
+      // Re-encoding an exactly representable value must reproduce the bits
+      // (modulo -0 for the zero pattern, which we keep signed).
+      EXPECT_EQ(encode(v, *fmt), bits) << fmt->name << " bits=" << bits;
+    }
+  }
+}
+
+TEST(Packed, ClassifyEdges) {
+  EXPECT_EQ(classify(fp32_bits(0.0f), kFp32), FpClass::kZero);
+  EXPECT_EQ(classify(fp32_bits(-0.0f), kFp32), FpClass::kZero);
+  EXPECT_EQ(classify(fp32_bits(1.0f), kFp32), FpClass::kNormal);
+  EXPECT_EQ(classify(fp32_bits(1e-45f), kFp32), FpClass::kSubnormal);
+  EXPECT_EQ(classify(fp32_bits(INFINITY), kFp32), FpClass::kInf);
+  EXPECT_EQ(classify(fp32_bits(NAN), kFp32), FpClass::kNaN);
+  EXPECT_EQ(classify(encode(65504.0, kFp16), kFp16), FpClass::kNormal);
+  EXPECT_EQ(classify(encode(65536.0, kFp16), kFp16), FpClass::kInf);
+}
+
+TEST(Decompose, ExtractNormalHasImpliedOne) {
+  // 3.0 = 1.1b * 2^1: mantissa 0xC00000, biased exp 128 (paper Fig 4).
+  const ExtractResult r = extract(fp32_bits(3.0f), kFp32);
+  EXPECT_EQ(r.cls, FpClass::kNormal);
+  EXPECT_EQ(r.value.exp, 128);
+  EXPECT_EQ(r.value.man, 0xC00000);
+}
+
+TEST(Decompose, ExtractNegativeIsTwosComplement) {
+  const ExtractResult r = extract(fp32_bits(-1.0f), kFp32);
+  EXPECT_EQ(r.value.exp, 127);
+  EXPECT_EQ(r.value.man, -0x800000);
+}
+
+TEST(Decompose, ExtractSubnormalKeepsScale) {
+  const float sub = std::bit_cast<float>(std::uint32_t{0x00000007});
+  const ExtractResult r = extract(fp32_bits(sub), kFp32);
+  EXPECT_EQ(r.cls, FpClass::kSubnormal);
+  EXPECT_EQ(r.value.exp, 1);
+  EXPECT_EQ(r.value.man, 7);
+  // Invariant: value == man * 2^(exp - bias - man_bits).
+  EXPECT_EQ(std::ldexp(static_cast<double>(r.value.man),
+                       r.value.exp - 127 - 23),
+            static_cast<double>(sub));
+}
+
+TEST(Decompose, ExtractAssembleRoundTripFp32) {
+  util::Rng rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    const auto bits = static_cast<std::uint32_t>(rng.next_u64());
+    const FpClass c = classify(bits, kFp32);
+    if (c == FpClass::kInf || c == FpClass::kNaN) continue;
+    const ExtractResult r = extract(bits, kFp32);
+    const AssembleResult a = assemble(r.value.exp, r.value.man, kFp32);
+    // -0 extracts to (0,0) which assembles to +0; all else is exact.
+    if (bits == 0x80000000u) {
+      EXPECT_EQ(a.bits, 0u);
+    } else {
+      EXPECT_EQ(a.bits, bits);
+    }
+  }
+}
+
+TEST(Decompose, ExtractAssembleRoundTripEveryFormat) {
+  util::Rng rng(4);
+  for (const FloatFormat* fmt : {&kFp16, &kBf16, &kFp64}) {
+    const std::uint64_t mask = fmt->total_bits == 64
+                                   ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << fmt->total_bits) - 1;
+    for (int i = 0; i < 50000; ++i) {
+      const std::uint64_t bits = rng.next_u64() & mask;
+      const FpClass c = classify(bits, *fmt);
+      if (c == FpClass::kInf || c == FpClass::kNaN) continue;
+      const ExtractResult r = extract(bits, *fmt);
+      const AssembleResult a = assemble(r.value.exp, r.value.man, *fmt);
+      if (bits == fmt->sign_mask()) {
+        EXPECT_EQ(a.bits, 0u);
+      } else {
+        EXPECT_EQ(a.bits, bits) << fmt->name;
+      }
+    }
+  }
+}
+
+TEST(Decompose, AssembleDenormalizedState) {
+  // Paper Fig 4 step (4)-(6): register holds 0b10.0 x 2^1 (man = 1 << 24,
+  // exp biased 128) which must renormalize to 4.0.
+  const AssembleResult a = assemble(128, std::int64_t{1} << 24, kFp32);
+  EXPECT_EQ(fp32_value(static_cast<std::uint32_t>(a.bits)), 4.0f);
+}
+
+TEST(Decompose, AssembleLeftShiftForSmallMantissa) {
+  // Cancellation leaves a tiny mantissa: 3 at exp 130 -> 3 * 2^(130-127-23).
+  const AssembleResult a = assemble(130, 3, kFp32);
+  const double expected = std::ldexp(3.0, 130 - 127 - 23);
+  EXPECT_EQ(static_cast<double>(fp32_value(static_cast<std::uint32_t>(a.bits))),
+            expected);
+}
+
+TEST(Decompose, AssembleOverflowGoesToInf) {
+  const AssembleResult a = assemble(254, std::int64_t{1} << 30, kFp32);
+  EXPECT_TRUE(a.overflowed);
+  EXPECT_TRUE(std::isinf(fp32_value(static_cast<std::uint32_t>(a.bits))));
+  const AssembleResult n = assemble(254, -(std::int64_t{1} << 30), kFp32);
+  EXPECT_TRUE(std::isinf(fp32_value(static_cast<std::uint32_t>(n.bits))));
+  EXPECT_LT(fp32_value(static_cast<std::uint32_t>(n.bits)), 0.0f);
+}
+
+TEST(Decompose, AssembleSubnormalAndUnderflow) {
+  // exp 1, tiny mantissa -> subnormal output, exact.
+  const AssembleResult a = assemble(1, 5, kFp32);
+  EXPECT_EQ(decode(a.bits, kFp32), std::ldexp(5.0, 1 - 127 - 23));
+  // Negative subnormal.
+  const AssembleResult b = assemble(1, -5, kFp32);
+  EXPECT_EQ(decode(b.bits, kFp32), -std::ldexp(5.0, 1 - 127 - 23));
+}
+
+TEST(Decompose, AssembleRoundingModes) {
+  // Guard bits: value 1.5 + 2^-24 at guard=2: man = (0xC00000 << 2) | 1.
+  const std::int64_t man = (std::int64_t{0xC00000} << 2) | 1;
+  const auto rtz = assemble(127, man, kFp32, 2, Rounding::kTowardZero);
+  const auto rne = assemble(127, man, kFp32, 2, Rounding::kNearestEven);
+  const auto rtp = assemble(127, man, kFp32, 2, Rounding::kTowardPosInf);
+  const auto rtn = assemble(127, man, kFp32, 2, Rounding::kTowardNegInf);
+  EXPECT_EQ(fp32_value(static_cast<std::uint32_t>(rtz.bits)), 1.5f);
+  EXPECT_EQ(fp32_value(static_cast<std::uint32_t>(rne.bits)), 1.5f);
+  EXPECT_EQ(fp32_value(static_cast<std::uint32_t>(rtn.bits)), 1.5f);
+  EXPECT_GT(fp32_value(static_cast<std::uint32_t>(rtp.bits)), 1.5f);
+
+  // Negative value: toward-negative-infinity increases magnitude.
+  const auto nrtn = assemble(127, -man, kFp32, 2, Rounding::kTowardNegInf);
+  EXPECT_LT(fp32_value(static_cast<std::uint32_t>(nrtn.bits)), -1.5f);
+  const auto nrtp = assemble(127, -man, kFp32, 2, Rounding::kTowardPosInf);
+  EXPECT_EQ(fp32_value(static_cast<std::uint32_t>(nrtp.bits)), -1.5f);
+}
+
+TEST(Decompose, AssembleTieToEven) {
+  // Exactly representable + exactly half a ulp in the guard bits.
+  const std::int64_t even = (std::int64_t{0x800000} << 1) | 1;  // guard=1 tie
+  const auto r = assemble(127, even, kFp32, 1, Rounding::kNearestEven);
+  EXPECT_EQ(fp32_value(static_cast<std::uint32_t>(r.bits)), 1.0f);  // to even
+
+  const std::int64_t odd = (std::int64_t{0x800001} << 1) | 1;
+  const auto r2 = assemble(127, odd, kFp32, 1, Rounding::kNearestEven);
+  // 1.0000001..5 ulp rounds up to even significand 0x800002.
+  EXPECT_EQ(r2.bits & 0x7FFFFFu, 0x000002u);
+}
+
+}  // namespace
+}  // namespace fpisa::core

@@ -1,0 +1,188 @@
+// Exhaustive and wide property sweeps over the core representation.
+// FP16's 65536 bit patterns allow truly exhaustive checks of the
+// extract/assemble boundary, single-value accumulation, and comparison.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accumulator.h"
+#include "core/compare.h"
+#include "core/decompose.h"
+#include "core/packed.h"
+#include "util/rng.h"
+
+namespace fpisa::core {
+namespace {
+
+bool is_special(std::uint64_t bits, const FloatFormat& fmt) {
+  const FpClass c = classify(bits, fmt);
+  return c == FpClass::kInf || c == FpClass::kNaN;
+}
+
+TEST(ExhaustiveFp16, DecodeEncodeRoundTripsEveryPattern) {
+  for (std::uint32_t b = 0; b < 0x10000; ++b) {
+    if (classify(b, kFp16) == FpClass::kNaN) continue;
+    const double v = decode(b, kFp16);
+    EXPECT_EQ(encode(v, kFp16), b) << b;
+  }
+}
+
+TEST(ExhaustiveFp16, ExtractAssembleRoundTripsEveryPattern) {
+  for (std::uint32_t b = 0; b < 0x10000; ++b) {
+    if (is_special(b, kFp16)) continue;
+    const ExtractResult r = extract(b, kFp16);
+    const AssembleResult a = assemble(r.value.exp, r.value.man, kFp16);
+    if (b == kFp16.sign_mask()) {
+      EXPECT_EQ(a.bits, 0u);  // -0 canonicalizes to +0
+    } else {
+      EXPECT_EQ(a.bits, b) << b;
+    }
+  }
+}
+
+TEST(ExhaustiveFp16, SingleAddIsIdentityEveryPattern) {
+  for (const auto variant : {Variant::kFull, Variant::kApproximate}) {
+    AccumulatorConfig cfg;
+    cfg.format = kFp16;
+    cfg.variant = variant;
+    for (std::uint32_t b = 0; b < 0x10000; ++b) {
+      if (is_special(b, kFp16)) continue;
+      FpisaAccumulator acc(cfg);
+      acc.add_bits(b);
+      if (classify(b, kFp16) == FpClass::kZero) {
+        EXPECT_EQ(acc.read_bits(), 0u);
+      } else {
+        EXPECT_EQ(acc.read_bits(), b) << b;
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveFp16, ExtractValueInvariantEveryPattern) {
+  // The core invariant: value == man * 2^(exp - bias - man_bits), exactly.
+  for (std::uint32_t b = 0; b < 0x10000; ++b) {
+    if (is_special(b, kFp16)) continue;
+    const ExtractResult r = extract(b, kFp16);
+    const double reconstructed = std::ldexp(
+        static_cast<double>(r.value.man), r.value.exp - kFp16.bias() - 10);
+    EXPECT_EQ(reconstructed, decode(b, kFp16)) << b;
+  }
+}
+
+TEST(ExhaustiveFp16, CompareAgainstDecodeOnStratifiedPairs) {
+  // All 2^32 pairs is too many; sweep every pattern against a stratified
+  // set of opponents (zeros, subnormals, min/max normals, random).
+  util::Rng rng(80);
+  std::vector<std::uint32_t> opponents{
+      0x0000, 0x8000, 0x0001, 0x8001, 0x0400, 0x8400, 0x7BFF, 0xFBFF,
+      0x3C00, 0xBC00};
+  for (int i = 0; i < 22; ++i) {
+    opponents.push_back(static_cast<std::uint32_t>(rng.next_u64() & 0xFFFF));
+  }
+  for (std::uint32_t a = 0; a < 0x10000; ++a) {
+    if (is_special(a, kFp16)) continue;
+    const double av = decode(a, kFp16);
+    for (const std::uint32_t b : opponents) {
+      if (is_special(b, kFp16)) continue;
+      const double bv = decode(b, kFp16);
+      const int want = av < bv ? -1 : (av > bv ? 1 : 0);
+      ASSERT_EQ(fpisa_compare(a, b, kFp16), want) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(ExhaustiveFp16, PairwiseAddMatchesReferenceSemantics) {
+  // a (+) b through the accumulator vs the defined FPISA semantics
+  // computed independently with double arithmetic + explicit flooring.
+  util::Rng rng(81);
+  AccumulatorConfig cfg;  // full variant
+  int checked = 0;
+  while (checked < 150000) {
+    const auto a = static_cast<std::uint32_t>(rng.next_u64() & 0xFFFF);
+    const auto b = static_cast<std::uint32_t>(rng.next_u64() & 0xFFFF);
+    if (is_special(a, kFp16) || is_special(b, kFp16)) continue;
+    ++checked;
+    cfg.format = kFp16;
+    FpisaAccumulator acc(cfg);
+    acc.add_bits(a);
+    acc.add_bits(b);
+
+    // Independent reference: align at the larger stored exponent with
+    // floor (round-to-negative-infinity) semantics, then read truncates
+    // the magnitude.
+    const Decomposed da = extract(a, kFp16).value;
+    const Decomposed db = extract(b, kFp16).value;
+    std::int64_t man;
+    std::int32_t exp;
+    if (da.man == 0 && db.man == 0) {
+      man = 0;
+      exp = std::max(da.exp, db.exp);
+    } else if (da.man == 0) {
+      man = db.man;  // zero inputs are no-ops: b lands in a fresh register
+      exp = db.exp;
+    } else {
+      exp = std::max(da.exp, db.exp);
+      auto floor_shift = [](std::int64_t m, int d) {
+        if (d <= 0) return m;
+        if (d >= 63) return m < 0 ? std::int64_t{-1} : std::int64_t{0};
+        return m >> d;
+      };
+      man = floor_shift(da.man, exp - da.exp) + floor_shift(db.man, exp - db.exp);
+    }
+    const AssembleResult want = assemble(exp, man, kFp16);
+    ASSERT_EQ(acc.read_bits(), want.bits) << a << " + " << b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §3.3 overflow claim, parameterized by worker count: "the number of
+// operations per register is equivalent to the number of nodes in the
+// distributed system" — as long as workers <= 2^headroom, no overflow.
+// ---------------------------------------------------------------------------
+
+class WorkerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkerSweep, NoOverflowWhileWorkersWithinHeadroom) {
+  const int workers = GetParam();
+  util::Rng rng(82);
+  for (int trial = 0; trial < 200; ++trial) {
+    FpisaAccumulator acc;  // FP32: headroom 128 adds
+    const int e = static_cast<int>(rng.uniform_int(-20, 20));
+    for (int w = 0; w < workers; ++w) {
+      // Worst case: maximum mantissa at a shared exponent.
+      acc.add(std::nextafterf(2.0f, 0.0f) * std::ldexp(1.0f, e));
+    }
+    EXPECT_EQ(acc.counters().saturations, 0u) << workers;
+    EXPECT_TRUE(std::isfinite(acc.read()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UpTo128, WorkerSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+class GuardSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GuardSweep, AccumulationStaysWithinBoundsAcrossGuardBits) {
+  const int guard = GetParam();
+  AccumulatorConfig cfg;
+  cfg.guard_bits = guard;
+  cfg.read_rounding = guard ? Rounding::kNearestEven : Rounding::kTowardZero;
+  util::Rng rng(83);
+  for (int trial = 0; trial < 500; ++trial) {
+    FpisaAccumulator acc(cfg);
+    double ref = 0;
+    const int n = 1 << (cfg.headroom() - 1);  // stay inside headroom
+    for (int i = 0; i < std::min(n, 32); ++i) {
+      const float v = static_cast<float>(rng.uniform(0.5, 1.0));
+      acc.add(v);
+      ref += static_cast<double>(v);
+    }
+    EXPECT_EQ(acc.counters().saturations, 0u);
+    EXPECT_NEAR(static_cast<double>(acc.read()), ref, ref * 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GuardBits, GuardSweep, ::testing::Values(0, 1, 2, 4));
+
+}  // namespace
+}  // namespace fpisa::core

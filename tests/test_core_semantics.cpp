@@ -1,0 +1,149 @@
+// Semantics documented in Appendix A.1, pinned down as tests:
+// reproducibility (same order => same bits), order-dependence (different
+// order MAY give different bits — with a concrete witness), divergence
+// from IEEE 754, and FP64 accumulation against an exact __int128 reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accumulator.h"
+#include "core/packed.h"
+#include "util/rng.h"
+
+namespace fpisa::core {
+namespace {
+
+TEST(Semantics, OrderDependenceWitness) {
+  // FPISA-A is order-dependent: the first value pins the exponent
+  // register. Witness: {tiny, big} vs {big, tiny} with ratio > 2^7.
+  AccumulatorConfig cfg;
+  cfg.variant = Variant::kApproximate;
+  const float tiny = 1.0f;
+  const float big = 512.0f;  // ratio 2^9 > headroom 2^7
+
+  FpisaAccumulator ab(cfg);
+  ab.add(tiny);
+  ab.add(big);  // overwrites: tiny is lost
+  FpisaAccumulator ba(cfg);
+  ba.add(big);
+  ba.add(tiny);  // aligns tiny under big: kept (within 23 mantissa bits)
+  EXPECT_NE(ab.read_bits(), ba.read_bits());
+  EXPECT_EQ(ab.read(), 512.0f);
+  EXPECT_EQ(ba.read(), 513.0f);
+}
+
+TEST(Semantics, SameOrderIsAlwaysBitReproducible) {
+  // "the same sequence of operations and values will always produce the
+  // same result" — across fresh accumulators and across variants.
+  util::Rng rng(90);
+  for (const auto variant : {Variant::kFull, Variant::kApproximate}) {
+    AccumulatorConfig cfg;
+    cfg.variant = variant;
+    std::vector<float> stream(500);
+    for (auto& v : stream) {
+      v = static_cast<float>(rng.normal(0, 1) * std::exp2(rng.uniform_int(-30, 30)));
+    }
+    std::uint64_t first = 0;
+    for (int run = 0; run < 3; ++run) {
+      FpisaAccumulator acc(cfg);
+      for (const float v : stream) acc.add(v);
+      if (run == 0) {
+        first = acc.read_bits();
+      } else {
+        ASSERT_EQ(acc.read_bits(), first);
+      }
+    }
+  }
+}
+
+TEST(Semantics, DivergesFromIeeeBySpecifiedRounding) {
+  // FPISA rounds toward negative infinity at alignment; IEEE 754 rounds to
+  // nearest even. A concrete case where they must differ:
+  // 1.0 + (epsilon slightly above half an ulp) in IEEE rounds up;
+  // FPISA floors the shifted addend.
+  const float big = 1.0f;
+  const float eps = std::exp2(-24.0f) * 1.5f;  // 1.5 half-ulps
+  FpisaAccumulator acc;
+  acc.add(big);
+  acc.add(eps);
+  const float ieee = big + eps;  // rounds to 1.0 + 2^-23
+  EXPECT_GT(ieee, 1.0f);
+  EXPECT_EQ(acc.read(), 1.0f);  // floor semantics keep 1.0
+  // And symmetric for a negative addend: floor makes the result smaller.
+  FpisaAccumulator neg;
+  neg.add(big);
+  neg.add(-eps);
+  EXPECT_LT(neg.read(), 1.0f);
+}
+
+TEST(Semantics, Fp64AgainstExactInt128Reference) {
+  // For FP64 (64-bit register), validate the full variant against an
+  // exact fixed-point reference built with __int128: all inputs share a
+  // scale window so the exact sum is representable.
+  util::Rng rng(91);
+  AccumulatorConfig cfg;
+  cfg.format = kFp64;
+  for (int trial = 0; trial < 300; ++trial) {
+    FpisaAccumulator acc(cfg);
+    __int128 exact = 0;
+    std::int32_t ref_exp = 0;
+    bool first = true;
+    const int base = static_cast<int>(rng.uniform_int(-100, 100));
+    for (int i = 0; i < 64; ++i) {
+      // Same-exponent inputs: FPISA adds exactly; so must the reference.
+      const double v = (rng.next_u64() & 1 ? 1.0 : -1.0) *
+                       rng.uniform(1.0, 2.0) * std::exp2(base);
+      const std::uint64_t bits = encode(v, kFp64);
+      acc.add_bits(bits);
+      const ExtractResult ex = extract(bits, kFp64);
+      if (first) {
+        ref_exp = ex.value.exp;
+        first = false;
+      }
+      ASSERT_EQ(ex.value.exp, ref_exp);  // construction guarantees this
+      exact += ex.value.man;
+    }
+    // The accumulator's raw register must equal the exact sum.
+    ASSERT_EQ(static_cast<__int128>(acc.state().man), exact);
+    ASSERT_EQ(acc.state().exp, ref_exp);
+    ASSERT_EQ(acc.counters().saturations, 0u);
+  }
+}
+
+TEST(Semantics, ReadNeverChangesSubsequentResults) {
+  // Interleaving reads anywhere in an add stream must not perturb it.
+  util::Rng rng(92);
+  std::vector<float> stream(200);
+  for (auto& v : stream) v = static_cast<float>(rng.normal(0, 1));
+
+  FpisaAccumulator plain;
+  for (const float v : stream) plain.add(v);
+
+  FpisaAccumulator observed;
+  for (const float v : stream) {
+    (void)observed.read_bits();
+    observed.add(v);
+    (void)observed.read();
+  }
+  EXPECT_EQ(observed.read_bits(), plain.read_bits());
+}
+
+TEST(Semantics, CancellationPinsExponentRegister) {
+  // After full cancellation the exponent register retains the old scale
+  // (hardware truth): later tiny adds are aligned against it and floored.
+  FpisaAccumulator acc;
+  acc.add(std::ldexp(1.0f, 20));
+  acc.add(-std::ldexp(1.0f, 20));
+  EXPECT_EQ(acc.read(), 0.0f);
+  EXPECT_EQ(acc.state().exp, 127 + 20);  // scale survives cancellation
+  acc.add(std::ldexp(1.0f, -10));        // 2^30 below the register scale
+  // Within the 31 magnitude bits of the register (shift 30 of the 24-bit
+  // significand leaves nothing): floored away entirely.
+  EXPECT_EQ(acc.read(), 0.0f);
+  // A value near the register scale is kept exactly.
+  acc.add(std::ldexp(1.0f, 19));
+  EXPECT_EQ(acc.read(), std::ldexp(1.0f, 19));
+}
+
+}  // namespace
+}  // namespace fpisa::core

@@ -1,0 +1,92 @@
+// Structural hardware cost model (Table 1 substitution). The assertions
+// check the *ratios* the paper's argument depends on, not absolute values.
+#include <gtest/gtest.h>
+
+#include "hw/cell_library.h"
+#include "hw/units.h"
+
+namespace fpisa::hw {
+namespace {
+
+TEST(CellLibrary, BagAccumulates) {
+  CellBag b;
+  b.add(Cell::kNand2, 10);
+  b.add(Cell::kNand2, 5);
+  b.add(Cell::kDff, 2);
+  EXPECT_EQ(b.cell_count(), 17);
+  EXPECT_DOUBLE_EQ(b.area_um2(),
+                   15 * cell(Cell::kNand2).area_um2 + 2 * cell(Cell::kDff).area_um2);
+  CellBag c;
+  c.add(b, 2);
+  EXPECT_EQ(c.cell_count(), 34);
+}
+
+TEST(CellLibrary, ChainDelayIsSeries) {
+  const double d = chain_delay_ps({Cell::kNand2, Cell::kNand2});
+  EXPECT_DOUBLE_EQ(d, 2 * cell(Cell::kNand2).delay_ps);
+}
+
+TEST(Components, ScaleWithWidth) {
+  EXPECT_GT(adder(64).area_um2(), adder(32).area_um2());
+  EXPECT_GT(barrel_shifter(64).area_um2(), barrel_shifter(32).area_um2());
+  EXPECT_GT(multiplier(24).area_um2(), adder(24).area_um2());
+}
+
+TEST(Table1, FpisaAluOverheadIsSmall) {
+  const UnitCost alu = default_alu_cost();
+  const UnitCost fp = fpisa_alu_cost();
+  // Paper: +22.4% area, +13.0% power, delay nearly unchanged.
+  EXPECT_GT(fp.area_um2 / alu.area_um2, 1.05);
+  EXPECT_LT(fp.area_um2 / alu.area_um2, 1.40);
+  EXPECT_GT(fp.dynamic_uw / alu.dynamic_uw, 1.05);
+  EXPECT_LT(fp.dynamic_uw / alu.dynamic_uw, 1.40);
+  EXPECT_LT(fp.min_delay_ps / alu.min_delay_ps, 1.05);
+}
+
+TEST(Table1, RsawOverheadVsRaw) {
+  const UnitCost raw = raw_unit_cost();
+  const UnitCost rsaw = rsaw_unit_cost();
+  // Paper: +35% area, +13.6% power, +13.5% delay, still < 1 ns.
+  EXPECT_GT(rsaw.area_um2 / raw.area_um2, 1.10);
+  EXPECT_LT(rsaw.area_um2 / raw.area_um2, 1.50);
+  EXPECT_GT(rsaw.min_delay_ps, raw.min_delay_ps);
+  EXPECT_LT(rsaw.min_delay_ps / raw.min_delay_ps, 1.30);
+  EXPECT_LT(rsaw.min_delay_ps, 1000.0) << "must close timing at 1 GHz";
+}
+
+TEST(Table1, HardFpuIsAtLeastFiveTimesTheAlu) {
+  const UnitCost alu = default_alu_cost();
+  const UnitCost fpu = alu_with_fpu_cost();
+  // The paper's core argument: dedicated FP hardware costs > 5x in both
+  // area and power — paid even when idle (leakage).
+  EXPECT_GE(fpu.area_um2 / alu.area_um2, 5.0);
+  EXPECT_GE(fpu.dynamic_uw / alu.dynamic_uw, 5.0);
+  EXPECT_GE(fpu.leakage_uw / alu.leakage_uw, 5.0);
+}
+
+TEST(Table1, EveryUnitMeetsOneGigahertz) {
+  for (const UnitCost& u : table1_units()) {
+    EXPECT_LT(u.min_delay_ps, 1000.0) << u.name;
+    EXPECT_GT(u.area_um2, 0.0) << u.name;
+    EXPECT_GT(u.cells, 0) << u.name;
+  }
+}
+
+TEST(Table1, MultiplierIsAdderPlusBooleanClass) {
+  // Appendix A: the integer multiplier's overhead is "approximately the
+  // same as an adder and a boolean module" — i.e. ALU-class, not FPU-class.
+  const UnitCost mul = int_multiplier_cost();
+  const UnitCost alu = default_alu_cost();
+  const UnitCost fpu = alu_with_fpu_cost();
+  EXPECT_LT(mul.area_um2, fpu.area_um2 / 2.0);
+  EXPECT_LT(mul.area_um2, alu.area_um2 * 3.0);
+}
+
+TEST(Table1, RenderIncludesPaperBaseline) {
+  const std::string s = render_table1();
+  EXPECT_NE(s.find("FPISA RSAW"), std::string::npos);
+  EXPECT_NE(s.find("3837.7"), std::string::npos);  // paper column present
+}
+
+}  // namespace
+}  // namespace fpisa::hw

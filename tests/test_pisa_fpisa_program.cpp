@@ -1,0 +1,332 @@
+// The FPISA switch program (Fig 2) run on the PISA simulator, validated
+// bit-exactly against the core software reference, plus the Table 3
+// resource analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accumulator.h"
+#include "core/packed.h"
+#include "pisa/fpisa_program.h"
+#include "pisa/resources.h"
+#include "util/rng.h"
+
+namespace fpisa::pisa {
+namespace {
+
+SwitchConfig baseline_tofino() { return {}; }
+
+SwitchConfig extended_switch() {
+  SwitchConfig c;
+  c.ext.two_operand_shift = true;
+  c.ext.rsaw = true;
+  c.ext.parser_endianness = true;
+  return c;
+}
+
+core::AccumulatorConfig core_cfg(core::Variant v) {
+  core::AccumulatorConfig c;
+  c.variant = v;
+  c.overflow = core::OverflowPolicy::kWrap;  // hardware semantics
+  return c;
+}
+
+TEST(FpisaSwitch, PaperRunningExample) {
+  // Fig 4: 3.0 + 1.0 through the actual pipeline; result must be 4.0 and
+  // the registers must hold the denormalized intermediate.
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  FpisaSwitch sw(baseline_tofino(), opts);
+
+  const std::uint32_t three[] = {core::fp32_bits(3.0f)};
+  const std::uint32_t one[] = {core::fp32_bits(1.0f)};
+  sw.add(0, 0, three);
+  const FpisaResult r = sw.add(0, 1, one);
+
+  EXPECT_EQ(sw.sim().reg(0).read(0), 128u);                // exponent of 2^1
+  EXPECT_EQ(sw.sim().reg(1).read(0), std::uint64_t{1} << 24);  // 0b10.0...
+  EXPECT_EQ(core::fp32_value(r.values[0]), 4.0f);
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_EQ(r.bitmap, 0b11u);
+}
+
+TEST(FpisaSwitch, ReadAndReset) {
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  FpisaSwitch sw(baseline_tofino(), opts);
+  const std::uint32_t v[] = {core::fp32_bits(2.5f)};
+  sw.add(7, 0, v);
+  sw.add(7, 1, v);
+
+  EXPECT_EQ(core::fp32_value(sw.read(7).values[0]), 5.0f);
+  EXPECT_EQ(core::fp32_value(sw.read(7).values[0]), 5.0f);  // non-destructive
+  EXPECT_EQ(core::fp32_value(sw.read_and_reset(7).values[0]), 5.0f);
+  EXPECT_EQ(core::fp32_value(sw.read(7).values[0]), 0.0f);  // cleared
+}
+
+TEST(FpisaSwitch, SlotsAreIndependent) {
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  FpisaSwitch sw(baseline_tofino(), opts);
+  const std::uint32_t a[] = {core::fp32_bits(1.0f)};
+  const std::uint32_t b[] = {core::fp32_bits(10.0f)};
+  sw.add(3, 0, a);
+  sw.add(9, 0, b);
+  EXPECT_EQ(core::fp32_value(sw.read(3).values[0]), 1.0f);
+  EXPECT_EQ(core::fp32_value(sw.read(9).values[0]), 10.0f);
+}
+
+TEST(FpisaSwitch, MultiLanePacketsAggregateIndependently) {
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  opts.lanes = 4;
+  FpisaSwitch sw(baseline_tofino(), opts);
+  const std::uint32_t v1[] = {core::fp32_bits(1.0f), core::fp32_bits(2.0f),
+                              core::fp32_bits(-3.0f), core::fp32_bits(0.5f)};
+  const std::uint32_t v2[] = {core::fp32_bits(4.0f), core::fp32_bits(-1.0f),
+                              core::fp32_bits(1.0f), core::fp32_bits(0.25f)};
+  sw.add(0, 0, v1);
+  const FpisaResult r = sw.add(0, 1, v2);
+  EXPECT_EQ(core::fp32_value(r.values[0]), 5.0f);
+  EXPECT_EQ(core::fp32_value(r.values[1]), 1.0f);
+  EXPECT_EQ(core::fp32_value(r.values[2]), -2.0f);
+  EXPECT_EQ(core::fp32_value(r.values[3]), 0.75f);
+}
+
+// ---------------------------------------------------------------------------
+// The central fidelity property: the switch program and the software
+// reference are bit-identical, state and output, over random streams.
+// ---------------------------------------------------------------------------
+
+struct VariantCase {
+  core::Variant variant;
+  bool extended;
+};
+
+class SwitchEquivalence : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(SwitchEquivalence, BitExactAgainstCoreReference) {
+  const auto [variant, extended] = GetParam();
+  FpisaProgramOptions opts;
+  opts.variant = variant;
+  FpisaSwitch sw(extended ? extended_switch() : baseline_tofino(), opts);
+  core::FpisaAccumulator ref(core_cfg(variant));
+  core::OpCounters dummy;
+
+  util::Rng rng(77);
+  for (int i = 0; i < 4000; ++i) {
+    // Exponents within [-60, 60]: results stay normal (no FTZ divergence).
+    const float v = static_cast<float>(
+        (rng.next_u64() & 1 ? 1.0 : -1.0) * rng.uniform(0.5, 1.0) *
+        std::exp2(rng.uniform_int(-60, 60)));
+    const std::uint32_t bits[] = {core::fp32_bits(v)};
+    // Clear the dedup bitmap so a 4000-add stream is not mistaken for
+    // retransmissions (register 2 = shared bitmap for a 1-lane program).
+    sw.sim().reg(2).write(0, 0);
+    const FpisaResult out = sw.add(0, static_cast<std::uint8_t>(i % 32), bits);
+    ref.add(v);
+
+    // Register state must match exactly.
+    ASSERT_EQ(static_cast<std::int32_t>(sw.sim().reg(0).read(0)),
+              ref.state().exp)
+        << "add #" << i << " v=" << v;
+    ASSERT_EQ(sw.sim().reg(1).read_signed(0), ref.state().man)
+        << "add #" << i << " v=" << v;
+
+    // The piggybacked readout equals the reference's renormalized read.
+    const std::uint64_t want = ref.read_bits();
+    ASSERT_EQ(out.values[0], static_cast<std::uint32_t>(want))
+        << "add #" << i << " v=" << v;
+  }
+  (void)dummy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, SwitchEquivalence,
+    ::testing::Values(VariantCase{core::Variant::kApproximate, false},
+                      VariantCase{core::Variant::kApproximate, true},
+                      VariantCase{core::Variant::kFull, true}),
+    [](const auto& info) {
+      return std::string(info.param.variant == core::Variant::kFull
+                             ? "full"
+                             : "approx") +
+             (info.param.extended ? "_ext" : "_baseline");
+    });
+
+TEST(FpisaSwitch, MultiLaneBitExactAgainstCoreReferences) {
+  // 8 parallel FPISA modules (the extension's multi-instance deployment):
+  // every lane must bit-match its own core accumulator across a random
+  // stream, for both variants.
+  for (const auto variant :
+       {core::Variant::kApproximate, core::Variant::kFull}) {
+    FpisaProgramOptions opts;
+    opts.variant = variant;
+    opts.lanes = 8;
+    FpisaSwitch sw(extended_switch(), opts);
+    std::vector<core::FpisaAccumulator> refs(8,
+                                             core::FpisaAccumulator(core_cfg(variant)));
+    util::Rng rng(99);
+    for (int i = 0; i < 300; ++i) {
+      sw.sim().reg(16).write(0, 0);  // clear dedup bitmap (reg 2*lanes)
+      std::vector<std::uint32_t> vals(8);
+      for (std::size_t l = 0; l < 8; ++l) {
+        const float v = static_cast<float>(
+            rng.normal(0, 1) * std::exp2(rng.uniform_int(-40, 40)));
+        vals[l] = core::fp32_bits(v);
+        refs[l].add(v);
+      }
+      const FpisaResult out = sw.add(0, static_cast<std::uint8_t>(i % 32), vals);
+      for (std::size_t l = 0; l < 8; ++l) {
+        ASSERT_EQ(out.values[l],
+                  static_cast<std::uint32_t>(refs[l].read_bits()))
+            << "lane " << l << " add " << i;
+        ASSERT_EQ(sw.sim().reg(static_cast<int>(2 * l + 1)).read_signed(0),
+                  refs[l].state().man)
+            << "lane " << l;
+      }
+    }
+  }
+}
+
+TEST(FpisaSwitch, RetransmittedAddsAreDeduplicated) {
+  // SwitchML-style loss recovery: a worker that re-sends its packet must
+  // not be double-counted. The bitmap stage detects the duplicate and the
+  // exponent/mantissa/counter updates are suppressed; the current
+  // aggregate is still returned (so the retransmitted packet gets its ack).
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  FpisaSwitch sw(baseline_tofino(), opts);
+  const std::uint32_t v[] = {core::fp32_bits(1.5f)};
+  sw.add(0, 0, v);
+  const FpisaResult dup = sw.add(0, 0, v);  // retransmission
+  EXPECT_EQ(core::fp32_value(dup.values[0]), 1.5f);  // not 3.0
+  EXPECT_EQ(dup.count, 1u);
+  EXPECT_EQ(dup.bitmap, 0b1u);
+  const FpisaResult fresh = sw.add(0, 1, v);
+  EXPECT_EQ(core::fp32_value(fresh.values[0]), 3.0f);
+  EXPECT_EQ(fresh.count, 2u);
+  EXPECT_EQ(fresh.bitmap, 0b11u);
+}
+
+TEST(FpisaSwitch, OverflowClampsToInfinity) {
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  FpisaSwitch sw(baseline_tofino(), opts);
+  const std::uint32_t huge[] = {core::fp32_bits(3e38f)};
+  sw.add(0, 0, huge);
+  const FpisaResult r = sw.add(0, 1, huge);
+  EXPECT_TRUE(std::isinf(core::fp32_value(r.values[0])));
+  EXPECT_GT(core::fp32_value(r.values[0]), 0.0f);
+}
+
+TEST(FpisaSwitch, SubnormalResultFlushesToZero) {
+  // The egress range gateway flushes would-be-subnormal outputs (documented
+  // divergence from the software reference, which emits true subnormals).
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  FpisaSwitch sw(baseline_tofino(), opts);
+  const float tiny = std::ldexp(1.0f, -120);
+  const std::uint32_t a[] = {core::fp32_bits(tiny)};
+  const std::uint32_t b[] = {core::fp32_bits(-tiny * 0.999f)};
+  sw.add(0, 0, a);
+  const FpisaResult r = sw.add(0, 1, b);
+  // True result ~ 2^-130: subnormal -> FTZ on the switch.
+  EXPECT_EQ(core::fp32_value(r.values[0]), 0.0f);
+}
+
+TEST(FpisaSwitch, NativeEndianPayloadNeedsParserExtension) {
+  // Hosts that skip htonl() produce garbage on a baseline switch but work
+  // with the @convert_endianness parser extension (§4.1/§4.2).
+  const float x = 1.5f;
+  const float y = 0.25f;
+
+  {  // Extension enabled: correct aggregation of little-endian payloads.
+    FpisaProgramOptions opts;
+    opts.variant = core::Variant::kApproximate;
+    opts.convert_endianness = true;
+    FpisaSwitch sw(extended_switch(), opts);
+    const std::uint32_t xv[] = {core::fp32_bits(x)};
+    const std::uint32_t yv[] = {core::fp32_bits(y)};
+    sw.add(0, 0, xv);
+    const FpisaResult r = sw.add(0, 1, yv);
+    EXPECT_EQ(core::fp32_value(r.values[0]), 1.75f);
+  }
+  {  // Baseline switch fed little-endian bytes: wrong answer.
+    FpisaProgramOptions opts;
+    opts.variant = core::Variant::kApproximate;
+    FpisaSwitch sw(baseline_tofino(), opts);
+    Packet p1 = make_fpisa_packet(FpisaOp::kAdd, 0, 0,
+                                  std::vector<std::uint32_t>{core::fp32_bits(x)},
+                                  /*little_endian_payload=*/true);
+    sw.sim().process(p1);
+    Packet p2 = make_fpisa_packet(FpisaOp::kAdd, 0, 1,
+                                  std::vector<std::uint32_t>{core::fp32_bits(y)},
+                                  /*little_endian_payload=*/true);
+    sw.sim().process(p2);
+    const FpisaResult r = parse_fpisa_result(p2, 1, true);
+    EXPECT_NE(core::fp32_value(r.values[0]), 1.75f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: resource utilization and the one-instance-per-pipeline result.
+// ---------------------------------------------------------------------------
+
+TEST(FpisaResources, Table3Shape) {
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  const SwitchConfig cfg = baseline_tofino();
+  const auto descs = fpisa_resource_descriptors(cfg, opts);
+  const ResourceReport report = analyze(descs, cfg);
+
+  EXPECT_EQ(report.stages_used, 9);  // "Nine pipeline stages (out of 12)"
+  EXPECT_EQ(report.total_stages, 12);
+
+  const ResourceRow* vliw = report.find("VLIW instruction slots");
+  ASSERT_NE(vliw, nullptr);
+  // Paper: 96.88% max in a MAU (31 of 32 slots), ~19% total.
+  EXPECT_NEAR(vliw->max_stage_pct(), 0.9688, 0.001);
+  EXPECT_GT(vliw->total_pct(), 0.15);
+  EXPECT_LT(vliw->total_pct(), 0.30);
+
+  const ResourceRow* salu = report.find("Stateful ALU");
+  ASSERT_NE(salu, nullptr);
+  // Paper: 8.33% total (4 of 48), 50% max in a MAU (2 of 4).
+  EXPECT_NEAR(salu->total_pct(), 4.0 / 48.0, 1e-9);
+  EXPECT_NEAR(salu->max_stage_pct(), 0.5, 1e-9);
+
+  const ResourceRow* tcam = report.find("TCAM");
+  ASSERT_NE(tcam, nullptr);
+  EXPECT_NEAR(tcam->max_stage_pct(), 1.0 / 24.0, 1e-9);  // 4.17%
+
+  const ResourceRow* sram = report.find("SRAM");
+  ASSERT_NE(sram, nullptr);
+  EXPECT_LT(sram->total_pct(), 0.05);  // tiny, as in the paper (1.15%)
+}
+
+TEST(FpisaResources, BaselineFitsExactlyOneInstance) {
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  const SwitchConfig cfg = baseline_tofino();
+  EXPECT_EQ(max_instances(fpisa_resource_descriptors(cfg, opts), cfg), 1);
+}
+
+TEST(FpisaResources, ShiftExtensionUnlocksParallelInstances) {
+  FpisaProgramOptions opts;
+  opts.variant = core::Variant::kApproximate;
+  const SwitchConfig cfg = extended_switch();
+  const int n = max_instances(fpisa_resource_descriptors(cfg, opts), cfg);
+  EXPECT_GE(n, 4) << "the 2-operand shift should unlock multiple modules";
+}
+
+TEST(FpisaResources, ReportRenders) {
+  FpisaProgramOptions opts;
+  const SwitchConfig cfg = baseline_tofino();
+  const std::string s =
+      analyze(fpisa_resource_descriptors(cfg, opts), cfg).render();
+  EXPECT_NE(s.find("VLIW"), std::string::npos);
+  EXPECT_NE(s.find("Stages used: 9 of 12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpisa::pisa

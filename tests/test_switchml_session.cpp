@@ -1,0 +1,176 @@
+// Packet-level aggregation session over the real switch pipeline:
+// chunking, slot reuse, and loss recovery with switch-side dedup
+// (failure-injection tests for the paper's SwitchML-style protocol layer).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "switchml/session.h"
+#include "util/rng.h"
+
+namespace fpisa::switchml {
+namespace {
+
+std::vector<std::vector<float>> make_workers(int w, std::size_t n,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(w),
+                                      std::vector<float>(n));
+  for (auto& vec : out) {
+    for (auto& v : vec) v = static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  return out;
+}
+
+/// Same-exponent magnitudes: FPISA adds these exactly (no alignment
+/// shifts), so the aggregation result is order-independent — which makes
+/// any protocol-level double-count or drop exactly detectable even when
+/// packet loss reorders the adds.
+std::vector<std::vector<float>> make_same_exponent_workers(
+    int w, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(w),
+                                      std::vector<float>(n));
+  for (auto& vec : out) {
+    for (auto& v : vec) {
+      v = static_cast<float>((rng.next_u64() & 1 ? 1.0 : -1.0) *
+                             rng.uniform(1.0, 2.0));
+    }
+  }
+  return out;
+}
+
+std::vector<double> exact_sum(const std::vector<std::vector<float>>& w) {
+  std::vector<double> ref(w.front().size(), 0.0);
+  for (const auto& vec : w) {
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      ref[i] += static_cast<double>(vec[i]);
+    }
+  }
+  return ref;
+}
+
+TEST(Session, LosslessReduceMatchesReference) {
+  SessionOptions opts;
+  opts.num_workers = 4;
+  opts.slots = 16;
+  opts.lanes = 2;
+  AggregationSession session(pisa::SwitchConfig{}, opts);
+
+  const auto workers = make_workers(4, 100, 60);
+  const auto got = session.reduce(workers);
+  const auto ref = exact_sum(workers);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], std::fabs(ref[i]) * 1e-5 + 1e-7) << i;
+  }
+  EXPECT_EQ(session.stats().packets_lost, 0u);
+  EXPECT_EQ(session.stats().retransmissions, 0u);
+  // 100 elements / 2 lanes = 50 chunks in waves of 16 slots: reuse happens.
+  EXPECT_GE(session.stats().slot_reuses, 50u);
+}
+
+TEST(Session, SurvivesHeavyPacketLoss) {
+  SessionOptions opts;
+  opts.num_workers = 4;
+  opts.slots = 8;
+  opts.lanes = 1;
+  opts.loss_rate = 0.25;  // every 4th packet (either direction) vanishes
+  opts.loss_seed = 61;
+  AggregationSession session(pisa::SwitchConfig{}, opts);
+
+  const auto workers = make_same_exponent_workers(4, 64, 62);
+  const auto got = session.reduce(workers);
+
+  // Loss + retransmission must not change the arithmetic at all: with
+  // same-exponent inputs FPISA is order-independent, so the lossy run must
+  // be BIT-IDENTICAL to a lossless one (double-counts would show exactly).
+  SessionOptions clean = opts;
+  clean.loss_rate = 0.0;
+  AggregationSession lossless(pisa::SwitchConfig{}, clean);
+  const auto want = lossless.reduce(workers);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << i;
+  }
+  const auto ref = exact_sum(workers);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], 1e-5) << i;
+  }
+  EXPECT_GT(session.stats().packets_lost, 0u);
+  EXPECT_GT(session.stats().retransmissions, 0u);
+}
+
+TEST(Session, DuplicatesAreAbsorbedNotDoubleCounted) {
+  SessionOptions opts;
+  opts.num_workers = 2;
+  opts.slots = 4;
+  opts.loss_rate = 0.35;  // lots of lost acks => duplicates at the switch
+  opts.loss_seed = 63;
+  AggregationSession session(pisa::SwitchConfig{}, opts);
+
+  const auto workers = make_same_exponent_workers(2, 32, 64);
+  const auto got = session.reduce(workers);
+  const auto ref = exact_sum(workers);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], 1e-5) << i;
+  }
+  EXPECT_GT(session.stats().duplicates_absorbed, 0u);
+}
+
+TEST(Session, LossSweepAlwaysExact) {
+  // Property: for any loss rate the protocol either completes with the
+  // exact aggregation result or throws (never silently wrong).
+  for (const double loss : {0.0, 0.05, 0.15, 0.30, 0.45}) {
+    SessionOptions opts;
+    opts.num_workers = 3;
+    opts.slots = 4;
+    opts.loss_rate = loss;
+    opts.loss_seed = 65 + static_cast<std::uint64_t>(loss * 100);
+    opts.max_retransmits = 256;
+    AggregationSession session(pisa::SwitchConfig{}, opts);
+
+    const auto workers = make_same_exponent_workers(3, 24, 66);
+    const auto got = session.reduce(workers);
+    const auto ref = exact_sum(workers);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(got[i], ref[i], 1e-5) << "loss=" << loss << " i=" << i;
+    }
+  }
+}
+
+TEST(Session, MultiWaveReusesSlotsCleanly) {
+  // More chunks than slots: results from wave k must not leak into k+1.
+  SessionOptions opts;
+  opts.num_workers = 2;
+  opts.slots = 2;  // tiny pool: 16 chunks -> 8 waves
+  AggregationSession session(pisa::SwitchConfig{}, opts);
+
+  std::vector<std::vector<float>> workers(2, std::vector<float>(16));
+  for (std::size_t i = 0; i < 16; ++i) {
+    workers[0][i] = static_cast<float>(i + 1);
+    workers[1][i] = static_cast<float>(10 * (i + 1));
+  }
+  const auto got = session.reduce(workers);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(got[i], static_cast<float>(11 * (i + 1))) << i;
+  }
+}
+
+TEST(Session, FullVariantOnExtendedSwitch) {
+  pisa::SwitchConfig ext;
+  ext.ext.two_operand_shift = true;
+  ext.ext.rsaw = true;
+  SessionOptions opts;
+  opts.num_workers = 4;
+  opts.slots = 8;
+  AggregationSession session(ext, opts);
+
+  const auto workers = make_workers(4, 40, 67);
+  const auto got = session.reduce(workers);
+  const auto ref = exact_sum(workers);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], std::fabs(ref[i]) * 1e-5 + 1e-7) << i;
+  }
+}
+
+}  // namespace
+}  // namespace fpisa::switchml

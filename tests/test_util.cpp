@@ -1,0 +1,115 @@
+// Utility substrate: deterministic RNG, streaming stats, histograms,
+// table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace fpisa::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+  Rng c(43);
+  EXPECT_NE(Rng(42).next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    const auto v = rng.next_below(17);
+    ASSERT_LT(v, 17u);
+    const auto s = rng.uniform_int(-5, 5);
+    ASSERT_GE(s, -5);
+    ASSERT_LE(s, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversEndpoints) {
+  Rng rng(2);
+  bool lo = false;
+  bool hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    lo = lo || v == 0;
+    hi = hi || v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(4);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.shuffle(v.data(), v.size());
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(RunningStats, TracksMinMaxCount) {
+  RunningStats s;
+  for (const double x : {3.0, -1.0, 4.0, 1.5}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.mean(), 1.875, 1e-12);
+}
+
+TEST(Log2Histogram, BucketsAndFractions) {
+  Log2Histogram h(0, 10);
+  h.add(1.5);    // bucket [2^0, 2^1)
+  h.add(3.0);    // [2^1, 2^2)
+  h.add(200.0);  // [2^7, 2^8)
+  h.add(0.0);    // underflow bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_NEAR(h.fraction_below_pow2(4), 0.75, 1e-12);  // 1.5, 3.0, and 0
+  EXPECT_NEAR(h.fraction_below_pow2(8), 1.0, 1e-12);
+}
+
+TEST(Percentiles, MedianAndTails) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_NEAR(p.median(), 50.0, 1.0);
+  EXPECT_NEAR(p.percentile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(p.percentile(0.0), 1.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"A", "Bee"});
+  t.add_row({"1", "22"});
+  t.add_row({"333"});  // short row padded
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| A "), std::string::npos);
+  EXPECT_NE(s.find("| 333 "), std::string::npos);
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(AsciiBars, ScalesToMaximum) {
+  const std::string s =
+      ascii_bars({{"a", 1.0}, {"b", 0.5}}, 10);
+  EXPECT_NE(s.find("##########"), std::string::npos);  // full bar for max
+  EXPECT_NE(s.find("#####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpisa::util
