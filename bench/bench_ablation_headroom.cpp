@@ -9,12 +9,14 @@
 #include "core/accumulator.h"
 #include "pisa/fpisa_program.h"
 #include "pisa/resources.h"
+#include "util/bench_json.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 int main() {
   using namespace fpisa;
   std::printf("=== Ablations ===\n\n");
+  util::BenchJson json("ablation_headroom");
 
   // (a) Headroom sweep: aggregate 64 gradient-like values into registers of
   // different widths; fewer headroom bits -> more overwrite error.
@@ -52,6 +54,9 @@ int main() {
                  util::Table::pct(static_cast<double>(overwrites) /
                                       static_cast<double>(adds),
                                   2)});
+      json.set("rel_err_reg" + std::to_string(reg_bits), rel_err / trials);
+      json.set("overwrite_rate_reg" + std::to_string(reg_bits),
+               static_cast<double>(overwrites) / static_cast<double>(adds));
     }
     std::printf("%s\n", t.render().c_str());
   }
@@ -107,6 +112,9 @@ int main() {
     std::printf("baseline Tofino: %d module(s); with 2-operand shift: %d "
                 "modules -> %dx more FP values per packet at line rate\n",
                 n0, n1, n1 / (n0 ? n0 : 1));
+    json.set("modules_baseline", n0);
+    json.set("modules_extended", n1);
   }
+  json.write();
   return 0;
 }

@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <bit>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/accumulator.h"
 #include "core/advanced_ops.h"
@@ -161,4 +164,26 @@ BENCHMARK(BM_Log2Table);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus JSON file output so the results land in
+// BENCH_core_ops.json like every other bench (see src/util/bench_json.h).
+// Explicit --benchmark_out flags still win over the injected defaults.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_core_ops.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  bool has_fmt = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    has_out = has_out || arg.starts_with("--benchmark_out=");
+    has_fmt = has_fmt || arg.starts_with("--benchmark_out_format=");
+  }
+  if (!has_out) args.push_back(out_flag.data());
+  if (!has_out && !has_fmt) args.push_back(fmt_flag.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "host/endianness.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 int main() {
@@ -27,6 +28,7 @@ int main() {
       {"FP32", r.bswap32_scalar_eps, r.bswap32_vector_eps, 32},
       {"FP64", r.bswap64_scalar_eps, r.bswap64_vector_eps, 64},
   };
+  util::BenchJson json("fig06_endianness");
   for (const Row& row : rows) {
     const double desired = host::desired_rate_eps(100.0, row.bits);
     t.add_row({row.fmt, util::Table::num(row.scalar / 1e9, 2),
@@ -34,7 +36,14 @@ int main() {
                util::Table::num(desired / 1e9, 2),
                util::Table::num(std::ceil(desired / row.scalar), 0),
                util::Table::num(std::ceil(desired / row.simd), 0)});
+    json.set(std::string(row.fmt) + "_scalar_eps", row.scalar);
+    json.set(std::string(row.fmt) + "_simd_eps", row.simd);
+    json.set(std::string(row.fmt) + "_cores_scalar",
+             std::ceil(desired / row.scalar));
   }
+  json.set("quantize_eps", r.quantize_eps);
+  json.set("dequantize_eps", r.dequantize_eps);
+  json.write();
   std::printf("%s", t.render().c_str());
   std::printf(
       "\nPaper's observation holds when conversion is per-element (DPDK "

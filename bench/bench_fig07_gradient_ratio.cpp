@@ -7,6 +7,7 @@
 #include "ml/nn.h"
 #include "ml/trainer.h"
 #include "switchml/aggregator.h"
+#include "util/bench_json.h"
 #include "util/stats.h"
 
 int main() {
@@ -28,6 +29,7 @@ int main() {
        ml::make_blobs(8, 16, 4096, 64, 6)},
   };
 
+  util::BenchJson json("fig07_gradient_ratio");
   for (auto& cfg : configs) {
     switchml::ExactAggregator agg;
     ml::TrainerOptions opts;
@@ -54,6 +56,10 @@ int main() {
     std::printf("%s", util::ascii_bars(bars).c_str());
     std::printf("fraction with ratio < 2^7: %.1f%%  (paper: ~83%%)\n\n",
                 hist.fraction_below_pow2(7) * 100);
+    json.set(std::string(cfg.name, 0, std::string(cfg.name).find(' ')) +
+                 "_frac_below_2e7",
+             hist.fraction_below_pow2(7));
   }
+  json.write();
   return 0;
 }

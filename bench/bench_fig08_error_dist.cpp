@@ -10,6 +10,7 @@
 #include "ml/nn.h"
 #include "ml/trainer.h"
 #include "switchml/aggregator.h"
+#include "util/bench_json.h"
 #include "util/stats.h"
 
 int main() {
@@ -90,5 +91,17 @@ int main() {
       100.0 * static_cast<double>(totals.overwrites) / totals.adds,
       100.0 * static_cast<double>(totals.lshift_overflows) / totals.adds,
       100.0 * static_cast<double>(totals.saturations) / totals.adds);
+
+  util::BenchJson json("fig08_error_dist");
+  json.set("adds", static_cast<double>(totals.adds));
+  json.set("rounded_frac",
+           static_cast<double>(totals.rounded_adds) / totals.adds);
+  json.set("overwrite_frac",
+           static_cast<double>(totals.overwrites) / totals.adds);
+  json.set("lshift_frac",
+           static_cast<double>(totals.lshift_overflows) / totals.adds);
+  json.set("saturation_frac",
+           static_cast<double>(totals.saturations) / totals.adds);
+  json.write();
   return 0;
 }

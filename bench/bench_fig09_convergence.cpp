@@ -8,6 +8,7 @@
 #include "ml/nn.h"
 #include "ml/trainer.h"
 #include "switchml/aggregator.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 int main() {
@@ -37,6 +38,7 @@ int main() {
        ml::make_images(8, 8, 960, 240, 43)},
   };
 
+  util::BenchJson json("fig09_convergence");
   for (auto& m : models) {
     std::printf("--- %s ---\n", m.name);
     util::Table t({"Aggregation", "ep5", "ep10", "ep20", "ep30", "ep40"});
@@ -85,7 +87,13 @@ int main() {
     std::printf("final accuracy gap (FPISA-A - default): FP32 %+0.2fpp, "
                 "FP16 %+0.2fpp (paper: < 0.1pp)\n\n",
                 (f32 - d32) * 100, (f16 - d16) * 100);
+    const std::string slug(
+        std::string_view(m.name).substr(0, std::string_view(m.name).find(' ')));
+    json.set(slug + "_fp32_gap_pp", (f32 - d32) * 100);
+    json.set(slug + "_fp16_gap_pp", (f16 - d16) * 100);
+    json.set(slug + "_fp32_final_acc", f32);
   }
+  json.write();
   std::printf("shape check vs paper: FPISA-A curves track default addition "
               "for both formats; FP16 converges no faster than FP32.\n");
   return 0;

@@ -6,6 +6,7 @@
 
 #include "host/endianness.h"
 #include "host/goodput_model.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 int main() {
@@ -70,5 +71,15 @@ int main() {
               "(paper: 25%%/75%%; paper cores 4/3/1)\n",
               swml, fp, fpo, 100.0 * (swml - fp) / swml,
               100.0 * (swml - fpo) / swml);
+
+  fpisa::util::BenchJson json("fig10_goodput");
+  json.set("cores_to_saturate_switchml_cpu", swml);
+  json.set("cores_to_saturate_fpisa_cpu", fp);
+  json.set("cores_to_saturate_fpisa_cpu_opt", fpo);
+  for (const Approach a : order) {
+    json.set(std::string(approach_name(a)) + "_goodput_4core_16kb",
+             goodput_gbps(a, 4, 16 * 1024, rates));
+  }
+  json.write();
   return 0;
 }

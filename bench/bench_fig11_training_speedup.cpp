@@ -5,6 +5,7 @@
 
 #include "host/endianness.h"
 #include "host/goodput_model.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 int main() {
@@ -26,13 +27,19 @@ int main() {
 
   fpisa::util::Table t({"Model", "2-core speedup", "8-core speedup",
                         "Paper 2-core", "Paper 8-core"});
+  fpisa::util::BenchJson json("fig11_training_speedup");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     t.add_row({rows[i].model,
                fpisa::util::Table::num(rows[i].speedup_2core * 100, 1) + "%",
                fpisa::util::Table::num(rows[i].speedup_8core * 100, 1) + "%",
                fpisa::util::Table::num(paper[i].s2, 1) + "%",
                fpisa::util::Table::num(paper[i].s8, 1) + "%"});
+    json.set(std::string(rows[i].model) + "_speedup_2core",
+             rows[i].speedup_2core);
+    json.set(std::string(rows[i].model) + "_speedup_8core",
+             rows[i].speedup_8core);
   }
+  json.write();
   std::printf("%s", t.render().c_str());
   std::printf("\nshape checks: comm-bound models (DeepLight/LSTM/BERT/VGG19) "
               "gain most; compute-bound models gain ~0; 2-core speedups "

@@ -5,6 +5,7 @@
 
 #include "query/data.h"
 #include "query/queries.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 int main() {
@@ -92,13 +93,17 @@ int main() {
   fpisa::util::Table t({"Query", "Baseline (s)", "FPISA (s)", "Speedup",
                         "No-switch abl. (s)", "Rows to master (FPISA)",
                         "Answer matches"});
+  fpisa::util::BenchJson json("fig13_queries");
   for (const Row& r : rows) {
     t.add_row({r.name, fpisa::util::Table::num(r.base.time_s, 3),
                fpisa::util::Table::num(r.fp.time_s, 3),
                fpisa::util::Table::num(r.base.time_s / r.fp.time_s, 2) + "x",
                fpisa::util::Table::num(r.raw.time_s, 3),
                std::to_string(r.fp.rows_to_master), r.correct ? "yes" : "NO"});
+    json.set(std::string(r.name) + "_speedup", r.base.time_s / r.fp.time_s);
+    json.set(std::string(r.name) + "_correct", r.correct ? 1.0 : 0.0);
   }
+  json.write();
   std::printf("%s", t.render().c_str());
   std::printf("\npaper Fig 13: 1.9-2.7x speedups over Spark across these five "
               "queries; integer vs FP32 in-switch task complexity does not "

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "hw/units.h"
+#include "util/bench_json.h"
 
 int main() {
   using namespace fpisa::hw;
@@ -28,5 +29,17 @@ int main() {
               fpu.leakage_uw / alu.leakage_uw);
   std::printf("  All units close timing at 1 GHz (< 1000 ps): %s\n",
               rsaw.min_delay_ps < 1000 && fpu.min_delay_ps < 1000 ? "yes" : "NO");
+
+  fpisa::util::BenchJson json("table1_hw_cost");
+  json.set("fpisa_alu_area_overhead_pct", (fp.area_um2 / alu.area_um2 - 1) * 100);
+  json.set("fpisa_alu_power_overhead_pct",
+           (fp.dynamic_uw / alu.dynamic_uw - 1) * 100);
+  json.set("rsaw_vs_raw_area_pct", (rsaw.area_um2 / raw.area_um2 - 1) * 100);
+  json.set("rsaw_vs_raw_delay_pct",
+           (rsaw.min_delay_ps / raw.min_delay_ps - 1) * 100);
+  json.set("fpu_area_ratio", fpu.area_um2 / alu.area_um2);
+  json.set("timing_closes_1ghz",
+           rsaw.min_delay_ps < 1000 && fpu.min_delay_ps < 1000 ? 1.0 : 0.0);
+  json.write();
   return 0;
 }

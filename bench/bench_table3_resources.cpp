@@ -5,6 +5,7 @@
 
 #include "pisa/fpisa_program.h"
 #include "pisa/resources.h"
+#include "util/bench_json.h"
 
 int main() {
   using namespace fpisa::pisa;
@@ -36,5 +37,10 @@ int main() {
               "extended = %d (the paper's motivation for the proposed shift "
               "instruction)\n",
               n_base, n_ext);
+
+  fpisa::util::BenchJson json("table3_resources");
+  json.set("modules_per_pipeline_baseline", n_base);
+  json.set("modules_per_pipeline_extended", n_ext);
+  json.write();
   return 0;
 }

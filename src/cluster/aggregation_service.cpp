@@ -1,0 +1,390 @@
+#include "cluster/aggregation_service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/packed.h"
+
+namespace fpisa::cluster {
+namespace {
+
+pisa::FpisaProgramOptions shard_program_options(const ClusterOptions& opts) {
+  pisa::FpisaProgramOptions p;
+  p.variant = opts.switch_config.ext.rsaw ? core::Variant::kFull
+                                          : core::Variant::kApproximate;
+  p.lanes = opts.lanes;
+  p.slots = opts.slots_per_shard;
+  p.num_workers = 32;  // bitmap width: any job with <= 32 workers fits
+  return p;
+}
+
+/// Independent per-(job, shard) loss stream so results are deterministic
+/// regardless of pool scheduling.
+std::uint64_t task_seed(std::uint64_t base, std::uint64_t job_id, int shard) {
+  std::uint64_t state = base ^ (job_id * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(shard) << 32);
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+AggregationService::Shard::Shard(const ClusterOptions& opts)
+    : sw(opts.switch_config, shard_program_options(opts)),
+      slots(opts.slots_per_shard) {}
+
+AggregationService::AggregationService(ClusterOptions opts)
+    : opts_(opts),
+      router_(opts.num_shards, opts.routing, opts.routing_salt) {
+  // num_shards <= 0 already rejected by the ShardRouter initializer.
+  if (opts_.slots_per_job == 0) opts_.slots_per_job = 1;
+  shards_.reserve(static_cast<std::size_t>(opts_.num_shards));
+  for (int s = 0; s < opts_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(opts_));
+  }
+  const int threads =
+      opts_.worker_threads > 0 ? opts_.worker_threads : opts_.num_shards;
+  pool_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AggregationService::~AggregationService() {
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    stopping_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+void AggregationService::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void AggregationService::merge_stats(switchml::SessionStats& into,
+                                     const switchml::SessionStats& from) {
+  into.packets_sent += from.packets_sent;
+  into.packets_lost += from.packets_lost;
+  into.retransmissions += from.retransmissions;
+  into.duplicates_absorbed += from.duplicates_absorbed;
+  into.slot_reuses += from.slot_reuses;
+}
+
+bool AggregationService::shard_send_add(Shard& shard, std::uint16_t slot,
+                                        std::uint8_t worker,
+                                        std::span<const std::uint32_t> values,
+                                        pisa::FpisaResult* out,
+                                        const JobParams& params,
+                                        util::Rng& rng,
+                                        switchml::SessionStats& stats) {
+  bool delivered_before = false;
+  for (int attempt = 0; attempt <= params.max_retransmits; ++attempt) {
+    if (attempt > 0) ++stats.retransmissions;
+    ++stats.packets_sent;
+
+    if (rng.next_double() < params.loss_rate) {
+      ++stats.packets_lost;
+      continue;  // request lost: retransmit after "timeout"
+    }
+    if (delivered_before) ++stats.duplicates_absorbed;
+    delivered_before = true;
+    pisa::FpisaResult r;
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      r = shard.sw.add(slot, worker, values);
+    }
+    if (rng.next_double() < params.loss_rate) {
+      ++stats.packets_lost;
+      continue;  // ack lost: worker retransmits; switch-side bitmap dedups
+    }
+    *out = r;
+    return true;
+  }
+  return false;
+}
+
+void AggregationService::scrub_range(Shard& shard, const SlotRange& range) {
+  std::lock_guard<std::mutex> lk(shard.mu);
+  for (std::size_t s = range.lo; s < range.hi; ++s) {
+    (void)shard.sw.read_and_reset(static_cast<std::uint16_t>(s));
+  }
+}
+
+void AggregationService::run_shard_chunks(
+    Shard& shard, const SlotRange& range,
+    const std::vector<std::size_t>& chunks,
+    std::span<const std::vector<float>> workers, std::vector<float>& result,
+    const JobParams& params, util::Rng& rng, switchml::SessionStats& stats) {
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t n = result.size();
+  const int nw = static_cast<int>(workers.size());
+  const std::size_t wave = range.size();
+  std::vector<std::uint32_t> vals(lanes);
+
+  for (std::size_t base = 0; base < chunks.size(); base += wave) {
+    const std::size_t wave_end = std::min(base + wave, chunks.size());
+    // Every worker streams its packet for every chunk of this wave.
+    for (std::size_t k = base; k < wave_end; ++k) {
+      const std::size_t c = chunks[k];
+      const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
+      for (int w = 0; w < nw; ++w) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const std::size_t i = c * lanes + l;
+          vals[l] = i < n ? core::fp32_bits(
+                                workers[static_cast<std::size_t>(w)][i])
+                          : 0;
+        }
+        pisa::FpisaResult r;
+        if (!shard_send_add(shard, slot, static_cast<std::uint8_t>(w), vals,
+                            &r, params, rng, stats)) {
+          throw std::runtime_error(
+              "cluster: aggregation packet exceeded max_retransmits");
+        }
+      }
+    }
+    // Collect + recycle the wave's slots (idempotent read, then reset).
+    for (std::size_t k = base; k < wave_end; ++k) {
+      const std::size_t c = chunks[k];
+      const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
+      pisa::FpisaResult read;
+      bool have = false;
+      for (int attempt = 0; attempt <= params.max_retransmits && !have;
+           ++attempt) {
+        ++stats.packets_sent;
+        if (rng.next_double() < params.loss_rate) {
+          ++stats.packets_lost;
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lk(shard.mu);
+          read = shard.sw.read(slot);
+        }
+        if (rng.next_double() < params.loss_rate) {
+          ++stats.packets_lost;
+          continue;
+        }
+        have = true;
+      }
+      if (!have) {
+        throw std::runtime_error(
+            "cluster: read packet exceeded max_retransmits");
+      }
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::size_t i = c * lanes + l;
+        if (i < n) result[i] = core::fp32_value(read.values[l]);
+      }
+      bool cleared = false;
+      for (int attempt = 0; attempt <= params.max_retransmits; ++attempt) {
+        ++stats.packets_sent;
+        if (rng.next_double() < params.loss_rate) {
+          ++stats.packets_lost;
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lk(shard.mu);
+          (void)shard.sw.read_and_reset(slot);
+        }
+        ++stats.slot_reuses;
+        cleared = true;
+        if (rng.next_double() >= params.loss_rate) break;
+        ++stats.packets_lost;  // ack lost: re-clearing is harmless
+      }
+      if (!cleared) {
+        // A dirty slot would poison the range's next tenant via the dedup
+        // bitmap — fail loudly instead of finishing with a hidden leak.
+        throw std::runtime_error(
+            "cluster: reset packet exceeded max_retransmits");
+      }
+    }
+  }
+}
+
+JobReport AggregationService::reduce(JobRequest job) {
+  if (job.workers.empty()) {
+    throw std::invalid_argument("cluster: job has no workers");
+  }
+  if (job.workers.size() > 32) {
+    throw std::invalid_argument("cluster: bitmap is 32 bits wide");
+  }
+  const std::size_t n = job.workers.front().size();
+  for (const auto& w : job.workers) {
+    if (w.size() != n) {
+      throw std::invalid_argument("cluster: worker vectors differ in length");
+    }
+  }
+
+  JobReport report;
+  report.tenant = job.tenant;
+  report.result.assign(n, 0.0f);
+  report.per_shard.assign(static_cast<std::size_t>(opts_.num_shards), {});
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    report.job_id = next_job_id_++;
+  }
+  if (n == 0) return report;
+
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t chunks = (n + lanes - 1) / lanes;
+  const auto parts = router_.partition(chunks);
+
+  // Acquire one slot range per active shard, in ascending shard order (the
+  // same order for every job: no circular wait between tenants).
+  std::vector<SlotRange> ranges(shards_.size());
+  {
+    std::unique_lock<std::mutex> lk(alloc_mu_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (parts[s].empty()) continue;
+      for (;;) {
+        if (auto r = shards_[s]->slots.allocate(opts_.slots_per_job)) {
+          ranges[s] = *r;
+          break;
+        }
+        alloc_cv_.wait(lk);
+      }
+    }
+  }
+
+  // Fan one task per active shard out to the pool and wait for all of them
+  // (even on failure, so no task outlives this frame's state).
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+    std::exception_ptr error;
+  } join;
+  const JobParams params{
+      job.loss_rate >= 0.0 ? job.loss_rate : opts_.loss_rate,
+      job.max_retransmits >= 0 ? job.max_retransmits : opts_.max_retransmits};
+  const std::span<const std::vector<float>> workers(job.workers);
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (parts[s].empty()) continue;
+      ++join.pending;
+      tasks_.push_back([this, s, &parts, &ranges, workers, &report, &join,
+                        params] {
+        util::Rng rng(task_seed(opts_.loss_seed, report.job_id,
+                                static_cast<int>(s)));
+        switchml::SessionStats stats{};
+        try {
+          run_shard_chunks(*shards_[s], ranges[s], parts[s], workers,
+                           report.result, params, rng, stats);
+        } catch (...) {
+          std::lock_guard<std::mutex> jl(join.mu);
+          if (!join.error) join.error = std::current_exception();
+        }
+        report.per_shard[s] = stats;
+        {
+          std::lock_guard<std::mutex> jl(join.mu);
+          --join.pending;
+        }
+        join.cv.notify_all();
+      });
+    }
+  }
+  pool_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(join.mu);
+    join.cv.wait(lk, [&join] { return join.pending == 0; });
+  }
+
+  if (join.error) {
+    // A failed job can leave partial sums and dedup-bitmap bits in its
+    // slots; scrub them (lossless control-plane resets) before the ranges
+    // go back into the pool for the next tenant.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!ranges[s].empty()) scrub_range(*shards_[s], ranges[s]);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(alloc_mu_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!ranges[s].empty()) shards_[s]->slots.release(ranges[s]);
+    }
+  }
+  alloc_cv_.notify_all();
+
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      merge_stats(shards_[s]->stats, report.per_shard[s]);
+      merge_stats(report.stats, report.per_shard[s]);
+    }
+    merge_stats(tenant_stats_[report.tenant], report.stats);
+    if (!join.error) ++jobs_completed_;
+  }
+  if (join.error) std::rethrow_exception(join.error);
+  return report;
+}
+
+std::future<JobReport> AggregationService::submit(JobRequest job) {
+  // The job's control loop gets its own thread; only per-shard work shares
+  // the pool. (Pool tasks never block on other tasks, so jobs cannot
+  // deadlock the pool no matter how many tenants are in flight.)
+  return std::async(std::launch::async,
+                    [this, j = std::move(job)]() mutable {
+                      return reduce(std::move(j));
+                    });
+}
+
+switchml::SessionStats AggregationService::shard_stats(int shard) const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return shards_[static_cast<std::size_t>(shard)]->stats;
+}
+
+switchml::SessionStats AggregationService::tenant_stats(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  const auto it = tenant_stats_.find(tenant);
+  return it == tenant_stats_.end() ? switchml::SessionStats{} : it->second;
+}
+
+switchml::SessionStats AggregationService::total_stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  switchml::SessionStats total{};
+  for (const auto& s : shards_) merge_stats(total, s->stats);
+  return total;
+}
+
+std::vector<std::string> AggregationService::tenants() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  std::vector<std::string> out;
+  out.reserve(tenant_stats_.size());
+  for (const auto& [name, stats] : tenant_stats_) out.push_back(name);
+  return out;
+}
+
+std::uint64_t AggregationService::jobs_completed() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return jobs_completed_;
+}
+
+double modeled_shard_parallel_seconds(
+    const std::vector<switchml::SessionStats>& per_shard,
+    std::size_t bytes_per_packet, double gbps, double latency_us) {
+  // Shards drain independently (no cross-shard events), so the job is done
+  // when the most-loaded shard's ingress pipe finishes serializing:
+  // back-to-back packets at line rate, plus one propagation delay.
+  std::uint64_t max_packets = 0;
+  for (const switchml::SessionStats& s : per_shard) {
+    max_packets = std::max(max_packets, s.packets_sent);
+  }
+  if (max_packets == 0) return 0.0;
+  const double tx =
+      static_cast<double>(bytes_per_packet) * 8.0 / (gbps * 1e9);
+  return static_cast<double>(max_packets) * tx + latency_us * 1e-6;
+}
+
+}  // namespace fpisa::cluster

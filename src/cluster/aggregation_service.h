@@ -1,0 +1,154 @@
+// Rack-scale, multi-tenant aggregation service: routes reduce jobs across a
+// pool of pisa::FpisaSwitch shards (element-space sharding via ShardRouter),
+// drives the shards concurrently from a std::thread worker pool, and keeps
+// per-tenant and per-shard protocol statistics. The per-shard protocol is
+// the SwitchML-style packet loop of switchml::AggregationSession (add with
+// retransmission, idempotent read, read-and-reset slot recycling), operating
+// on a tenant-private SlotRange so concurrent jobs never collide.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/shard_router.h"
+#include "pisa/fpisa_program.h"
+#include "switchml/session.h"
+
+namespace fpisa::cluster {
+
+struct ClusterOptions {
+  int num_shards = 4;
+  std::size_t slots_per_shard = 64;  ///< aggregation slots per shard switch
+  std::size_t slots_per_job = 16;    ///< slot-range size requested per shard
+  int lanes = 1;                     ///< FP values per packet
+  RoutingPolicy routing = RoutingPolicy::kHash;
+  std::uint64_t routing_salt = 0x5eedULL;
+  double loss_rate = 0.0;            ///< per-packet drop probability (each way)
+  std::uint64_t loss_seed = 1;
+  int max_retransmits = 64;
+  int worker_threads = 0;            ///< 0: one per shard
+  pisa::SwitchConfig switch_config;  ///< applied to every shard
+};
+
+struct JobRequest {
+  std::string tenant;
+  std::vector<std::vector<float>> workers;  ///< equal-length FP32 vectors
+  /// Per-tenant fabric overrides; negative means "inherit ClusterOptions"
+  /// (tenants can ride links of different quality through one service).
+  double loss_rate = -1.0;
+  int max_retransmits = -1;
+};
+
+struct JobReport {
+  std::string tenant;
+  std::uint64_t job_id = 0;
+  std::vector<float> result;
+  switchml::SessionStats stats;                     ///< this job, all shards
+  std::vector<switchml::SessionStats> per_shard;    ///< this job, per shard
+};
+
+class AggregationService {
+ public:
+  explicit AggregationService(ClusterOptions opts);
+  ~AggregationService();
+  AggregationService(const AggregationService&) = delete;
+  AggregationService& operator=(const AggregationService&) = delete;
+
+  /// Runs one reduce job to completion. Thread-safe: may be called from
+  /// many tenant threads at once; shard work interleaves on the pool.
+  /// Throws std::runtime_error when a packet exhausts max_retransmits.
+  JobReport reduce(JobRequest job);
+
+  /// Asynchronous submission: the job runs on its own control thread and
+  /// shares the shard worker pool with every other in-flight job.
+  std::future<JobReport> submit(JobRequest job);
+
+  const ClusterOptions& options() const { return opts_; }
+  const ShardRouter& router() const { return router_; }
+  int num_shards() const { return opts_.num_shards; }
+
+  /// Cumulative protocol stats across all completed jobs.
+  switchml::SessionStats shard_stats(int shard) const;
+  switchml::SessionStats tenant_stats(const std::string& tenant) const;
+  switchml::SessionStats total_stats() const;
+  std::vector<std::string> tenants() const;
+  std::uint64_t jobs_completed() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const ClusterOptions& opts);
+    pisa::FpisaSwitch sw;
+    std::mutex mu;  ///< serializes packet roundtrips through `sw`
+    SlotRangeAllocator slots;
+    switchml::SessionStats stats;  ///< cumulative, guarded by stats_mu_
+  };
+
+  /// Effective per-job fabric parameters (ClusterOptions + JobRequest
+  /// overrides).
+  struct JobParams {
+    double loss_rate = 0.0;
+    int max_retransmits = 0;
+  };
+
+  void worker_loop();
+  void run_shard_chunks(Shard& shard, const SlotRange& range,
+                        const std::vector<std::size_t>& chunks,
+                        std::span<const std::vector<float>> workers,
+                        std::vector<float>& result, const JobParams& params,
+                        util::Rng& rng, switchml::SessionStats& stats);
+  bool shard_send_add(Shard& shard, std::uint16_t slot, std::uint8_t worker,
+                      std::span<const std::uint32_t> values,
+                      pisa::FpisaResult* out, const JobParams& params,
+                      util::Rng& rng, switchml::SessionStats& stats);
+  /// Control-plane cleanup: clears every slot of `range` so a failed job
+  /// cannot leak register state or dedup-bitmap bits to the range's next
+  /// tenant.
+  void scrub_range(Shard& shard, const SlotRange& range);
+  static void merge_stats(switchml::SessionStats& into,
+                          const switchml::SessionStats& from);
+
+  ClusterOptions opts_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Worker pool.
+  std::vector<std::thread> pool_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  bool stopping_ = false;
+
+  // Slot-range allocation: jobs acquire ranges in ascending shard order
+  // (the same order for every job), so concurrent tenants cannot deadlock
+  // waiting on each other's ranges.
+  std::mutex alloc_mu_;
+  std::condition_variable alloc_cv_;
+
+  // Cumulative accounting.
+  mutable std::mutex stats_mu_;
+  std::map<std::string, switchml::SessionStats> tenant_stats_;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t next_job_id_ = 0;
+};
+
+/// Modeled wall-clock seconds for a job whose packets are spread over
+/// parallel shard ingress pipes: each shard's packets serialize through a
+/// dedicated net::Link at `gbps`, shards drain concurrently (net::EventSim
+/// ordering), and the job completes when the slowest shard drains. This is
+/// the paper's emulation argument at rack scale: the switches run at line
+/// rate, so aggregate capacity grows with the shard count.
+double modeled_shard_parallel_seconds(
+    const std::vector<switchml::SessionStats>& per_shard,
+    std::size_t bytes_per_packet, double gbps, double latency_us);
+
+}  // namespace fpisa::cluster

@@ -1,0 +1,183 @@
+#include "cluster/hierarchy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/packed.h"
+
+namespace fpisa::cluster {
+namespace {
+
+pisa::FpisaProgramOptions tree_program_options(const HierarchyOptions& opts) {
+  pisa::FpisaProgramOptions p;
+  p.variant = opts.switch_config.ext.rsaw ? core::Variant::kFull
+                                          : core::Variant::kApproximate;
+  p.lanes = opts.lanes;
+  p.slots = opts.slots;
+  p.num_workers = 32;
+  return p;
+}
+
+}  // namespace
+
+HierarchicalAggregator::HierarchicalAggregator(HierarchyOptions opts)
+    : opts_(opts) {
+  if (opts_.leaves <= 0 || opts_.workers_per_leaf <= 0) {
+    throw std::invalid_argument("hierarchy: need leaves and workers");
+  }
+  if (opts_.leaves > 32 || opts_.workers_per_leaf > 32) {
+    throw std::invalid_argument("hierarchy: bitmap is 32 bits wide");
+  }
+  for (int j = 0; j < opts_.leaves; ++j) {
+    leaves_.push_back(std::make_unique<pisa::FpisaSwitch>(
+        opts_.switch_config, tree_program_options(opts_)));
+  }
+  HierarchyOptions spine_opts = opts_;
+  if (opts_.full_fpisa_spine) {
+    spine_opts.switch_config.ext.rsaw = true;
+    spine_opts.switch_config.ext.two_operand_shift = true;
+  }
+  spine_ = std::make_unique<pisa::FpisaSwitch>(
+      spine_opts.switch_config, tree_program_options(spine_opts));
+}
+
+std::size_t HierarchicalAggregator::packet_bytes() const {
+  return static_cast<std::size_t>(pisa::kFpisaHeaderBytes) +
+         4u * static_cast<std::size_t>(opts_.lanes) +
+         opts_.frame_overhead_bytes;
+}
+
+std::vector<float> HierarchicalAggregator::reduce(
+    std::span<const std::vector<float>> workers) {
+  const int wpl = opts_.workers_per_leaf;
+  if (static_cast<int>(workers.size()) != total_workers()) {
+    throw std::invalid_argument("hierarchy: wrong worker count");
+  }
+  const std::size_t n = workers.front().size();
+  for (const auto& w : workers) {
+    if (w.size() != n) {
+      throw std::invalid_argument("hierarchy: worker vectors differ");
+    }
+  }
+
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t chunks = (n + lanes - 1) / lanes;
+  std::vector<float> result(n, 0.0f);
+
+  // --- timing substrate: one uplink per host, one per ToR, one result
+  // downlink per ToR. Workers stream back-to-back from t = 0; the tree's
+  // slot pool is assumed deep enough to keep every pipe full.
+  const auto nl = static_cast<std::size_t>(opts_.leaves);
+  net::EventSim sim;
+  std::vector<net::Link> worker_up(
+      static_cast<std::size_t>(total_workers()),
+      net::Link(opts_.link_gbps, opts_.link_latency_us));
+  std::vector<net::Link> tor_up(nl,
+                                net::Link(opts_.link_gbps, opts_.link_latency_us));
+  std::vector<net::Link> spine_down(
+      nl, net::Link(opts_.link_gbps, opts_.link_latency_us));
+  std::vector<int> spine_seen(chunks, 0);
+  HierarchyTiming timing{};
+  std::vector<std::uint32_t> vals(lanes);
+
+  for (std::size_t base = 0; base < chunks; base += opts_.slots) {
+    const std::size_t wave_end = std::min(base + opts_.slots, chunks);
+    // Leaf phase: every host streams its packet to its ToR.
+    for (std::size_t c = base; c < wave_end; ++c) {
+      const auto slot = static_cast<std::uint16_t>(c - base);
+      for (int j = 0; j < opts_.leaves; ++j) {
+        double leaf_ready = 0.0;
+        for (int k = 0; k < wpl; ++k) {
+          const int w = j * wpl + k;
+          for (std::size_t l = 0; l < lanes; ++l) {
+            const std::size_t i = c * lanes + l;
+            vals[l] = i < n ? core::fp32_bits(
+                                  workers[static_cast<std::size_t>(w)][i])
+                            : 0;
+          }
+          (void)leaves_[static_cast<std::size_t>(j)]->add(
+              slot, static_cast<std::uint8_t>(k), vals);
+          leaf_ready = std::max(
+              leaf_ready,
+              worker_up[static_cast<std::size_t>(w)].send(0.0, packet_bytes()));
+          ++timing.packets;
+        }
+        // ToR forwards its partial to the spine once the last contributing
+        // host packet has arrived.
+        sim.at(leaf_ready, [this, &sim, &tor_up, &spine_down, &spine_seen,
+                            &timing, c, j] {
+          const double at_spine =
+              tor_up[static_cast<std::size_t>(j)].send(sim.now(),
+                                                       packet_bytes());
+          ++timing.packets;
+          timing.leaf_done_s = std::max(timing.leaf_done_s, sim.now());
+          sim.at(at_spine, [this, &sim, &spine_down, &spine_seen, &timing, c] {
+            if (++spine_seen[c] < opts_.leaves) return;
+            // Chunk complete at the spine: multicast the result back down
+            // (spine->ToR serialization + the ToR->host hop latency).
+            for (std::size_t d = 0; d < spine_down.size(); ++d) {
+              const double delivered =
+                  spine_down[d].send(sim.now(), packet_bytes()) +
+                  opts_.link_latency_us * 1e-6;
+              ++timing.packets;
+              timing.done_s = std::max(timing.done_s, delivered);
+            }
+          });
+        });
+      }
+    }
+    // Spine phase (functional): combine leaf partials, collect results.
+    for (std::size_t c = base; c < wave_end; ++c) {
+      const auto slot = static_cast<std::uint16_t>(c - base);
+      for (int j = 0; j < opts_.leaves; ++j) {
+        const pisa::FpisaResult partial =
+            leaves_[static_cast<std::size_t>(j)]->read_and_reset(slot);
+        (void)spine_->add(slot, static_cast<std::uint8_t>(j),
+                          partial.values);
+      }
+      const pisa::FpisaResult combined = spine_->read_and_reset(slot);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::size_t i = c * lanes + l;
+        if (i < n) result[i] = core::fp32_value(combined.values[l]);
+      }
+    }
+  }
+  sim.run();
+  timing.wire_bytes = timing.packets * packet_bytes();
+  timing_ = timing;
+  return result;
+}
+
+HierarchyTiming flat_baseline_timing(const HierarchyOptions& opts,
+                                     std::size_t n_values) {
+  const int total = opts.leaves * opts.workers_per_leaf;
+  const auto lanes = static_cast<std::size_t>(opts.lanes);
+  const std::size_t chunks = (n_values + lanes - 1) / lanes;
+  const std::size_t pkt = static_cast<std::size_t>(pisa::kFpisaHeaderBytes) +
+                          4u * lanes + opts.frame_overhead_bytes;
+
+  std::vector<net::Link> up(static_cast<std::size_t>(total),
+                            net::Link(opts.link_gbps, opts.link_latency_us));
+  std::vector<net::Link> down(static_cast<std::size_t>(total),
+                              net::Link(opts.link_gbps, opts.link_latency_us));
+  HierarchyTiming t{};
+  for (std::size_t c = 0; c < chunks; ++c) {
+    double arrived = 0.0;
+    for (int w = 0; w < total; ++w) {
+      arrived = std::max(arrived,
+                         up[static_cast<std::size_t>(w)].send(0.0, pkt));
+      ++t.packets;
+    }
+    t.leaf_done_s = std::max(t.leaf_done_s, arrived);
+    for (int w = 0; w < total; ++w) {
+      const double delivered =
+          down[static_cast<std::size_t>(w)].send(arrived, pkt);
+      ++t.packets;
+      t.done_s = std::max(t.done_s, delivered);
+    }
+  }
+  t.wire_bytes = t.packets * pkt;
+  return t;
+}
+
+}  // namespace fpisa::cluster

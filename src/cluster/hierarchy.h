@@ -1,0 +1,85 @@
+// Two-level ToR -> spine aggregation tree (rack scale): N leaf switches
+// each partially aggregate the workers in their rack, and one spine switch
+// combines the leaf partials. Functionally this drives real
+// pisa::FpisaSwitch pipelines at both levels; timing is modeled with
+// net::EventSim / net::Link (worker uplinks, ToR uplinks, result return),
+// extending the paper's single-switch goodput argument to a rack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/event_sim.h"
+#include "pisa/fpisa_program.h"
+
+namespace fpisa::cluster {
+
+struct HierarchyOptions {
+  int leaves = 4;            ///< ToR switches
+  int workers_per_leaf = 2;  ///< hosts homed on each ToR
+  std::size_t slots = 64;    ///< aggregation slots per switch
+  int lanes = 1;             ///< FP values per packet
+  pisa::SwitchConfig switch_config;  ///< applied to the leaf switches
+  /// Run the spine on the §4.2 extended switch (RSAW + 2-operand shift,
+  /// i.e. full FPISA) even when the leaves are baseline-Tofino FPISA-A.
+  /// Composition hazard this guards against: a near-cancelled leaf partial
+  /// (tiny exponent) can pin the spine's FPISA-A register scale, and the
+  /// next partial's aligned mantissa then wraps the 32-bit register — a
+  /// value-scale error. Full FPISA right-shifts the *stored* mantissa
+  /// instead, so the spine tracks the largest incoming exponent.
+  bool full_fpisa_spine = true;
+  // Timing model.
+  double link_gbps = 100.0;
+  double link_latency_us = 1.0;
+  std::size_t frame_overhead_bytes = 46;  ///< Ethernet+IP+UDP around payload
+};
+
+struct HierarchyTiming {
+  double leaf_done_s = 0;   ///< last leaf partial handed to its ToR uplink
+  double done_s = 0;        ///< last result packet delivered back to a host
+  std::uint64_t packets = 0;
+  std::uint64_t wire_bytes = 0;
+  double values_per_s(std::size_t n) const {
+    return done_s > 0 ? static_cast<double>(n) / done_s : 0.0;
+  }
+};
+
+class HierarchicalAggregator {
+ public:
+  explicit HierarchicalAggregator(HierarchyOptions opts);
+
+  int total_workers() const {
+    return opts_.leaves * opts_.workers_per_leaf;
+  }
+  const HierarchyOptions& options() const { return opts_; }
+
+  /// Reduces `workers` (size == total_workers(); worker w is homed on leaf
+  /// w / workers_per_leaf) through the two-level tree. Also refreshes the
+  /// timing model for this reduction; see timing().
+  std::vector<float> reduce(std::span<const std::vector<float>> workers);
+
+  /// Timing of the most recent reduce().
+  const HierarchyTiming& timing() const { return timing_; }
+
+  pisa::FpisaSwitch& leaf(int i) { return *leaves_[static_cast<std::size_t>(i)]; }
+  pisa::FpisaSwitch& spine() { return *spine_; }
+
+  std::size_t packet_bytes() const;
+
+ private:
+  HierarchyOptions opts_;
+  std::vector<std::unique_ptr<pisa::FpisaSwitch>> leaves_;
+  std::unique_ptr<pisa::FpisaSwitch> spine_;
+  HierarchyTiming timing_{};
+};
+
+/// Timing of the same reduction through ONE flat switch with every worker
+/// attached directly (the paper's testbed shape) — the baseline the
+/// hierarchy is compared against. The flat switch needs total_workers
+/// ports; the tree needs only `leaves` spine ports, which is the point.
+HierarchyTiming flat_baseline_timing(const HierarchyOptions& opts,
+                                     std::size_t n_values);
+
+}  // namespace fpisa::cluster

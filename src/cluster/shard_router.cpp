@@ -1,0 +1,111 @@
+#include "cluster/shard_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fpisa::cluster {
+
+const char* routing_policy_name(RoutingPolicy p) {
+  switch (p) {
+    case RoutingPolicy::kHash: return "hash";
+    case RoutingPolicy::kRange: return "range";
+  }
+  return "?";
+}
+
+ShardRouter::ShardRouter(int num_shards, RoutingPolicy policy,
+                         std::uint64_t salt)
+    : num_shards_(num_shards), policy_(policy), salt_(salt) {
+  if (num_shards <= 0) throw std::invalid_argument("num_shards must be > 0");
+}
+
+int ShardRouter::route(std::size_t chunk, std::size_t total_chunks) const {
+  assert(chunk < total_chunks);
+  if (num_shards_ == 1) return 0;
+  switch (policy_) {
+    case RoutingPolicy::kHash: {
+      std::uint64_t state = static_cast<std::uint64_t>(chunk) ^ salt_;
+      return static_cast<int>(util::splitmix64(state) %
+                              static_cast<std::uint64_t>(num_shards_));
+    }
+    case RoutingPolicy::kRange: {
+      // Contiguous blocks, remainder spread over the leading shards.
+      const std::size_t shards = static_cast<std::size_t>(num_shards_);
+      const std::size_t base = total_chunks / shards;
+      const std::size_t extra = total_chunks % shards;
+      const std::size_t boundary = extra * (base + 1);
+      if (chunk < boundary) {
+        return static_cast<int>(chunk / (base + 1));
+      }
+      return static_cast<int>(extra + (chunk - boundary) / base);
+    }
+  }
+  return 0;
+}
+
+std::vector<std::vector<std::size_t>> ShardRouter::partition(
+    std::size_t total_chunks) const {
+  std::vector<std::vector<std::size_t>> out(
+      static_cast<std::size_t>(num_shards_));
+  for (std::size_t c = 0; c < total_chunks; ++c) {
+    out[static_cast<std::size_t>(route(c, total_chunks))].push_back(c);
+  }
+  return out;
+}
+
+SlotRangeAllocator::SlotRangeAllocator(std::size_t total_slots)
+    : total_(total_slots) {
+  if (total_slots == 0) throw std::invalid_argument("need at least one slot");
+  free_.push_back({0, total_slots});
+}
+
+std::size_t SlotRangeAllocator::free_slots() const {
+  std::size_t n = 0;
+  for (const SlotRange& r : free_) n += r.size();
+  return n;
+}
+
+std::optional<SlotRange> SlotRangeAllocator::allocate(std::size_t want) {
+  if (want == 0 || free_.empty()) return std::nullopt;
+  // First fit at the requested size; otherwise the largest block we have.
+  std::size_t best = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].size() >= want) {
+      best = i;
+      break;
+    }
+    if (best == free_.size() || free_[i].size() > free_[best].size()) {
+      best = i;
+    }
+  }
+  SlotRange& block = free_[best];
+  const std::size_t take = std::min(want, block.size());
+  const SlotRange out{block.lo, block.lo + take};
+  block.lo += take;
+  if (block.empty()) free_.erase(free_.begin() + static_cast<long>(best));
+  return out;
+}
+
+void SlotRangeAllocator::release(const SlotRange& r) {
+  if (r.empty()) return;
+  assert(r.hi <= total_);
+  const auto it = std::lower_bound(
+      free_.begin(), free_.end(), r,
+      [](const SlotRange& a, const SlotRange& b) { return a.lo < b.lo; });
+  const auto pos = free_.insert(it, r);
+  const std::size_t i = static_cast<std::size_t>(pos - free_.begin());
+  // Coalesce with the right neighbour, then the left.
+  if (i + 1 < free_.size() && free_[i].hi == free_[i + 1].lo) {
+    free_[i].hi = free_[i + 1].hi;
+    free_.erase(free_.begin() + static_cast<long>(i) + 1);
+  }
+  if (i > 0 && free_[i - 1].hi == free_[i].lo) {
+    free_[i - 1].hi = free_[i].hi;
+    free_.erase(free_.begin() + static_cast<long>(i));
+  }
+}
+
+}  // namespace fpisa::cluster

@@ -111,6 +111,7 @@ std::vector<float> AggregationSession::reduce(
         }
       }
 
+      bool cleared = false;
       for (int attempt = 0; attempt <= opts_.max_retransmits; ++attempt) {
         ++stats_.packets_sent;
         if (loss_rng_.next_double() < opts_.loss_rate) {
@@ -119,8 +120,14 @@ std::vector<float> AggregationSession::reduce(
         }
         (void)switch_.read_and_reset(slot);
         ++stats_.slot_reuses;
+        cleared = true;
         if (loss_rng_.next_double() >= opts_.loss_rate) break;
         ++stats_.packets_lost;  // ack lost: re-clearing is harmless
+      }
+      if (!cleared) {
+        // A never-reset slot would swallow the next wave's adds through the
+        // dedup bitmap — fail loudly rather than aggregate silently wrong.
+        throw std::runtime_error("reset packet exceeded retransmits");
       }
     }
   }

@@ -1,0 +1,71 @@
+#include "util/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fpisa::util {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void BenchJson::set(const std::string& key, double value) {
+  entries_.push_back({key, true, value, {}});
+}
+
+void BenchJson::set(const std::string& key, const std::string& value) {
+  entries_.push_back({key, false, 0.0, value});
+}
+
+std::string BenchJson::render() const {
+  std::string out = "{\n  \"bench\": \"" + escape(name_) + "\",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "\"" + escape(e.key) + "\": ";
+    out += e.is_number ? number(e.number) : "\"" + escape(e.text) + "\"";
+  }
+  out += entries_.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+bool BenchJson::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render();
+  return static_cast<bool>(f);
+}
+
+}  // namespace fpisa::util

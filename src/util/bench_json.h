@@ -1,0 +1,41 @@
+// Machine-readable bench output: every bench/ binary writes its headline
+// metrics to BENCH_<name>.json alongside the human-readable stdout tables,
+// so the performance trajectory can be diffed and tracked across PRs.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fpisa::util {
+
+/// Collects key -> metric pairs (insertion order preserved) and serializes
+/// them as one flat JSON object: {"bench": <name>, "metrics": {...}}.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value) {
+    set(key, std::string(value));
+  }
+
+  const std::string& name() const { return name_; }
+  std::string render() const;
+
+  /// Writes `<dir>/BENCH_<name>.json`; returns false on I/O failure.
+  bool write(const std::string& dir = ".") const;
+
+ private:
+  struct Entry {
+    std::string key;
+    bool is_number = false;
+    double number = 0.0;
+    std::string text;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fpisa::util

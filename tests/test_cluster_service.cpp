@@ -1,0 +1,428 @@
+// Rack-scale aggregation: chunk->shard routing, slot-range isolation,
+// the multi-tenant service runtime, and the two-level ToR->spine tree —
+// including the acceptance property that the hierarchy is bit-identical
+// to single-switch FPISA aggregation on the same inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <set>
+#include <stdexcept>
+
+#include "cluster/aggregation_service.h"
+#include "cluster/hierarchy.h"
+#include "cluster/shard_router.h"
+#include "core/packed.h"
+#include "switchml/session.h"
+#include "util/rng.h"
+
+namespace fpisa::cluster {
+namespace {
+
+std::vector<std::vector<float>> make_workers(int w, std::size_t n,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(w),
+                                      std::vector<float>(n));
+  for (auto& vec : out) {
+    for (auto& v : vec) v = static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  return out;
+}
+
+/// Integer-valued magnitudes from one binade ([256, 512)): every FPISA-A
+/// add is exact (alignment never drops set bits, exponent gaps stay inside
+/// the left-shift headroom), so ANY grouping of the additions — flat,
+/// sharded, or two-level tree — must produce bit-identical results.
+std::vector<std::vector<float>> make_exact_workers(int w, std::size_t n,
+                                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(w),
+                                      std::vector<float>(n));
+  for (auto& vec : out) {
+    for (auto& v : vec) {
+      v = static_cast<float>(256 + rng.next_below(256));
+    }
+  }
+  return out;
+}
+
+std::vector<double> exact_sum(const std::vector<std::vector<float>>& w) {
+  std::vector<double> ref(w.front().size(), 0.0);
+  for (const auto& vec : w) {
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      ref[i] += static_cast<double>(vec[i]);
+    }
+  }
+  return ref;
+}
+
+// --- routing ---------------------------------------------------------------
+
+TEST(ShardRouter, PartitionCoversEveryChunkExactlyOnce) {
+  for (const RoutingPolicy policy :
+       {RoutingPolicy::kHash, RoutingPolicy::kRange}) {
+    for (const int shards : {1, 3, 4, 8}) {
+      ShardRouter router(shards, policy, 7);
+      const std::size_t total = 103;
+      const auto parts = router.partition(total);
+      ASSERT_EQ(parts.size(), static_cast<std::size_t>(shards));
+      std::set<std::size_t> seen;
+      for (int s = 0; s < shards; ++s) {
+        for (const std::size_t c : parts[static_cast<std::size_t>(s)]) {
+          EXPECT_EQ(router.route(c, total), s);
+          EXPECT_TRUE(seen.insert(c).second) << "chunk assigned twice: " << c;
+        }
+      }
+      EXPECT_EQ(seen.size(), total);
+    }
+  }
+}
+
+TEST(ShardRouter, RangePolicyIsContiguousAndBalanced) {
+  ShardRouter router(4, RoutingPolicy::kRange);
+  const auto parts = router.partition(10);  // 3,3,2,2
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t next = 0;
+  for (const auto& p : parts) {
+    ASSERT_FALSE(p.empty());
+    EXPECT_GE(p.size(), 2u);
+    EXPECT_LE(p.size(), 3u);
+    for (const std::size_t c : p) EXPECT_EQ(c, next++);
+  }
+}
+
+TEST(ShardRouter, HashPolicySpreadsChunks) {
+  ShardRouter router(4, RoutingPolicy::kHash, 99);
+  const auto parts = router.partition(4000);
+  for (const auto& p : parts) {
+    EXPECT_GT(p.size(), 700u);   // roughly balanced
+    EXPECT_LT(p.size(), 1300u);
+  }
+}
+
+// --- slot-range allocation -------------------------------------------------
+
+TEST(SlotRangeAllocator, RangesAreDisjointAndCoalesceOnRelease) {
+  SlotRangeAllocator alloc(16);
+  const auto a = alloc.allocate(8);
+  const auto b = alloc.allocate(8);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->size() + b->size(), 16u);
+  EXPECT_TRUE(a->hi <= b->lo || b->hi <= a->lo);
+  EXPECT_FALSE(alloc.allocate(1));  // exhausted
+
+  alloc.release(*a);
+  EXPECT_EQ(alloc.free_slots(), 8u);
+  alloc.release(*b);
+  EXPECT_EQ(alloc.free_slots(), 16u);
+  const auto all = alloc.allocate(16);  // coalesced back into one block
+  ASSERT_TRUE(all);
+  EXPECT_EQ(all->size(), 16u);
+  alloc.release(*all);
+}
+
+TEST(SlotRangeAllocator, ShrinksRequestsRatherThanFailing) {
+  SlotRangeAllocator alloc(8);
+  const auto a = alloc.allocate(6);
+  ASSERT_TRUE(a);
+  const auto b = alloc.allocate(6);  // only 2 left: allocator hands them out
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->size(), 2u);
+}
+
+// --- service ---------------------------------------------------------------
+
+TEST(ClusterService, MatchesSingleSwitchBitExactOnAnyInput) {
+  // Per element, the service performs the same add sequence (worker order,
+  // one register) as a single switch — results must be bit-identical even
+  // on inputs where FPISA rounds.
+  const auto workers = make_workers(4, 120, 91);
+
+  switchml::SessionOptions sopts;
+  sopts.num_workers = 4;
+  sopts.slots = 16;
+  sopts.lanes = 2;
+  switchml::AggregationSession single(pisa::SwitchConfig{}, sopts);
+  const auto want = single.reduce(workers);
+
+  ClusterOptions copts;
+  copts.num_shards = 4;
+  copts.lanes = 2;
+  copts.slots_per_shard = 16;
+  copts.slots_per_job = 8;
+  AggregationService service(copts);
+  const auto report = service.reduce({"tenant-a", workers});
+
+  ASSERT_EQ(report.result.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(core::fp32_bits(report.result[i]), core::fp32_bits(want[i]))
+        << i;
+  }
+  EXPECT_EQ(report.stats.packets_lost, 0u);
+  EXPECT_EQ(report.stats.retransmissions, 0u);
+}
+
+TEST(ClusterService, RoutingPoliciesAgreeBitwise) {
+  const auto workers = make_workers(3, 77, 92);
+  std::vector<float> results[2];
+  int r = 0;
+  for (const RoutingPolicy policy :
+       {RoutingPolicy::kHash, RoutingPolicy::kRange}) {
+    ClusterOptions opts;
+    opts.num_shards = 4;
+    opts.routing = policy;
+    AggregationService service(opts);
+    results[r++] = service.reduce({"t", workers}).result;
+  }
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_EQ(core::fp32_bits(results[0][i]), core::fp32_bits(results[1][i]))
+        << i;
+  }
+}
+
+TEST(ClusterService, PerShardStatsSumToJobTotals) {
+  ClusterOptions opts;
+  opts.num_shards = 4;
+  opts.slots_per_shard = 8;
+  opts.slots_per_job = 4;
+  AggregationService service(opts);
+  const auto report = service.reduce({"t", make_workers(2, 64, 93)});
+
+  switchml::SessionStats sum{};
+  int active_shards = 0;
+  for (const auto& s : report.per_shard) {
+    sum.packets_sent += s.packets_sent;
+    sum.slot_reuses += s.slot_reuses;
+    if (s.packets_sent) ++active_shards;
+  }
+  EXPECT_EQ(sum.packets_sent, report.stats.packets_sent);
+  EXPECT_EQ(sum.slot_reuses, report.stats.slot_reuses);
+  EXPECT_GT(active_shards, 1) << "sharding should engage multiple switches";
+  EXPECT_EQ(service.jobs_completed(), 1u);
+  EXPECT_EQ(service.total_stats().packets_sent, report.stats.packets_sent);
+}
+
+TEST(ClusterService, LossInjectionIsBitExactVsLossless) {
+  const auto workers = make_exact_workers(4, 48, 94);
+  ClusterOptions opts;
+  opts.num_shards = 3;
+  opts.slots_per_shard = 8;
+  opts.slots_per_job = 4;
+
+  AggregationService clean(opts);
+  const auto want = clean.reduce({"t", workers}).result;
+
+  opts.loss_rate = 0.25;
+  opts.loss_seed = 95;
+  AggregationService lossy(opts);
+  const auto report = lossy.reduce({"t", workers});
+
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(core::fp32_bits(report.result[i]), core::fp32_bits(want[i]))
+        << i;
+  }
+  EXPECT_GT(report.stats.packets_lost, 0u);
+  EXPECT_GT(report.stats.retransmissions, 0u);
+}
+
+TEST(ClusterService, RetransmitExhaustionFailsLoudly) {
+  ClusterOptions opts;
+  opts.num_shards = 2;
+  opts.loss_rate = 1.0;  // nothing ever gets through
+  opts.max_retransmits = 2;
+  AggregationService service(opts);
+  EXPECT_THROW(service.reduce({"t", make_workers(2, 8, 96)}),
+               std::runtime_error);
+}
+
+TEST(ClusterService, FailedJobDoesNotPoisonNextTenant) {
+  // A job that dies mid-flight has delivered some adds: its slots hold
+  // partial sums and set dedup-bitmap bits. The service must scrub the
+  // slot range before the next tenant reuses it, or that tenant's adds
+  // get silently swallowed as duplicates.
+  ClusterOptions opts;
+  opts.num_shards = 2;
+  opts.slots_per_shard = 4;
+  opts.slots_per_job = 4;
+  AggregationService service(opts);
+
+  JobRequest flaky{"flaky", make_exact_workers(2, 24, 120)};
+  flaky.loss_rate = 0.5;       // per-tenant override: terrible fabric...
+  flaky.max_retransmits = 0;   // ...and no patience: dies on first loss
+  EXPECT_THROW(service.reduce(flaky), std::runtime_error);
+
+  const auto workers = make_exact_workers(2, 24, 121);
+  const auto got = service.reduce({"stable", workers}).result;
+  AggregationService fresh(opts);
+  const auto want = fresh.reduce({"stable", workers}).result;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(core::fp32_bits(got[i]), core::fp32_bits(want[i])) << i;
+  }
+}
+
+TEST(ClusterService, ConcurrentTenantsAreIsolated) {
+  // Three tenants race over 2 shards with a slot pool sized so they must
+  // share: results must match each tenant's own exact sum, and per-tenant
+  // accounting must see all three.
+  ClusterOptions opts;
+  opts.num_shards = 2;
+  opts.slots_per_shard = 8;
+  opts.slots_per_job = 4;
+  opts.worker_threads = 3;
+  AggregationService service(opts);
+
+  const auto wa = make_workers(3, 60, 97);
+  const auto wb = make_workers(4, 45, 98);
+  const auto wc = make_workers(2, 80, 99);
+  auto fa = service.submit({"alice", wa});
+  auto fb = service.submit({"bob", wb});
+  auto fc = service.submit({"carol", wc});
+  const auto ra = fa.get();
+  const auto rb = fb.get();
+  const auto rc = fc.get();
+
+  const auto check = [](const JobReport& r,
+                        const std::vector<std::vector<float>>& w) {
+    const auto ref = exact_sum(w);
+    ASSERT_EQ(r.result.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(r.result[i], ref[i], std::fabs(ref[i]) * 1e-5 + 1e-6) << i;
+    }
+  };
+  check(ra, wa);
+  check(rb, wb);
+  check(rc, wc);
+
+  EXPECT_EQ(service.jobs_completed(), 3u);
+  const auto tenants = service.tenants();
+  EXPECT_EQ(tenants.size(), 3u);
+  EXPECT_GT(service.tenant_stats("alice").packets_sent, 0u);
+  EXPECT_GT(service.tenant_stats("bob").packets_sent, 0u);
+  EXPECT_GT(service.tenant_stats("carol").packets_sent, 0u);
+  const auto total = service.total_stats();
+  EXPECT_EQ(total.packets_sent, service.tenant_stats("alice").packets_sent +
+                                    service.tenant_stats("bob").packets_sent +
+                                    service.tenant_stats("carol").packets_sent);
+}
+
+// --- hierarchy -------------------------------------------------------------
+
+TEST(Hierarchy, BitIdenticalToSingleSwitchWithFourLeaves) {
+  // Acceptance property: a 2-level tree with 4 leaf shards produces the
+  // exact bits of single-switch FPISA aggregation on the same inputs.
+  HierarchyOptions opts;
+  opts.leaves = 4;
+  opts.workers_per_leaf = 2;
+  opts.slots = 8;
+  opts.lanes = 2;
+  HierarchicalAggregator tree(opts);
+
+  const auto workers = make_exact_workers(8, 72, 100);
+  const auto got = tree.reduce(workers);
+
+  switchml::SessionOptions sopts;
+  sopts.num_workers = 8;
+  sopts.slots = 8;
+  sopts.lanes = 2;
+  switchml::AggregationSession single(pisa::SwitchConfig{}, sopts);
+  const auto want = single.reduce(workers);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(core::fp32_bits(got[i]), core::fp32_bits(want[i])) << i;
+  }
+  // And both equal the exact sum (these inputs make every add exact).
+  const auto ref = exact_sum(workers);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(static_cast<double>(got[i]), ref[i]) << i;
+  }
+}
+
+TEST(Hierarchy, CloseToExactOnGaussianGradients) {
+  HierarchyOptions opts;
+  opts.leaves = 4;
+  opts.workers_per_leaf = 2;
+  opts.slots = 16;
+  HierarchicalAggregator tree(opts);
+
+  const auto workers = make_workers(8, 96, 101);
+  const auto got = tree.reduce(workers);
+  const auto ref = exact_sum(workers);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], std::fabs(ref[i]) * 1e-4 + 1e-5) << i;
+  }
+}
+
+TEST(Hierarchy, TimingModelIsConsistent) {
+  HierarchyOptions opts;
+  opts.leaves = 4;
+  opts.workers_per_leaf = 2;
+  opts.slots = 16;
+  HierarchicalAggregator tree(opts);
+  (void)tree.reduce(make_workers(8, 64, 102));
+
+  const HierarchyTiming& t = tree.timing();
+  EXPECT_GT(t.leaf_done_s, 0.0);
+  EXPECT_GT(t.done_s, t.leaf_done_s);  // spine + return hop come after
+  EXPECT_GT(t.packets, 0u);
+  EXPECT_EQ(t.wire_bytes, t.packets * tree.packet_bytes());
+  EXPECT_GT(t.values_per_s(64), 0.0);
+
+  // The tree's worker uplink load equals the flat switch's, so completion
+  // times are comparable; the tree only adds the ToR->spine hop.
+  const HierarchyTiming flat = flat_baseline_timing(opts, 64);
+  EXPECT_GT(flat.done_s, 0.0);
+  EXPECT_LT(t.done_s, flat.done_s * 3.0);
+  // The spine terminates `leaves` flows instead of every worker's: the
+  // tree moves fewer request packets into its root than the flat switch.
+  EXPECT_LT(t.packets, flat.packets * 2);
+}
+
+TEST(Hierarchy, FullFpisaSpineSurvivesCancelledLeafPartials) {
+  // Composition hazard: leaf 0's workers nearly cancel, so its partial
+  // (2^-10) pins the spine's FPISA-A register exponent; the other leaves'
+  // partials (-0.125, exponent gap exactly 7 = the headroom) left-shift
+  // into the register and their sum wraps 32 bits — a value-scale error.
+  // The default full-FPISA spine right-shifts the stored mantissa instead.
+  const std::vector<std::vector<float>> workers = {
+      {1.0009765625f}, {-1.0f},  // leaf 0: partial = 2^-10
+      {-0.0625f}, {-0.0625f},    // leaf 1: partial = -0.125
+      {-0.0625f}, {-0.0625f},    // leaf 2
+      {-0.0625f}, {-0.0625f},    // leaf 3
+  };
+  const double ref = -0.375 + 0.0009765625;
+
+  HierarchyOptions opts;
+  opts.leaves = 4;
+  opts.workers_per_leaf = 2;
+  opts.slots = 4;
+
+  opts.full_fpisa_spine = false;  // FPISA-A spine: register wraps
+  HierarchicalAggregator wrapping(opts);
+  const auto bad = wrapping.reduce(workers);
+  EXPECT_GT(std::fabs(static_cast<double>(bad[0]) - ref), 0.1)
+      << "expected the FPISA-A spine to wrap on this input";
+
+  opts.full_fpisa_spine = true;  // extended spine: exact
+  HierarchicalAggregator safe(opts);
+  const auto good = safe.reduce(workers);
+  EXPECT_EQ(static_cast<double>(good[0]), ref);
+}
+
+TEST(Hierarchy, ScalesToEightLeaves) {
+  HierarchyOptions opts;
+  opts.leaves = 8;
+  opts.workers_per_leaf = 2;
+  opts.slots = 8;
+  HierarchicalAggregator tree(opts);
+  const auto workers = make_exact_workers(16, 40, 103);
+  const auto got = tree.reduce(workers);
+  const auto ref = exact_sum(workers);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(static_cast<double>(got[i]), ref[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace fpisa::cluster
