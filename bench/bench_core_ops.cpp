@@ -1,5 +1,6 @@
 // Microbenchmarks + ablations for the core FPISA operations:
 //   * add throughput: full vs FPISA-A vs host float
+//   * batched branchless datapath vs the scalar reference loop, per backend
 //   * read (delayed renorm) vs hypothetical renormalize-every-add
 //   * LPM-table CLZ vs native countl_zero
 //   * advanced ops (multiply / table-multiply / log2 / sqrt)
@@ -12,6 +13,7 @@
 
 #include "core/accumulator.h"
 #include "core/advanced_ops.h"
+#include "core/batch_accumulator.h"
 #include "core/clz_table.h"
 #include "core/vector_accumulator.h"
 #include "util/rng.h"
@@ -70,8 +72,107 @@ void BM_VectorAggregate8Workers(benchmark::State& state) {
     benchmark::DoNotOptimize(r.sum.data());
   }
   state.SetItemsProcessed(state.iterations() * 8 * 1024);
+  state.SetLabel(std::string("backend=") +
+                 std::string(core::batch_backend_name()));
 }
 BENCHMARK(BM_VectorAggregate8Workers);
+
+// --- batched branchless datapath vs the scalar reference -------------------
+// The reference is the pre-batching FpisaVector loop: extract + branchy
+// fpisa_add per element. The batched kernels are bit-identical to it
+// (test_core_batch_equivalence), so these rows measure pure datapath shape.
+
+std::vector<std::uint32_t> value_bits(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) {
+    x = core::fp32_bits(static_cast<float>(rng.normal(0.0, 0.1)));
+  }
+  return v;
+}
+
+core::AccumulatorConfig bench_cfg(core::Variant v) {
+  core::AccumulatorConfig cfg;
+  cfg.variant = v;
+  return cfg;
+}
+
+void run_reference_loop(benchmark::State& state, core::Variant variant) {
+  const auto bits = value_bits(4096, 40);
+  const core::AccumulatorConfig cfg = bench_cfg(variant);
+  std::vector<std::int32_t> exp(4096, 0);
+  std::vector<std::int64_t> man(4096, 0);
+  core::OpCounters counters;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      const auto ex = core::extract(bits[i], cfg.format);
+      if (ex.cls == core::FpClass::kInf || ex.cls == core::FpClass::kNaN) {
+        ++counters.nonfinite_inputs;
+        continue;
+      }
+      core::FpState s{exp[i], man[i]};
+      core::fpisa_add(s, ex.value, cfg, counters);
+      exp[i] = s.exp;
+      man[i] = s.man;
+    }
+    benchmark::DoNotOptimize(man.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+
+void run_batch(benchmark::State& state, core::Variant variant,
+               core::BatchBackend backend) {
+  bool available = false;
+  for (const auto b : core::available_batch_backends()) {
+    available = available || b == backend;
+  }
+  if (!available) {
+    state.SkipWithError("backend not available on this CPU/build");
+    return;
+  }
+  core::force_batch_backend(backend);
+  const auto bits = value_bits(4096, 40);
+  const core::AccumulatorConfig cfg = bench_cfg(variant);
+  std::vector<std::int32_t> exp(4096, 0);
+  std::vector<std::int64_t> man(4096, 0);
+  core::OpCounters counters;
+  for (auto _ : state) {
+    core::fpisa_add_batch(bits, exp, man, cfg, counters);
+    benchmark::DoNotOptimize(man.data());
+  }
+  core::reset_batch_backend();
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+
+void BM_BatchAddFullReference(benchmark::State& state) {
+  run_reference_loop(state, core::Variant::kFull);
+}
+BENCHMARK(BM_BatchAddFullReference);
+
+void BM_BatchAddFullScalar(benchmark::State& state) {
+  run_batch(state, core::Variant::kFull, core::BatchBackend::kScalar);
+}
+BENCHMARK(BM_BatchAddFullScalar);
+
+void BM_BatchAddFullAvx2(benchmark::State& state) {
+  run_batch(state, core::Variant::kFull, core::BatchBackend::kAvx2);
+}
+BENCHMARK(BM_BatchAddFullAvx2);
+
+void BM_BatchAddApproxReference(benchmark::State& state) {
+  run_reference_loop(state, core::Variant::kApproximate);
+}
+BENCHMARK(BM_BatchAddApproxReference);
+
+void BM_BatchAddApproxScalar(benchmark::State& state) {
+  run_batch(state, core::Variant::kApproximate, core::BatchBackend::kScalar);
+}
+BENCHMARK(BM_BatchAddApproxScalar);
+
+void BM_BatchAddApproxAvx2(benchmark::State& state) {
+  run_batch(state, core::Variant::kApproximate, core::BatchBackend::kAvx2);
+}
+BENCHMARK(BM_BatchAddApproxAvx2);
 
 // Ablation: delayed renormalization (read once at the end) vs
 // renormalizing after every add — the data-dependency the design removes.

@@ -50,7 +50,7 @@ int main() {
         const double e = std::fabs(static_cast<double>(out[i]) - ref[i]);
         if (e > 0) err_hist.add(e);
       }
-      epoch_counters.merge(acc.counters());
+      epoch_counters += acc.counters();
     });
 
     if (capture) {
@@ -77,7 +77,7 @@ int main() {
                   100.0 * static_cast<double>(c.rounded_adds) / c.adds,
                   100.0 * static_cast<double>(c.overwrites) / c.adds,
                   100.0 * static_cast<double>(c.lshift_overflows) / c.adds);
-      totals.merge(c);
+      totals += c;
       ++next;
     }
   }

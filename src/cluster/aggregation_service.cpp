@@ -73,22 +73,16 @@ void AggregationService::worker_loop() {
   }
 }
 
-void AggregationService::merge_stats(switchml::SessionStats& into,
-                                     const switchml::SessionStats& from) {
-  into.packets_sent += from.packets_sent;
-  into.packets_lost += from.packets_lost;
-  into.retransmissions += from.retransmissions;
-  into.duplicates_absorbed += from.duplicates_absorbed;
-  into.slot_reuses += from.slot_reuses;
-}
-
-bool AggregationService::shard_send_add(Shard& shard, std::uint16_t slot,
-                                        std::uint8_t worker,
-                                        std::span<const std::uint32_t> values,
-                                        pisa::FpisaResult* out,
-                                        const JobParams& params,
-                                        util::Rng& rng,
-                                        switchml::SessionStats& stats) {
+bool AggregationService::queue_add(std::uint16_t slot, std::uint8_t worker,
+                                   std::span<const std::uint32_t> values,
+                                   const JobParams& params, util::Rng& rng,
+                                   switchml::SessionStats& stats,
+                                   WaveScratch& scratch) {
+  // The loss schedule depends only on the task's rng stream, never on the
+  // switch, so it is drawn here in the per-packet protocol's exact order;
+  // every copy the switch would have received is queued in arrival order
+  // and applied later in one add_batch (the dedup bitmap absorbs the
+  // duplicates, exactly as it would packet by packet).
   bool delivered_before = false;
   for (int attempt = 0; attempt <= params.max_retransmits; ++attempt) {
     if (attempt > 0) ++stats.retransmissions;
@@ -100,19 +94,27 @@ bool AggregationService::shard_send_add(Shard& shard, std::uint16_t slot,
     }
     if (delivered_before) ++stats.duplicates_absorbed;
     delivered_before = true;
-    pisa::FpisaResult r;
-    {
-      std::lock_guard<std::mutex> lk(shard.mu);
-      r = shard.sw.add(slot, worker, values);
-    }
+    scratch.slots.push_back(slot);
+    scratch.workers.push_back(worker);
+    scratch.values.insert(scratch.values.end(), values.begin(), values.end());
+
     if (rng.next_double() < params.loss_rate) {
       ++stats.packets_lost;
       continue;  // ack lost: worker retransmits; switch-side bitmap dedups
     }
-    *out = r;
     return true;
   }
   return false;
+}
+
+void AggregationService::flush_wave(Shard& shard, WaveScratch& scratch) {
+  if (!scratch.slots.empty()) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.sw.add_batch(scratch.slots, scratch.workers, scratch.values);
+  }
+  scratch.slots.clear();
+  scratch.workers.clear();
+  scratch.values.clear();
 }
 
 void AggregationService::scrub_range(Shard& shard, const SlotRange& range) {
@@ -131,81 +133,90 @@ void AggregationService::run_shard_chunks(
   const std::size_t n = result.size();
   const int nw = static_cast<int>(workers.size());
   const std::size_t wave = range.size();
-  std::vector<std::uint32_t> vals(lanes);
+  WaveScratch scratch;
+  scratch.lane_buf.assign(lanes, 0);
 
   for (std::size_t base = 0; base < chunks.size(); base += wave) {
     const std::size_t wave_end = std::min(base + wave, chunks.size());
-    // Every worker streams its packet for every chunk of this wave.
+    // Submit phase: encode every (chunk, worker) packet of the wave into
+    // the reused flat buffers, drawing the loss schedule as we go, then
+    // apply the whole wave with ONE shard-mutex hold (the per-packet
+    // protocol locked per traversal — pure contention with zero benefit,
+    // since concurrent jobs own disjoint slot ranges).
     for (std::size_t k = base; k < wave_end; ++k) {
       const std::size_t c = chunks[k];
       const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
       for (int w = 0; w < nw; ++w) {
         for (std::size_t l = 0; l < lanes; ++l) {
           const std::size_t i = c * lanes + l;
-          vals[l] = i < n ? core::fp32_bits(
-                                workers[static_cast<std::size_t>(w)][i])
-                          : 0;
+          scratch.lane_buf[l] =
+              i < n
+                  ? core::fp32_bits(workers[static_cast<std::size_t>(w)][i])
+                  : 0;
         }
-        pisa::FpisaResult r;
-        if (!shard_send_add(shard, slot, static_cast<std::uint8_t>(w), vals,
-                            &r, params, rng, stats)) {
+        if (!queue_add(slot, static_cast<std::uint8_t>(w), scratch.lane_buf,
+                       params, rng, stats, scratch)) {
+          // Deliver what the switch already received, so failure leaves
+          // the same register state the per-packet protocol would.
+          flush_wave(shard, scratch);
           throw std::runtime_error(
               "cluster: aggregation packet exceeded max_retransmits");
         }
       }
     }
-    // Collect + recycle the wave's slots (idempotent read, then reset).
-    for (std::size_t k = base; k < wave_end; ++k) {
-      const std::size_t c = chunks[k];
-      const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
-      pisa::FpisaResult read;
-      bool have = false;
-      for (int attempt = 0; attempt <= params.max_retransmits && !have;
-           ++attempt) {
-        ++stats.packets_sent;
-        if (rng.next_double() < params.loss_rate) {
-          ++stats.packets_lost;
-          continue;
+    flush_wave(shard, scratch);
+
+    // Collect phase: idempotent read then reset per chunk, all switch
+    // operations of the wave under one mutex hold, in the per-packet
+    // protocol's exact order (reads don't mutate; resets only touch this
+    // job's private slots, so coarser locking is externally invisible).
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      for (std::size_t k = base; k < wave_end; ++k) {
+        const std::size_t c = chunks[k];
+        const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
+        bool have = false;
+        for (int attempt = 0; attempt <= params.max_retransmits && !have;
+             ++attempt) {
+          ++stats.packets_sent;
+          if (rng.next_double() < params.loss_rate) {
+            ++stats.packets_lost;
+            continue;
+          }
+          shard.sw.read_into(slot, scratch.result_buf);
+          if (rng.next_double() < params.loss_rate) {
+            ++stats.packets_lost;
+            continue;
+          }
+          have = true;
         }
-        {
-          std::lock_guard<std::mutex> lk(shard.mu);
-          read = shard.sw.read(slot);
+        if (!have) {
+          throw std::runtime_error(
+              "cluster: read packet exceeded max_retransmits");
         }
-        if (rng.next_double() < params.loss_rate) {
-          ++stats.packets_lost;
-          continue;
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const std::size_t i = c * lanes + l;
+          if (i < n) result[i] = core::fp32_value(scratch.result_buf.values[l]);
         }
-        have = true;
-      }
-      if (!have) {
-        throw std::runtime_error(
-            "cluster: read packet exceeded max_retransmits");
-      }
-      for (std::size_t l = 0; l < lanes; ++l) {
-        const std::size_t i = c * lanes + l;
-        if (i < n) result[i] = core::fp32_value(read.values[l]);
-      }
-      bool cleared = false;
-      for (int attempt = 0; attempt <= params.max_retransmits; ++attempt) {
-        ++stats.packets_sent;
-        if (rng.next_double() < params.loss_rate) {
-          ++stats.packets_lost;
-          continue;
+        bool cleared = false;
+        for (int attempt = 0; attempt <= params.max_retransmits; ++attempt) {
+          ++stats.packets_sent;
+          if (rng.next_double() < params.loss_rate) {
+            ++stats.packets_lost;
+            continue;
+          }
+          shard.sw.read_and_reset_into(slot, scratch.result_buf);
+          ++stats.slot_reuses;
+          cleared = true;
+          if (rng.next_double() >= params.loss_rate) break;
+          ++stats.packets_lost;  // ack lost: re-clearing is harmless
         }
-        {
-          std::lock_guard<std::mutex> lk(shard.mu);
-          (void)shard.sw.read_and_reset(slot);
+        if (!cleared) {
+          // A dirty slot would poison the range's next tenant via the dedup
+          // bitmap — fail loudly instead of finishing with a hidden leak.
+          throw std::runtime_error(
+              "cluster: reset packet exceeded max_retransmits");
         }
-        ++stats.slot_reuses;
-        cleared = true;
-        if (rng.next_double() >= params.loss_rate) break;
-        ++stats.packets_lost;  // ack lost: re-clearing is harmless
-      }
-      if (!cleared) {
-        // A dirty slot would poison the range's next tenant via the dedup
-        // bitmap — fail loudly instead of finishing with a hidden leak.
-        throw std::runtime_error(
-            "cluster: reset packet exceeded max_retransmits");
       }
     }
   }
@@ -319,10 +330,10 @@ JobReport AggregationService::reduce(JobRequest job) {
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      merge_stats(shards_[s]->stats, report.per_shard[s]);
-      merge_stats(report.stats, report.per_shard[s]);
+      shards_[s]->stats += report.per_shard[s];
+      report.stats += report.per_shard[s];
     }
-    merge_stats(tenant_stats_[report.tenant], report.stats);
+    tenant_stats_[report.tenant] += report.stats;
     if (!join.error) ++jobs_completed_;
   }
   if (join.error) std::rethrow_exception(join.error);
@@ -354,7 +365,7 @@ switchml::SessionStats AggregationService::tenant_stats(
 switchml::SessionStats AggregationService::total_stats() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   switchml::SessionStats total{};
-  for (const auto& s : shards_) merge_stats(total, s->stats);
+  for (const auto& s : shards_) total += s->stats;
   return total;
 }
 

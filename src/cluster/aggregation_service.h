@@ -100,22 +100,35 @@ class AggregationService {
     int max_retransmits = 0;
   };
 
+  /// Per-task scratch: every buffer the wave loop needs, reused across
+  /// waves so the worker pool does no per-packet allocation at all.
+  struct WaveScratch {
+    std::vector<std::uint16_t> slots;
+    std::vector<std::uint8_t> workers;
+    std::vector<std::uint32_t> values;
+    std::vector<std::uint32_t> lane_buf;
+    pisa::FpisaResult result_buf;
+  };
+
   void worker_loop();
   void run_shard_chunks(Shard& shard, const SlotRange& range,
                         const std::vector<std::size_t>& chunks,
                         std::span<const std::vector<float>> workers,
                         std::vector<float>& result, const JobParams& params,
                         util::Rng& rng, switchml::SessionStats& stats);
-  bool shard_send_add(Shard& shard, std::uint16_t slot, std::uint8_t worker,
-                      std::span<const std::uint32_t> values,
-                      pisa::FpisaResult* out, const JobParams& params,
-                      util::Rng& rng, switchml::SessionStats& stats);
+  /// Draws the per-packet loss schedule (identical order to the
+  /// per-packet protocol) and queues every delivered copy into `scratch`;
+  /// returns false when the packet exhausts its retransmit budget.
+  static bool queue_add(std::uint16_t slot, std::uint8_t worker,
+                        std::span<const std::uint32_t> values,
+                        const JobParams& params, util::Rng& rng,
+                        switchml::SessionStats& stats, WaveScratch& scratch);
+  /// Applies the queued wave under ONE shard-mutex hold.
+  static void flush_wave(Shard& shard, WaveScratch& scratch);
   /// Control-plane cleanup: clears every slot of `range` so a failed job
   /// cannot leak register state or dedup-bitmap bits to the range's next
   /// tenant.
   void scrub_range(Shard& shard, const SlotRange& range);
-  static void merge_stats(switchml::SessionStats& into,
-                          const switchml::SessionStats& from);
 
   ClusterOptions opts_;
   ShardRouter router_;

@@ -76,6 +76,14 @@ std::vector<float> HierarchicalAggregator::reduce(
                                 net::Link(opts_.link_gbps, opts_.link_latency_us));
   std::vector<net::Link> spine_down(
       nl, net::Link(opts_.link_gbps, opts_.link_latency_us));
+  // Every switch's packet-processing pipeline is SHARED across its ingress
+  // ports: worker packets serialize through their ToR's pipe, and ToR
+  // partials through the spine's, before contributing. This is the
+  // topology-dependent term — with few leaves the links dominate, with
+  // more fan-in the shared pipes do. (Plain locals: every scheduled event
+  // runs inside sim.run() below, before these leave scope.)
+  std::vector<net::Link> leaf_pipe(nl, net::Link(opts_.pipeline_gbps, 0.0));
+  net::Link spine_pipe(opts_.pipeline_gbps, 0.0);
   std::vector<int> spine_seen(chunks, 0);
   HierarchyTiming timing{};
   std::vector<std::uint32_t> vals(lanes);
@@ -97,31 +105,40 @@ std::vector<float> HierarchicalAggregator::reduce(
           }
           (void)leaves_[static_cast<std::size_t>(j)]->add(
               slot, static_cast<std::uint8_t>(k), vals);
+          const double at_tor =
+              worker_up[static_cast<std::size_t>(w)].send(0.0, packet_bytes());
           leaf_ready = std::max(
-              leaf_ready,
-              worker_up[static_cast<std::size_t>(w)].send(0.0, packet_bytes()));
+              leaf_ready, leaf_pipe[static_cast<std::size_t>(j)].send(
+                              at_tor, packet_bytes()));
           ++timing.packets;
         }
         // ToR forwards its partial to the spine once the last contributing
         // host packet has arrived.
         sim.at(leaf_ready, [this, &sim, &tor_up, &spine_down, &spine_seen,
-                            &timing, c, j] {
+                            &timing, &spine_pipe, c, j] {
           const double at_spine =
               tor_up[static_cast<std::size_t>(j)].send(sim.now(),
                                                        packet_bytes());
           ++timing.packets;
           timing.leaf_done_s = std::max(timing.leaf_done_s, sim.now());
-          sim.at(at_spine, [this, &sim, &spine_down, &spine_seen, &timing, c] {
-            if (++spine_seen[c] < opts_.leaves) return;
-            // Chunk complete at the spine: multicast the result back down
-            // (spine->ToR serialization + the ToR->host hop latency).
-            for (std::size_t d = 0; d < spine_down.size(); ++d) {
-              const double delivered =
-                  spine_down[d].send(sim.now(), packet_bytes()) +
-                  opts_.link_latency_us * 1e-6;
-              ++timing.packets;
-              timing.done_s = std::max(timing.done_s, delivered);
-            }
+          sim.at(at_spine, [this, &sim, &spine_down, &spine_seen, &timing,
+                            &spine_pipe, c] {
+            // The partial still has to clear the spine's shared pipeline.
+            const double processed =
+                spine_pipe.send(sim.now(), packet_bytes());
+            sim.at(processed,
+                   [this, &sim, &spine_down, &spine_seen, &timing, c] {
+              if (++spine_seen[c] < opts_.leaves) return;
+              // Chunk complete at the spine: multicast the result back down
+              // (spine->ToR serialization + the ToR->host hop latency).
+              for (std::size_t d = 0; d < spine_down.size(); ++d) {
+                const double delivered =
+                    spine_down[d].send(sim.now(), packet_bytes()) +
+                    opts_.link_latency_us * 1e-6;
+                ++timing.packets;
+                timing.done_s = std::max(timing.done_s, delivered);
+              }
+            });
           });
         });
       }
@@ -160,12 +177,16 @@ HierarchyTiming flat_baseline_timing(const HierarchyOptions& opts,
                             net::Link(opts.link_gbps, opts.link_latency_us));
   std::vector<net::Link> down(static_cast<std::size_t>(total),
                               net::Link(opts.link_gbps, opts.link_latency_us));
+  // One shared packet-processing pipeline for the flat switch: every
+  // worker's packet serializes through it, so fan-in (total workers) is
+  // the flat topology's bottleneck — the term the tree's two levels split.
+  net::Link pipe(opts.pipeline_gbps, 0.0);
   HierarchyTiming t{};
   for (std::size_t c = 0; c < chunks; ++c) {
     double arrived = 0.0;
     for (int w = 0; w < total; ++w) {
-      arrived = std::max(arrived,
-                         up[static_cast<std::size_t>(w)].send(0.0, pkt));
+      const double at_switch = up[static_cast<std::size_t>(w)].send(0.0, pkt);
+      arrived = std::max(arrived, pipe.send(at_switch, pkt));
       ++t.packets;
     }
     t.leaf_done_s = std::max(t.leaf_done_s, arrived);

@@ -33,6 +33,12 @@ struct HierarchyOptions {
   // Timing model.
   double link_gbps = 100.0;
   double link_latency_us = 1.0;
+  /// Aggregate packet-processing bandwidth of one switch pipeline, shared
+  /// by all of that switch's ports (a Tofino pipe serves several ports).
+  /// This is what makes completion time a function of topology: the spine
+  /// pipeline carries `leaves` flows, a flat switch's pipeline carries one
+  /// flow per worker — fan-in eventually saturates the shared pipe.
+  double pipeline_gbps = 400.0;
   std::size_t frame_overhead_bytes = 46;  ///< Ethernet+IP+UDP around payload
 };
 

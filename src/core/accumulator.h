@@ -65,7 +65,9 @@ struct OpCounters {
   std::uint64_t nonfinite_inputs = 0;  ///< inf/NaN inputs skipped
   std::uint64_t zero_inputs = 0;
 
-  void merge(const OpCounters& o) {
+  /// Centralized merge: every layer that pools counters goes through this
+  /// (hand-rolled field lists have already missed late-added fields once).
+  OpCounters& operator+=(const OpCounters& o) {
     adds += o.adds;
     rounded_adds += o.rounded_adds;
     overwrites += o.overwrites;
@@ -73,6 +75,7 @@ struct OpCounters {
     saturations += o.saturations;
     nonfinite_inputs += o.nonfinite_inputs;
     zero_inputs += o.zero_inputs;
+    return *this;
   }
 };
 

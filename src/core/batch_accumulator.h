@@ -1,0 +1,112 @@
+// Batched, branchless FPISA accumulation over a structure-of-arrays
+// register file.
+//
+// The scalar reference (`fpisa_add`) mirrors the paper's per-packet
+// dataflow: one value, one branchy align/overwrite/headroom decision tree.
+// That is the right shape for validating the switch program, but it is the
+// wrong shape for a software datapath that wants to run "at line rate":
+// every branch depends on the incoming exponent, so the host CPU
+// mispredicts its way through gradient streams. `fpisa_add_batch` processes
+// a span of packed FP32 values against parallel exponent/mantissa register
+// arrays with *select-based* (branch-free) decision logic — the same
+// restructuring Packet Transactions applies to data-plane algorithms:
+// every per-stage decision becomes a mask, every counter becomes a lane
+// sum.
+//
+// Contract: bit-identical to the scalar reference. For every element i,
+// the post-state of (exp[i], man[i]) and the OpCounters *totals* equal what
+// `extract` + (skip non-finite) + `fpisa_add` would produce, for both
+// Variant::kFull and Variant::kApproximate under either OverflowPolicy.
+// This is enforced by tests/test_core_batch_equivalence.cpp (exhaustive
+// FP16-derived sweep + randomized FP32 streams).
+//
+// Backends (runtime-dispatched behind this one interface):
+//  * kScalar — portable unrolled scalar code built from the same branchless
+//    lane primitive; compiles everywhere.
+//  * kAvx2   — 4-wide AVX2 (64-bit lanes) kernel, compiled only when the
+//    build enables FPISA_ENABLE_AVX2 and selected only when the CPU
+//    reports AVX2 support.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/accumulator.h"
+
+namespace fpisa::core {
+
+/// Structure-of-arrays register file: one exponent array + one mantissa
+/// array (paper Fig 3's layout, which is also the SIMD-friendly layout).
+struct RegisterFile {
+  std::vector<std::int32_t> exp;
+  std::vector<std::int64_t> man;
+
+  RegisterFile() = default;
+  explicit RegisterFile(std::size_t n) : exp(n, 0), man(n, 0) {}
+
+  std::size_t size() const { return exp.size(); }
+  void clear() {
+    exp.assign(exp.size(), 0);
+    man.assign(man.size(), 0);
+  }
+};
+
+enum class BatchBackend {
+  kScalar,  ///< portable branchless scalar (unrolled)
+  kAvx2,    ///< AVX2 4x64-bit lanes (when compiled in + CPU supports it)
+};
+
+/// Backend the next fpisa_add_batch call will use.
+BatchBackend batch_backend();
+std::string_view batch_backend_name();
+
+/// Backends usable on this build + CPU (kScalar always; kAvx2 when
+/// available). For differential testing across backends.
+std::span<const BatchBackend> available_batch_backends();
+
+/// Test hook: pin the dispatch to one backend (must be available), or pass
+/// kScalar to restore the default choice after forcing.
+void force_batch_backend(BatchBackend backend);
+void reset_batch_backend();
+
+/// True when `cfg` can take the batched fast path: packed binary32 layout
+/// and a register narrower than 64 bits. Ineligible configs still work —
+/// fpisa_add_batch falls back to the scalar reference loop.
+bool batch_eligible(const AccumulatorConfig& cfg);
+
+/// Element-wise batched accumulate: bits[i] (packed FP32) adds into
+/// (exp[i], man[i]). Spans must have equal length. Semantics per element
+/// match FpisaVector's scalar loop exactly: non-finite inputs bump
+/// `nonfinite_inputs` and are skipped (no `adds` tick), zeros tick
+/// `adds`/`zero_inputs` and leave the register untouched, everything else
+/// runs the configured variant's datapath.
+void fpisa_add_batch(std::span<const std::uint32_t> bits,
+                     std::span<std::int32_t> exp, std::span<std::int64_t> man,
+                     const AccumulatorConfig& cfg, OpCounters& counters);
+
+namespace detail {
+
+/// Per-batch event tallies, merged into OpCounters once per call (the
+/// "counters as lane sums" half of the branchless restructuring).
+struct BatchTallies {
+  std::uint64_t adds = 0;
+  std::uint64_t rounded = 0;
+  std::uint64_t overwrites = 0;
+  std::uint64_t lshift_overflows = 0;
+  std::uint64_t saturations = 0;
+  std::uint64_t nonfinite = 0;
+  std::uint64_t zeros = 0;
+};
+
+/// AVX2 kernel entry (defined in batch_accumulator_avx2.cpp, only built
+/// when FPISA_ENABLE_AVX2 is on). Tail elements are finished by the scalar
+/// lane primitive inside.
+void add_batch_avx2(const std::uint32_t* bits, std::size_t n,
+                    std::int32_t* exp, std::int64_t* man,
+                    const AccumulatorConfig& cfg, BatchTallies& t);
+
+}  // namespace detail
+
+}  // namespace fpisa::core

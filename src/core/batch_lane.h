@@ -1,0 +1,153 @@
+// Internal: the branchless FPISA lane primitive shared by the scalar and
+// AVX2 batch backends (and used scalar-side for vector tails). Not part of
+// the public core API — include batch_accumulator.h instead.
+//
+// Every decision of the scalar reference (`fpisa_add`) is re-expressed as
+// a select so one instruction stream handles all lanes:
+//   * align-vs-grow (full FPISA): shift whichever mantissa has the smaller
+//     exponent; the shifted operand and distance are selected, not branched.
+//   * headroom / overwrite (FPISA-A): masks `d > 0` and `d > headroom`
+//     pick between aligned add, left-shifted add, and overwrite (overwrite
+//     is folded into the same adder as `0 + m_in`, which can never
+//     saturate because an extracted value always fits the register).
+//   * counters: every event is a 0/1 lane contribution summed into
+//     BatchTallies.
+// Shift distances are clamped to 63 — identical results to the reference's
+// 64-clamp because every operand fits in well under 63 magnitude bits —
+// and the reference's asymmetric `asr_inexact` rule at the >=64 boundary
+// is replicated bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "core/accumulator.h"
+#include "core/batch_accumulator.h"
+
+namespace fpisa::core::detail {
+
+/// asr with the distance clamped: for s >= 64 the reference returns the
+/// sign (0 or -1), which `v >> 63` also yields for any |v| < 2^63.
+inline std::int64_t asr_clamped(std::int64_t v, std::int32_t s) {
+  return v >> (s > 63 ? 63 : s);
+}
+
+/// Bit-exact replica of detail::asr_inexact, including its distinct rule
+/// for distances >= 64 (where v == -1 counts as exact).
+inline bool asr_inexact_clamped(std::int64_t v, std::int32_t s) {
+  const std::uint64_t mask =
+      (std::uint64_t{1} << (s > 63 ? 63 : (s > 0 ? s : 0))) - 1;
+  const bool below64 = (static_cast<std::uint64_t>(v) & mask) != 0;
+  const bool at_or_above64 = v != 0 && v != -1;
+  if (s <= 0) return false;
+  return s >= 64 ? at_or_above64 : below64;
+}
+
+/// Uniform (per-batch) parameters hoisted out of the lane loop.
+struct LaneParams {
+  int guard = 0;
+  int reg_bits = 0;
+  int headroom = 0;
+  std::int64_t hi = 0;  ///< register max
+  std::int64_t lo = 0;  ///< register min
+  std::uint64_t sign_bit = 0;
+
+  static LaneParams from(const AccumulatorConfig& cfg) {
+    LaneParams p;
+    p.guard = cfg.guard_bits;
+    p.reg_bits = cfg.effective_reg_bits();
+    p.headroom = cfg.headroom();
+    p.hi = (std::int64_t{1} << (p.reg_bits - 1)) - 1;
+    p.lo = -p.hi - 1;
+    p.sign_bit = std::uint64_t{1} << (p.reg_bits - 1);
+    return p;
+  }
+};
+
+/// One branch-free FPISA add of packed FP32 `u` into (se, sm).
+/// Bit-identical (state and counter totals) to
+/// `extract` + skip-nonfinite + `fpisa_add` for reg_bits < 64.
+template <Variant V, OverflowPolicy P>
+inline void lane_add(std::uint32_t u, std::int32_t& se, std::int64_t& sm,
+                     const LaneParams& p, BatchTallies& t) {
+  const std::uint32_t e_raw = (u >> 23) & 0xFFu;
+  const std::uint32_t frac = u & 0x7FFFFFu;
+  const bool nonfinite = e_raw == 0xFFu;
+  const bool zero = (e_raw | frac) == 0u;
+  const bool active = !nonfinite && !zero;
+  t.nonfinite += nonfinite;
+  t.adds += !nonfinite;
+  t.zeros += !nonfinite && zero;
+
+  // Extract (MAU0/1): implied 1, subnormal remap to exponent 1, sign fold.
+  const bool sub = e_raw == 0u;
+  const std::int32_t e = sub ? 1 : static_cast<std::int32_t>(e_raw);
+  const std::int64_t sig = static_cast<std::int64_t>(
+      frac | (static_cast<std::uint32_t>(!sub) << 23));
+  const std::int64_t m_in = ((u >> 31) ? -sig : sig) << p.guard;
+
+  const std::int32_t d = e - se;
+
+  std::int64_t a;     // first adder operand
+  std::int64_t b;     // second adder operand
+  std::int32_t ne;    // exponent to commit
+  bool rounded;       // alignment shift dropped set bits
+  bool is_lsh = false;
+  bool is_ovw = false;
+  if (V == Variant::kFull) {
+    // RSAW symmetry: shift whichever side has the smaller exponent.
+    const bool grow = d > 0;
+    const std::int32_t sh = grow ? d : -d;
+    const std::int64_t shifted = grow ? sm : m_in;
+    rounded = asr_inexact_clamped(shifted, sh);
+    a = asr_clamped(shifted, sh);
+    b = grow ? m_in : sm;
+    ne = grow ? e : se;
+  } else {
+    is_ovw = d > p.headroom;
+    is_lsh = d > 0 && !is_ovw;
+    const std::int32_t sh = d < 0 ? -d : 0;
+    rounded = asr_inexact_clamped(m_in, sh);  // false whenever d >= 0
+    const std::int32_t dl = is_lsh ? d : 0;   // clamp: shift stays defined
+    a = is_ovw ? 0 : sm;
+    b = is_ovw ? m_in : (is_lsh ? (m_in << dl) : asr_clamped(m_in, sh));
+    ne = is_ovw ? e : se;
+  }
+
+  // add_register, select form. Operands are bounded well inside int64 (the
+  // register range plus an extracted mantissa), so the wide add is exact.
+  const std::int64_t sum = a + b;
+  const bool ovf = sum < p.lo || sum > p.hi;
+  const std::uint64_t w =
+      static_cast<std::uint64_t>(sum) & ((p.sign_bit << 1) - 1);
+  const std::int64_t wrapped =
+      static_cast<std::int64_t>((w ^ p.sign_bit) - p.sign_bit);
+  const std::int64_t satv = sum < p.lo ? p.lo : p.hi;
+  const std::int64_t nm =
+      ovf ? (P == OverflowPolicy::kWrap ? wrapped : satv) : sum;
+
+  t.rounded += active && rounded;
+  t.saturations += active && ovf;
+  t.lshift_overflows += active && is_lsh && ovf;
+  t.overwrites += active && is_ovw && sm != 0;
+
+  se = active ? ne : se;
+  sm = active ? nm : sm;
+}
+
+/// Runs the lane primitive over a range (the portable backend's core and
+/// the AVX2 backend's tail loop).
+template <Variant V, OverflowPolicy P>
+inline void lane_add_range(const std::uint32_t* bits, std::size_t n,
+                           std::int32_t* exp, std::int64_t* man,
+                           const LaneParams& p, BatchTallies& t) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {  // unrolled: independent lanes pipeline
+    lane_add<V, P>(bits[i + 0], exp[i + 0], man[i + 0], p, t);
+    lane_add<V, P>(bits[i + 1], exp[i + 1], man[i + 1], p, t);
+    lane_add<V, P>(bits[i + 2], exp[i + 2], man[i + 2], p, t);
+    lane_add<V, P>(bits[i + 3], exp[i + 3], man[i + 3], p, t);
+  }
+  for (; i < n; ++i) lane_add<V, P>(bits[i], exp[i], man[i], p, t);
+}
+
+}  // namespace fpisa::core::detail

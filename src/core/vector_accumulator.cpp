@@ -1,48 +1,99 @@
 #include "core/vector_accumulator.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
 namespace fpisa::core {
+namespace {
+
+/// Stack chunk for narrowing/bit-casting inputs without heap churn.
+constexpr std::size_t kChunk = 256;
+
+}  // namespace
 
 FpisaVector::FpisaVector(std::size_t size, AccumulatorConfig cfg)
-    : cfg_(cfg), exp_(size, 0), man_(size, 0) {}
+    : cfg_(cfg), regs_(size) {}
 
 void FpisaVector::add(std::span<const float> values) {
   assert(values.size() == size());
   assert(cfg_.format.total_bits == 32 && "use add_bits for non-FP32 formats");
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    const ExtractResult ex = extract(fp32_bits(values[i]), cfg_.format);
-    if (ex.cls == FpClass::kInf || ex.cls == FpClass::kNaN) {
-      ++counters_.nonfinite_inputs;
-      continue;
-    }
-    FpState s{exp_[i], man_[i]};
-    fpisa_add(s, ex.value, cfg_, counters_);
-    exp_[i] = s.exp;
-    man_[i] = s.man;
+  // float and its bit pattern share a layout: reinterpret in place, chunked
+  // through a stack buffer only to stay strict-aliasing clean.
+  std::uint32_t bits[kChunk];
+  for (std::size_t base = 0; base < values.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, values.size() - base);
+    for (std::size_t i = 0; i < n; ++i) bits[i] = fp32_bits(values[base + i]);
+    fpisa_add_batch({bits, n}, {regs_.exp.data() + base, n},
+                    {regs_.man.data() + base, n}, cfg_, counters_);
   }
 }
 
 void FpisaVector::add_bits(std::span<const std::uint64_t> bits) {
   assert(bits.size() == size());
+  if (batch_eligible(cfg_)) {
+    // FP32 layout: narrow to 32-bit lanes chunk-wise and batch.
+    std::uint32_t narrow[kChunk];
+    for (std::size_t base = 0; base < bits.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, bits.size() - base);
+      for (std::size_t i = 0; i < n; ++i) {
+        narrow[i] = static_cast<std::uint32_t>(bits[base + i]);
+      }
+      fpisa_add_batch({narrow, n}, {regs_.exp.data() + base, n},
+                      {regs_.man.data() + base, n}, cfg_, counters_);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < bits.size(); ++i) {
     const ExtractResult ex = extract(bits[i], cfg_.format);
     if (ex.cls == FpClass::kInf || ex.cls == FpClass::kNaN) {
       ++counters_.nonfinite_inputs;
       continue;
     }
-    FpState s{exp_[i], man_[i]};
+    FpState s{regs_.exp[i], regs_.man[i]};
     fpisa_add(s, ex.value, cfg_, counters_);
-    exp_[i] = s.exp;
-    man_[i] = s.man;
+    regs_.exp[i] = s.exp;
+    regs_.man[i] = s.man;
   }
 }
 
 void FpisaVector::read(std::span<float> out) const {
   assert(out.size() == size());
+  if (batch_eligible(cfg_) && cfg_.read_rounding == Rounding::kTowardZero) {
+    // Renormalize fast path for the hardware-faithful truncating read: the
+    // in-range normal case is a clz + shift + pack (exactly what assemble
+    // computes for it — truncation cannot carry out of the significand);
+    // zero/subnormal/overflow outputs defer to the general assemble.
+    const int g = cfg_.guard_bits;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::int64_t man = regs_.man[i];
+      if (man == 0) {
+        out[i] = 0.0f;
+        continue;
+      }
+      const bool neg = man < 0;
+      const std::uint64_t u = neg ? ~static_cast<std::uint64_t>(man) + 1
+                                  : static_cast<std::uint64_t>(man);
+      const int p = 63 - std::countl_zero(u);
+      const std::int64_t norm_exp =
+          static_cast<std::int64_t>(regs_.exp[i]) + p - 23 - g;
+      if (norm_exp <= 0 || norm_exp >= 255) {
+        out[i] = fp32_value(static_cast<std::uint32_t>(
+            fpisa_read({regs_.exp[i], regs_.man[i]}, cfg_).bits));
+        continue;
+      }
+      const int shift = p - 23;
+      const std::uint64_t sig = shift >= 0 ? u >> shift : u << -shift;
+      out[i] = fp32_value(static_cast<std::uint32_t>(
+          (neg ? 0x80000000u : 0u) |
+          (static_cast<std::uint32_t>(norm_exp) << 23) |
+          (static_cast<std::uint32_t>(sig) & 0x7FFFFFu)));
+    }
+    return;
+  }
   for (std::size_t i = 0; i < out.size(); ++i) {
-    const auto r = fpisa_read({exp_[i], man_[i]}, cfg_);
+    const auto r = fpisa_read({regs_.exp[i], regs_.man[i]}, cfg_);
     if (cfg_.format.total_bits == 32) {
       out[i] = fp32_value(static_cast<std::uint32_t>(r.bits));
     } else {
@@ -54,19 +105,18 @@ void FpisaVector::read(std::span<float> out) const {
 void FpisaVector::read_bits(std::span<std::uint64_t> out) const {
   assert(out.size() == size());
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = fpisa_read({exp_[i], man_[i]}, cfg_).bits;
+    out[i] = fpisa_read({regs_.exp[i], regs_.man[i]}, cfg_).bits;
   }
 }
 
 double FpisaVector::read_value(std::size_t i) const {
   return std::ldexp(
-      static_cast<double>(man_[i]),
-      exp_[i] - cfg_.format.bias() - cfg_.format.man_bits - cfg_.guard_bits);
+      static_cast<double>(regs_.man[i]),
+      regs_.exp[i] - cfg_.format.bias() - cfg_.format.man_bits - cfg_.guard_bits);
 }
 
 void FpisaVector::reset() {
-  exp_.assign(exp_.size(), 0);
-  man_.assign(man_.size(), 0);
+  regs_.clear();
   counters_ = {};
 }
 

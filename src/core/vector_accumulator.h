@@ -3,6 +3,11 @@
 // configuration and pooled event counters. This is what a SwitchML-style
 // aggregation slot region looks like, and what the ML substrate uses to
 // aggregate gradient vectors.
+//
+// Storage is a structure-of-arrays RegisterFile so element-wise adds run
+// through the batched branchless kernel (core/batch_accumulator.h) — the
+// scalar reference loop remains as the fallback for non-FP32 formats and is
+// the bit-exactness oracle either way.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +15,7 @@
 #include <vector>
 
 #include "core/accumulator.h"
+#include "core/batch_accumulator.h"
 
 namespace fpisa::core {
 
@@ -17,9 +23,10 @@ class FpisaVector {
  public:
   FpisaVector(std::size_t size, AccumulatorConfig cfg = {});
 
-  std::size_t size() const { return exp_.size(); }
+  std::size_t size() const { return regs_.size(); }
 
-  /// Element-wise add of one worker's packed vector (FP32 fast path).
+  /// Element-wise add of one worker's packed vector (FP32 fast path:
+  /// batched branchless kernel when the config is batch-eligible).
   void add(std::span<const float> values);
   /// Element-wise add in the configured format's packed encoding.
   void add_bits(std::span<const std::uint64_t> bits);
@@ -34,12 +41,11 @@ class FpisaVector {
 
   const OpCounters& counters() const { return counters_; }
   const AccumulatorConfig& config() const { return cfg_; }
-  FpState state(std::size_t i) const { return {exp_[i], man_[i]}; }
+  FpState state(std::size_t i) const { return {regs_.exp[i], regs_.man[i]}; }
 
  private:
   AccumulatorConfig cfg_;
-  std::vector<std::int32_t> exp_;
-  std::vector<std::int64_t> man_;
+  RegisterFile regs_;
   OpCounters counters_{};
 };
 

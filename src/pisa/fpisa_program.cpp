@@ -1,5 +1,6 @@
 #include "pisa/fpisa_program.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -87,6 +88,14 @@ Packet make_fpisa_packet(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
                          std::span<const std::uint32_t> values,
                          bool little_endian_payload) {
   Packet pkt;
+  make_fpisa_packet_into(pkt, op, slot, worker, values, little_endian_payload);
+  return pkt;
+}
+
+void make_fpisa_packet_into(Packet& pkt, FpisaOp op, std::uint16_t slot,
+                            std::uint8_t worker,
+                            std::span<const std::uint32_t> values,
+                            bool little_endian_payload) {
   pkt.bytes.assign(kFpisaHeaderBytes + 4 * values.size(), 0);
   pkt.bytes[0] = static_cast<std::uint8_t>(op);
   write_be(&pkt.bytes[1], 2, slot);
@@ -98,12 +107,17 @@ Packet make_fpisa_packet(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
     if (little_endian_payload) v = byteswap(v, 4);
     write_be(&pkt.bytes[kFpisaHeaderBytes + 4 * i], 4, v);
   }
-  return pkt;
 }
 
 FpisaResult parse_fpisa_result(const Packet& pkt, int lanes,
                                bool little_endian_payload) {
   FpisaResult r;
+  parse_fpisa_result_into(pkt, lanes, r, little_endian_payload);
+  return r;
+}
+
+void parse_fpisa_result_into(const Packet& pkt, int lanes, FpisaResult& r,
+                             bool little_endian_payload) {
   r.bitmap = static_cast<std::uint32_t>(read_be(&pkt.bytes[4], 4));
   r.count = static_cast<std::uint16_t>(read_be(&pkt.bytes[8], 2));
   r.values.resize(static_cast<std::size_t>(lanes));
@@ -112,7 +126,6 @@ FpisaResult parse_fpisa_result(const Packet& pkt, int lanes,
     if (little_endian_payload) v = byteswap(v, 4);
     r.values[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(v);
   }
-  return r;
 }
 
 SwitchProgram build_fpisa_program(const SwitchConfig& config,
@@ -523,10 +536,20 @@ std::vector<LogicalTableDesc> fpisa_resource_descriptors(
 FpisaResult FpisaSwitch::roundtrip(FpisaOp op, std::uint16_t slot,
                                    std::uint8_t worker,
                                    std::span<const std::uint32_t> values) {
-  Packet pkt = make_fpisa_packet(op, slot, worker, values,
-                                 opts_.convert_endianness);
-  sim_.process(pkt);
-  return parse_fpisa_result(pkt, opts_.lanes, opts_.convert_endianness);
+  FpisaResult r;
+  roundtrip_into(op, slot, worker, values, r);
+  return r;
+}
+
+void FpisaSwitch::roundtrip_into(FpisaOp op, std::uint16_t slot,
+                                 std::uint8_t worker,
+                                 std::span<const std::uint32_t> values,
+                                 FpisaResult& out) {
+  make_fpisa_packet_into(scratch_pkt_, op, slot, worker, values,
+                         opts_.convert_endianness);
+  sim_.process(scratch_pkt_);
+  parse_fpisa_result_into(scratch_pkt_, opts_.lanes, out,
+                          opts_.convert_endianness);
 }
 
 FpisaResult FpisaSwitch::add(std::uint16_t slot, std::uint8_t worker,
@@ -536,15 +559,100 @@ FpisaResult FpisaSwitch::add(std::uint16_t slot, std::uint8_t worker,
 }
 
 FpisaResult FpisaSwitch::read(std::uint16_t slot) {
-  const std::vector<std::uint32_t> zeros(static_cast<std::size_t>(opts_.lanes),
-                                         0);
-  return roundtrip(FpisaOp::kRead, slot, 0, zeros);
+  return roundtrip(FpisaOp::kRead, slot, 0, zeros_);
 }
 
 FpisaResult FpisaSwitch::read_and_reset(std::uint16_t slot) {
-  const std::vector<std::uint32_t> zeros(static_cast<std::size_t>(opts_.lanes),
-                                         0);
-  return roundtrip(FpisaOp::kReset, slot, 0, zeros);
+  return roundtrip(FpisaOp::kReset, slot, 0, zeros_);
+}
+
+void FpisaSwitch::read_into(std::uint16_t slot, FpisaResult& out) {
+  roundtrip_into(FpisaOp::kRead, slot, 0, zeros_, out);
+}
+
+void FpisaSwitch::read_and_reset_into(std::uint16_t slot, FpisaResult& out) {
+  roundtrip_into(FpisaOp::kReset, slot, 0, zeros_, out);
+}
+
+// ---------------------------------------------------------------------------
+// Batched add fast path: the compiled form of the ingress program
+// (MAU0-4), applied straight to the register arrays. Every step mirrors
+// the table/SALU semantics the interpreter would execute — including the
+// 16-bit clamp of the exponent difference, 32-bit two's-complement
+// mantissa arithmetic, and the exponent-register update on zero inputs —
+// so the state evolution is bit-identical to per-packet `add` calls
+// (tests/test_pisa_fpisa_program.cpp proves it against the interpreter).
+// Egress (result emission) is skipped: batch callers read aggregates with
+// read()/read_into().
+// ---------------------------------------------------------------------------
+
+void FpisaSwitch::apply_add_lane(int lane, std::size_t slot,
+                                 std::uint32_t u) {
+  RegisterArray& exp_reg = sim_.reg(2 * lane);
+  RegisterArray& man_reg = sim_.reg(2 * lane + 1);
+
+  // MAU0/1: extract, implied 1 (subnormals keep the raw fraction at
+  // effective exponent 1), sign fold into 32-bit two's complement.
+  const std::uint32_t e_raw = (u >> 23) & 0xFFu;
+  std::uint32_t man32 = u & 0x7FFFFFu;
+  const std::uint32_t exp_eff = e_raw == 0 ? 1u : e_raw;
+  if (e_raw != 0) man32 |= 1u << 23;
+  if (u >> 31) man32 = ~man32 + 1u;
+
+  // MAU2: exponent register (kExpUpdate) + clamped signed difference.
+  const std::uint64_t old_e = exp_reg.read(slot);
+  const std::int64_t imm =
+      opts_.variant == core::Variant::kApproximate ? headroom_fp32() : 0;
+  if (exp_eff > old_e + static_cast<std::uint64_t>(imm)) {
+    exp_reg.write(slot, exp_eff);
+  }
+  int d = static_cast<int>(exp_eff) - static_cast<int>(old_e);
+  d = std::min(d, 32);
+  d = std::max(d, -32);
+
+  // MAU3/4: align + mantissa register. All arithmetic in int64, masked to
+  // the 32-bit register width on write — exactly the PHV/SALU semantics.
+  const std::int64_t m =
+      static_cast<std::int64_t>(static_cast<std::int32_t>(man32));
+  const std::int64_t old_m = man_reg.read_signed(slot);
+  std::int64_t nm;
+  if (d <= 0) {
+    nm = old_m + (m >> -d);  // -d in [0, 32]: int64 asr is exact here
+  } else if (opts_.variant == core::Variant::kFull) {
+    nm = (old_m >> d) + m;  // RSAW: shift the *stored* mantissa
+  } else if (d <= headroom_fp32()) {
+    nm = old_m + (m << d);  // headroom left-shift (fits: |m| < 2^24, d <= 7)
+  } else {
+    nm = m;  // overwrite
+  }
+  man_reg.write(slot, static_cast<std::uint64_t>(nm));
+}
+
+void FpisaSwitch::add_batch(std::span<const std::uint16_t> slots,
+                            std::span<const std::uint8_t> workers,
+                            std::span<const std::uint32_t> values) {
+  assert(slots.size() == workers.size());
+  assert(values.size() ==
+         slots.size() * static_cast<std::size_t>(opts_.lanes));
+  const int lanes = opts_.lanes;
+  RegisterArray& bitmap = sim_.reg(2 * lanes);
+  RegisterArray& count = sim_.reg(2 * lanes + 1);
+
+  for (std::size_t p = 0; p < slots.size(); ++p) {
+    const std::size_t slot = slots[p];
+    assert(slot < bitmap.size());
+    // MAU1 shared bitmap (kOrX): the old value exposes retransmissions.
+    const std::uint64_t wbit = std::uint64_t{1} << workers[p];
+    const std::uint64_t old_bm = bitmap.read(slot);
+    bitmap.write(slot, old_bm | wbit);
+    if (old_bm & wbit) continue;  // duplicate: absorbed, no state change
+
+    count.write(slot, count.read(slot) + 1);  // completion counter
+    const std::uint32_t* lane_vals =
+        values.data() + p * static_cast<std::size_t>(lanes);
+    for (int l = 0; l < lanes; ++l) apply_add_lane(l, slot, lane_vals[l]);
+  }
+  sim_.account_packets(slots.size());
 }
 
 }  // namespace fpisa::pisa

@@ -49,6 +49,11 @@ inline constexpr int kFpisaHeaderBytes = 10;
 Packet make_fpisa_packet(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
                          std::span<const std::uint32_t> values,
                          bool little_endian_payload = false);
+/// Zero-allocation variant: reuses `pkt`'s byte buffer across packets.
+void make_fpisa_packet_into(Packet& pkt, FpisaOp op, std::uint16_t slot,
+                            std::uint8_t worker,
+                            std::span<const std::uint32_t> values,
+                            bool little_endian_payload = false);
 
 struct FpisaResult {
   std::vector<std::uint32_t> values;
@@ -57,6 +62,9 @@ struct FpisaResult {
 };
 FpisaResult parse_fpisa_result(const Packet& pkt, int lanes,
                                bool little_endian_payload = false);
+/// Zero-allocation variant: reuses `out.values` across packets.
+void parse_fpisa_result_into(const Packet& pkt, int lanes, FpisaResult& out,
+                             bool little_endian_payload = false);
 
 /// Builds the executable program for the given switch configuration.
 /// Asserts (via the simulator) if the options demand extensions the config
@@ -74,7 +82,9 @@ std::vector<LogicalTableDesc> fpisa_resource_descriptors(
 class FpisaSwitch {
  public:
   FpisaSwitch(SwitchConfig config, FpisaProgramOptions opts)
-      : opts_(opts), sim_(config, build_fpisa_program(config, opts)) {}
+      : opts_(opts),
+        sim_(config, build_fpisa_program(config, opts)),
+        zeros_(static_cast<std::size_t>(opts.lanes), 0) {}
 
   /// Sends one add packet carrying `values` (one per lane, FP32 bits);
   /// returns the post-add aggregate the switch emits.
@@ -85,15 +95,35 @@ class FpisaSwitch {
   /// Reads and clears a slot (SwitchML-style slot reuse).
   FpisaResult read_and_reset(std::uint16_t slot);
 
+  /// Zero-allocation reads for hot protocol loops (reuse `out.values`).
+  void read_into(std::uint16_t slot, FpisaResult& out);
+  void read_and_reset_into(std::uint16_t slot, FpisaResult& out);
+
+  /// Batched add fast path: applies `slots.size()` add packets in order,
+  /// packet i carrying the `lanes` FP32 values at values[i*lanes ..]. The
+  /// register / dedup-bitmap / completion-counter evolution is bit-identical
+  /// to calling add() per packet (enforced by tests), but the packets skip
+  /// wire encode/parse and table interpretation entirely and no per-packet
+  /// result is materialized — callers that want the aggregate use read().
+  void add_batch(std::span<const std::uint16_t> slots,
+                 std::span<const std::uint8_t> workers,
+                 std::span<const std::uint32_t> values);
+
   const FpisaProgramOptions& options() const { return opts_; }
   SwitchSim& sim() { return sim_; }
 
  private:
   FpisaResult roundtrip(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
                         std::span<const std::uint32_t> values);
+  void roundtrip_into(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
+                      std::span<const std::uint32_t> values, FpisaResult& out);
+  /// One lane's ingress register update (the compiled form of MAU0-4).
+  void apply_add_lane(int lane, std::size_t slot, std::uint32_t value_bits);
 
   FpisaProgramOptions opts_;
   SwitchSim sim_;
+  Packet scratch_pkt_;                  ///< reused by the *_into paths
+  std::vector<std::uint32_t> zeros_;    ///< read/reset payload template
 };
 
 }  // namespace fpisa::pisa

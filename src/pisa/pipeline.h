@@ -118,6 +118,10 @@ class SwitchSim {
   const SwitchProgram& program() const { return program_; }
 
   std::uint64_t packets_processed() const { return packets_; }
+  /// Accounts packets applied through a program's compiled fast path (e.g.
+  /// FpisaSwitch::add_batch) rather than a full `process` traversal, so
+  /// packet statistics stay truthful for either datapath.
+  void account_packets(std::uint64_t n) { packets_ += n; }
   /// Extra pipeline passes consumed by recirculation: each one costs a
   /// slot of ingress bandwidth (why the paper calls it expensive).
   std::uint64_t recirculations() const { return recirculations_; }

@@ -93,7 +93,7 @@ std::vector<float> SwitchMlAggregator::aggregate(
 std::vector<float> FpisaAggregator::aggregate(
     std::span<const std::vector<float>> workers) {
   const core::AggregateResult r = core::aggregate(workers, cfg_);
-  counters_.merge(r.counters);
+  counters_ += r.counters;
   return r.sum;
 }
 

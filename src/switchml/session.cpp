@@ -1,5 +1,6 @@
 #include "switchml/session.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -20,7 +21,8 @@ AggregationSession::AggregationSession(pisa::SwitchConfig config,
                 p.num_workers = opts.num_workers;
                 return p;
               }()),
-      loss_rng_(opts.loss_seed) {
+      loss_rng_(opts.loss_seed),
+      lane_buf_(static_cast<std::size_t>(opts.lanes), 0) {
   assert(opts_.num_workers <= 32 && "bitmap is 32 bits wide");
 }
 
@@ -52,6 +54,45 @@ bool AggregationSession::send_add(std::uint16_t slot, std::uint8_t worker,
   return false;
 }
 
+bool AggregationSession::queue_add(std::uint16_t slot, std::uint8_t worker,
+                                   std::span<const std::uint32_t> values) {
+  // The loss schedule depends only on the rng stream, never on the switch,
+  // so it can be drawn here in the exact order send_add would draw it;
+  // every copy the switch would have seen is queued in arrival order (the
+  // dedup bitmap absorbs the duplicates when the batch is applied).
+  bool delivered_before = false;
+  for (int attempt = 0; attempt <= opts_.max_retransmits; ++attempt) {
+    if (attempt > 0) ++stats_.retransmissions;
+    ++stats_.packets_sent;
+
+    if (loss_rng_.next_double() < opts_.loss_rate) {
+      ++stats_.packets_lost;
+      continue;
+    }
+    if (delivered_before) ++stats_.duplicates_absorbed;
+    delivered_before = true;
+    pending_slots_.push_back(slot);
+    pending_workers_.push_back(worker);
+    pending_values_.insert(pending_values_.end(), values.begin(),
+                           values.end());
+
+    if (loss_rng_.next_double() < opts_.loss_rate) {
+      ++stats_.packets_lost;
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void AggregationSession::flush_pending() {
+  if (pending_slots_.empty()) return;
+  switch_.add_batch(pending_slots_, pending_workers_, pending_values_);
+  pending_slots_.clear();
+  pending_workers_.clear();
+  pending_values_.clear();
+}
+
 std::vector<float> AggregationSession::reduce(
     std::span<const std::vector<float>> workers) {
   assert(static_cast<int>(workers.size()) == opts_.num_workers);
@@ -62,30 +103,40 @@ std::vector<float> AggregationSession::reduce(
 
   for (std::size_t base = 0; base < chunks; base += opts_.slots) {
     const std::size_t wave_end = std::min(base + opts_.slots, chunks);
-    // All workers stream their packets for this wave of chunks.
+    // All workers stream their packets for this wave of chunks. The
+    // batched path encodes the whole wave into reused buffers and applies
+    // it in one add_batch call; the per-packet path drives the simulator
+    // packet by packet. Both see the identical loss schedule.
     for (std::size_t c = base; c < wave_end; ++c) {
       const auto slot = static_cast<std::uint16_t>(c - base);
       for (int w = 0; w < opts_.num_workers; ++w) {
-        std::vector<std::uint32_t> vals(lanes, 0);
         for (std::size_t l = 0; l < lanes; ++l) {
           const std::size_t i = c * lanes + l;
-          if (i < n) {
-            vals[l] = core::fp32_bits(
-                workers[static_cast<std::size_t>(w)][i]);
-          }
+          lane_buf_[l] =
+              i < n ? core::fp32_bits(workers[static_cast<std::size_t>(w)][i])
+                    : 0;
         }
-        pisa::FpisaResult r;
-        if (!send_add(slot, static_cast<std::uint8_t>(w), vals, &r)) {
+        bool ok;
+        if (opts_.batched) {
+          ok = queue_add(slot, static_cast<std::uint8_t>(w), lane_buf_);
+        } else {
+          pisa::FpisaResult r;
+          ok = send_add(slot, static_cast<std::uint8_t>(w), lane_buf_, &r);
+        }
+        if (!ok) {
+          // Deliver what the switch already received before failing, so
+          // the register state matches the per-packet path exactly.
+          flush_pending();
           throw std::runtime_error("aggregation packet exceeded retransmits");
         }
       }
     }
+    flush_pending();
     // Collect + recycle every slot of the wave: an idempotent read
     // (retried until acknowledged), then a reset (extra resets re-clear an
     // already-empty slot, which is harmless once the value is captured).
     for (std::size_t c = base; c < wave_end; ++c) {
       const auto slot = static_cast<std::uint16_t>(c - base);
-      pisa::FpisaResult read;
       bool have = false;
       for (int attempt = 0; attempt <= opts_.max_retransmits && !have;
            ++attempt) {
@@ -94,7 +145,7 @@ std::vector<float> AggregationSession::reduce(
           ++stats_.packets_lost;
           continue;
         }
-        read = switch_.read(slot);
+        switch_.read_into(slot, result_buf_);
         if (loss_rng_.next_double() < opts_.loss_rate) {
           ++stats_.packets_lost;
           continue;
@@ -106,8 +157,7 @@ std::vector<float> AggregationSession::reduce(
       for (std::size_t l = 0; l < lanes; ++l) {
         const std::size_t i = c * lanes + l;
         if (i < n) {
-          result[i] =
-              core::fp32_value(read.values[l]);
+          result[i] = core::fp32_value(result_buf_.values[l]);
         }
       }
 
@@ -118,7 +168,7 @@ std::vector<float> AggregationSession::reduce(
           ++stats_.packets_lost;
           continue;
         }
-        (void)switch_.read_and_reset(slot);
+        switch_.read_and_reset_into(slot, result_buf_);
         ++stats_.slot_reuses;
         cleared = true;
         if (loss_rng_.next_double() >= opts_.loss_rate) break;

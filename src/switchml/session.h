@@ -6,9 +6,17 @@
 // retransmissions idempotent (dedup), and slots are reused round-robin via
 // read-and-reset once their result is collected.
 //
-// This drives the REAL pisa::FpisaSwitch pipeline packet by packet — it is
-// the end-to-end integration of parser, MAUs, stateful ALUs and deparser,
-// with failure injection for the loss-recovery path.
+// This drives the REAL pisa::FpisaSwitch pipeline — it is the end-to-end
+// integration of parser, MAUs, stateful ALUs and deparser, with failure
+// injection for the loss-recovery path.
+//
+// Two submission datapaths, identical in every observable (results, stats,
+// switch register evolution — proven in tests/test_switchml_session.cpp):
+//  * batched (default): a whole wave of chunk packets is encoded into
+//    reused flat buffers and applied through FpisaSwitch::add_batch; loss
+//    is drawn up front in the exact per-packet order, so the loss schedule
+//    and statistics match the per-packet path bit-for-bit.
+//  * per-packet: one simulator traversal per packet (the reference).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,7 @@ struct SessionOptions {
   double loss_rate = 0.0;        ///< probability a packet (either way) drops
   std::uint64_t loss_seed = 1;
   int max_retransmits = 64;      ///< per packet, before giving up
+  bool batched = true;           ///< chunk-batched fast path vs per-packet
 };
 
 struct SessionStats {
@@ -35,6 +44,16 @@ struct SessionStats {
   std::uint64_t retransmissions = 0;
   std::uint64_t duplicates_absorbed = 0;  ///< dedup hits at the switch
   std::uint64_t slot_reuses = 0;
+
+  /// Centralized merge (cluster/shard/tenant accounting all use this).
+  SessionStats& operator+=(const SessionStats& o) {
+    packets_sent += o.packets_sent;
+    packets_lost += o.packets_lost;
+    retransmissions += o.retransmissions;
+    duplicates_absorbed += o.duplicates_absorbed;
+    slot_reuses += o.slot_reuses;
+    return *this;
+  }
 };
 
 /// Aggregates `workers` equal-length FP32 vectors through a switch,
@@ -54,11 +73,23 @@ class AggregationSession {
   bool send_add(std::uint16_t slot, std::uint8_t worker,
                 std::span<const std::uint32_t> values,
                 pisa::FpisaResult* out);
+  /// Batched flavor: draws the identical loss schedule but queues every
+  /// delivered copy into the pending batch instead of touching the switch.
+  bool queue_add(std::uint16_t slot, std::uint8_t worker,
+                 std::span<const std::uint32_t> values);
+  void flush_pending();
 
   SessionOptions opts_;
   pisa::FpisaSwitch switch_;
   util::Rng loss_rng_;
   SessionStats stats_{};
+
+  // Reused across waves: zero steady-state allocation on the hot path.
+  std::vector<std::uint16_t> pending_slots_;
+  std::vector<std::uint8_t> pending_workers_;
+  std::vector<std::uint32_t> pending_values_;
+  std::vector<std::uint32_t> lane_buf_;
+  pisa::FpisaResult result_buf_;
 };
 
 }  // namespace fpisa::switchml

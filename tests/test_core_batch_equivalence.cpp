@@ -1,0 +1,267 @@
+// Differential proof obligations for the batched branchless datapath:
+// fpisa_add_batch (every available backend) must be BIT-identical to the
+// scalar reference — register state AND OpCounters totals — across:
+//   * the exhaustive FP16 value space lifted to FP32 (covers ±0, all
+//     subnormals, all normals, ±inf, NaN payloads in 65536 patterns),
+//   * adversarial FP32 streams (headroom boundaries, cancellation, huge
+//     exponent gaps, denormals),
+//   * randomized FP32 streams,
+// for both variants (kFull / kApproximate) and both overflow policies
+// (kSaturate / kWrap), plus guard-bit configs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/batch_accumulator.h"
+#include "core/packed.h"
+#include "core/vector_accumulator.h"
+#include "util/rng.h"
+
+namespace fpisa::core {
+namespace {
+
+struct ScalarResult {
+  std::vector<std::int32_t> exp;
+  std::vector<std::int64_t> man;
+  OpCounters counters;
+};
+
+/// Oracle: the per-element reference loop (extract + skip-nonfinite +
+/// fpisa_add), exactly as the pre-batching FpisaVector ran it.
+ScalarResult run_scalar_reference(std::span<const std::uint32_t> stream,
+                                  std::size_t regs,
+                                  const AccumulatorConfig& cfg) {
+  ScalarResult r;
+  r.exp.assign(regs, 0);
+  r.man.assign(regs, 0);
+  for (std::size_t base = 0; base < stream.size(); base += regs) {
+    for (std::size_t i = 0; i < regs && base + i < stream.size(); ++i) {
+      const ExtractResult ex = extract(stream[base + i], cfg.format);
+      if (ex.cls == FpClass::kInf || ex.cls == FpClass::kNaN) {
+        ++r.counters.nonfinite_inputs;
+        continue;
+      }
+      FpState s{r.exp[i], r.man[i]};
+      fpisa_add(s, ex.value, cfg, r.counters);
+      r.exp[i] = s.exp;
+      r.man[i] = s.man;
+    }
+  }
+  return r;
+}
+
+void expect_counters_eq(const OpCounters& got, const OpCounters& want,
+                        const std::string& what) {
+  EXPECT_EQ(got.adds, want.adds) << what;
+  EXPECT_EQ(got.rounded_adds, want.rounded_adds) << what;
+  EXPECT_EQ(got.overwrites, want.overwrites) << what;
+  EXPECT_EQ(got.lshift_overflows, want.lshift_overflows) << what;
+  EXPECT_EQ(got.saturations, want.saturations) << what;
+  EXPECT_EQ(got.nonfinite_inputs, want.nonfinite_inputs) << what;
+  EXPECT_EQ(got.zero_inputs, want.zero_inputs) << what;
+}
+
+std::string backend_tag(BatchBackend b) {
+  return b == BatchBackend::kAvx2 ? "avx2" : "scalar";
+}
+
+/// Feeds `stream` wave-by-wave into `regs` registers through both paths on
+/// every available backend and demands bit-identical state + counters.
+void check_stream(std::span<const std::uint32_t> stream, std::size_t regs,
+                  const AccumulatorConfig& cfg, const std::string& what) {
+  const ScalarResult want = run_scalar_reference(stream, regs, cfg);
+  for (const BatchBackend backend : available_batch_backends()) {
+    force_batch_backend(backend);
+    std::vector<std::int32_t> exp(regs, 0);
+    std::vector<std::int64_t> man(regs, 0);
+    OpCounters counters;
+    for (std::size_t base = 0; base < stream.size(); base += regs) {
+      const std::size_t n = std::min(regs, stream.size() - base);
+      fpisa_add_batch(stream.subspan(base, n), {exp.data(), n},
+                      {man.data(), n}, cfg, counters);
+    }
+    reset_batch_backend();
+    const std::string tag = what + " [" + backend_tag(backend) + "]";
+    for (std::size_t i = 0; i < regs; ++i) {
+      ASSERT_EQ(exp[i], want.exp[i]) << tag << " exp reg " << i;
+      ASSERT_EQ(man[i], want.man[i]) << tag << " man reg " << i;
+    }
+    expect_counters_eq(counters, want.counters, tag);
+  }
+}
+
+std::vector<AccumulatorConfig> sweep_configs() {
+  std::vector<AccumulatorConfig> cfgs;
+  for (const Variant v : {Variant::kFull, Variant::kApproximate}) {
+    for (const OverflowPolicy p :
+         {OverflowPolicy::kSaturate, OverflowPolicy::kWrap}) {
+      AccumulatorConfig c;
+      c.variant = v;
+      c.overflow = p;
+      cfgs.push_back(c);
+      c.guard_bits = 4;  // Appendix A.1 guard-bit configuration
+      cfgs.push_back(c);
+      // Non-default register widths: reg_bits != 32 takes the generic
+      // 64-bit-lane kernel on AVX2 (reg_bits 32 has its own 8-lane
+      // specialization), and reg_bits 26 stresses tight headroom.
+      for (const int reg_bits : {26, 40, 63}) {
+        AccumulatorConfig w;
+        w.variant = v;
+        w.overflow = p;
+        w.reg_bits = reg_bits;
+        cfgs.push_back(w);
+        if (reg_bits >= 30) {
+          w.guard_bits = 4;
+          cfgs.push_back(w);
+        }
+      }
+    }
+  }
+  return cfgs;
+}
+
+TEST(BatchEquivalence, ExhaustiveFp16LiftedToFp32) {
+  // Every FP16 bit pattern decoded to its exact FP32 value: a complete
+  // sweep of sign/zero/subnormal/normal/inf/NaN structure in 64Ki inputs.
+  std::vector<std::uint32_t> stream;
+  stream.reserve(1u << 16);
+  for (std::uint32_t h = 0; h < (1u << 16); ++h) {
+    stream.push_back(
+        fp32_bits(static_cast<float>(decode(h, kFp16))));
+  }
+  for (const auto& cfg : sweep_configs()) {
+    check_stream(stream, 128, cfg,
+                 std::string("fp16-exhaustive variant=") +
+                     (cfg.variant == Variant::kFull ? "full" : "approx") +
+                     " wrap=" +
+                     (cfg.overflow == OverflowPolicy::kWrap ? "1" : "0") +
+                     " g=" + std::to_string(cfg.guard_bits));
+  }
+}
+
+TEST(BatchEquivalence, HeadroomBoundaryAndAdversarialCases) {
+  // FPISA-A decision boundaries: exponent deltas of exactly headroom,
+  // headroom±1, huge gaps both directions, cancellation to zero, denormal
+  // feeds, and saturation pressure from same-sign maxed mantissas.
+  std::vector<std::uint32_t> stream;
+  const float base = 1.0f;  // exponent 127
+  auto push = [&](float f) { stream.push_back(fp32_bits(f)); };
+  push(base);
+  for (int d = 5; d <= 9; ++d) push(std::ldexp(base, d));   // h-2 .. h+2
+  for (int d = 5; d <= 9; ++d) push(std::ldexp(base, -d));  // align shifts
+  push(-std::ldexp(base, 9));     // negative large: overwrite with sign
+  push(0.0f);
+  push(-0.0f);
+  push(std::numeric_limits<float>::infinity());
+  push(-std::numeric_limits<float>::infinity());
+  push(std::numeric_limits<float>::quiet_NaN());
+  push(std::numeric_limits<float>::denorm_min());
+  push(-std::numeric_limits<float>::denorm_min());
+  push(std::numeric_limits<float>::max());
+  push(std::numeric_limits<float>::max());  // saturate/wrap the register
+  push(-std::numeric_limits<float>::max());
+  push(std::numeric_limits<float>::min());  // smallest normal
+  // Cancellation: +x then -x leaves man == 0 with a pinned exponent.
+  push(3.25f);
+  push(-3.25f);
+  push(std::ldexp(1.0f, -120));  // tiny after cancellation
+  for (const auto& cfg : sweep_configs()) {
+    // One register: the whole stream hammers the same accumulator state.
+    check_stream(stream, 1, cfg, "adversarial single-register");
+    check_stream(stream, 5, cfg, "adversarial strided");
+  }
+}
+
+TEST(BatchEquivalence, RandomizedFp32Streams) {
+  util::Rng rng(0xBA7C4);
+  for (const auto& cfg : sweep_configs()) {
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::uint32_t> stream(8192);
+      for (auto& u : stream) {
+        switch (rng.next_u64() % 4) {
+          case 0:  // well-scaled gradients
+            u = fp32_bits(static_cast<float>(rng.normal(0.0, 0.1)));
+            break;
+          case 1:  // wide exponent spread
+            u = fp32_bits(static_cast<float>(
+                std::ldexp(rng.uniform(-1.0, 1.0),
+                           static_cast<int>(rng.next_u64() % 64) - 32)));
+            break;
+          case 2:  // raw bit noise (hits inf/NaN/subnormal encodings)
+            u = static_cast<std::uint32_t>(rng.next_u64());
+            break;
+          default:  // exact zeros and sign noise
+            u = (rng.next_u64() & 1) ? 0x80000000u : 0u;
+            break;
+        }
+      }
+      check_stream(stream, 64, cfg, "random round " + std::to_string(round));
+    }
+  }
+}
+
+TEST(BatchEquivalence, ReadFastPathMatchesGeneralAssemble) {
+  // FpisaVector::read's truncating fast path must agree bit-for-bit with
+  // the general fpisa_read on every register state a stream can produce —
+  // including cancellation-to-zero, saturated registers, and states whose
+  // renormalized output is subnormal (FTZ boundary) or overflows.
+  util::Rng rng(0xF00D);
+  for (const auto& cfg : sweep_configs()) {
+    FpisaVector vec(256, cfg);
+    std::vector<float> stream(256);
+    for (int round = 0; round < 6; ++round) {
+      for (auto& v : stream) {
+        v = static_cast<float>(
+            std::ldexp(rng.uniform(-1.0, 1.0),
+                       static_cast<int>(rng.next_u64() % 120) - 60));
+      }
+      vec.add(stream);
+    }
+    std::vector<float> got(256);
+    vec.read(got);
+    for (std::size_t i = 0; i < 256; ++i) {
+      const auto want = fpisa_read(vec.state(i), cfg);
+      ASSERT_EQ(fp32_bits(got[i]),
+                static_cast<std::uint32_t>(want.bits))
+          << "element " << i;
+    }
+  }
+}
+
+TEST(BatchEquivalence, NonFp32FormatsFallBackToReference) {
+  // bf16 layout is not batch-eligible; add_bits must still agree with the
+  // element-wise reference (it IS the reference on this path).
+  AccumulatorConfig cfg;
+  cfg.format = kBf16;
+  EXPECT_FALSE(batch_eligible(cfg));
+  FpisaVector vec(32, cfg);
+  util::Rng rng(99);
+  std::vector<std::uint64_t> bits(32);
+  for (auto& b : bits) {
+    b = encode(rng.normal(0.0, 1.0), kBf16);
+  }
+  vec.add_bits(bits);
+  FpisaAccumulator ref(cfg);
+  ref.add_bits(bits[7]);
+  EXPECT_EQ(vec.state(7).exp, ref.state().exp);
+  EXPECT_EQ(vec.state(7).man, ref.state().man);
+}
+
+TEST(BatchEquivalence, BackendReportsAndDispatch) {
+  EXPECT_FALSE(available_batch_backends().empty());
+  EXPECT_EQ(available_batch_backends().front(), BatchBackend::kScalar);
+  force_batch_backend(BatchBackend::kScalar);
+  EXPECT_EQ(batch_backend(), BatchBackend::kScalar);
+  EXPECT_EQ(batch_backend_name(), "scalar");
+  reset_batch_backend();
+#if defined(FPISA_HAVE_AVX2)
+  // When compiled in and the CPU supports it, AVX2 must be the default.
+  if (available_batch_backends().size() > 1) {
+    EXPECT_EQ(batch_backend(), BatchBackend::kAvx2);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace fpisa::core

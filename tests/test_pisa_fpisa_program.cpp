@@ -311,6 +311,82 @@ TEST(FpisaResources, BaselineFitsExactlyOneInstance) {
   EXPECT_EQ(max_instances(fpisa_resource_descriptors(cfg, opts), cfg), 1);
 }
 
+TEST(FpisaSwitch, BatchAddBitIdenticalToPerPacketPipeline) {
+  // The compiled add_batch fast path must leave every register array —
+  // exponents, mantissas, dedup bitmap, completion counters — in exactly
+  // the state the interpreted per-packet pipeline produces, for the same
+  // packet sequence (duplicates, zeros, subnormals and infinities
+  // included), and subsequent reads must agree bit-for-bit.
+  for (const auto variant :
+       {core::Variant::kApproximate, core::Variant::kFull}) {
+    FpisaProgramOptions opts;
+    opts.variant = variant;
+    opts.lanes = 4;
+    opts.slots = 16;
+    const SwitchConfig cfg = variant == core::Variant::kFull
+                                 ? extended_switch()
+                                 : baseline_tofino();
+    FpisaSwitch per_packet(cfg, opts);
+    FpisaSwitch batched(cfg, opts);
+
+    util::Rng rng(0xBA7C);
+    std::vector<std::uint16_t> slots;
+    std::vector<std::uint8_t> workers;
+    std::vector<std::uint32_t> values;
+    for (int p = 0; p < 600; ++p) {
+      slots.push_back(static_cast<std::uint16_t>(rng.next_u64() % 16));
+      workers.push_back(static_cast<std::uint8_t>(rng.next_u64() % 8));
+      for (int l = 0; l < 4; ++l) {
+        std::uint32_t u;
+        switch (rng.next_u64() % 5) {
+          case 0:
+            u = core::fp32_bits(static_cast<float>(rng.normal(0, 1)));
+            break;
+          case 1:  // wide exponent spread (hits overwrite + RSAW paths)
+            u = core::fp32_bits(static_cast<float>(
+                std::exp2(rng.uniform_int(-80, 80)) * rng.normal(0, 1)));
+            break;
+          case 2:
+            u = 0;  // exact zero: exercises the zero-input exp update
+            break;
+          case 3:
+            u = static_cast<std::uint32_t>(rng.next_u64());  // bit noise
+            break;
+          default:
+            u = core::fp32_bits(std::numeric_limits<float>::denorm_min());
+            break;
+        }
+        values.push_back(u);
+      }
+    }
+
+    for (std::size_t p = 0; p < slots.size(); ++p) {
+      (void)per_packet.add(slots[p], workers[p],
+                           std::span<const std::uint32_t>(values).subspan(
+                               4 * p, 4));
+    }
+    batched.add_batch(slots, workers, values);
+
+    for (int r = 0; r < 2 * 4 + 2; ++r) {  // all lane regs + bitmap + count
+      for (std::size_t s = 0; s < 16; ++s) {
+        ASSERT_EQ(batched.sim().reg(r).read(s), per_packet.sim().reg(r).read(s))
+            << "variant=" << (variant == core::Variant::kFull ? "full" : "a")
+            << " reg=" << r << " slot=" << s;
+      }
+    }
+    for (std::uint16_t s = 0; s < 16; ++s) {
+      const FpisaResult a = batched.read(s);
+      const FpisaResult b = per_packet.read(s);
+      ASSERT_EQ(a.bitmap, b.bitmap) << s;
+      ASSERT_EQ(a.count, b.count) << s;
+      for (int l = 0; l < 4; ++l) ASSERT_EQ(a.values[l], b.values[l]) << s;
+    }
+    // Fast-path packets are accounted: both switches saw the same count.
+    EXPECT_EQ(batched.sim().packets_processed(),
+              per_packet.sim().packets_processed());
+  }
+}
+
 TEST(FpisaResources, ShiftExtensionUnlocksParallelInstances) {
   FpisaProgramOptions opts;
   opts.variant = core::Variant::kApproximate;

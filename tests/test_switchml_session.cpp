@@ -155,6 +155,58 @@ TEST(Session, MultiWaveReusesSlotsCleanly) {
   }
 }
 
+TEST(Session, BatchedAndPerPacketSubmissionAreIdentical) {
+  // The chunk-batched datapath must be observably indistinguishable from
+  // per-packet submission: identical results (bit-for-bit), identical
+  // SessionStats, identical switch register state afterwards — including
+  // under heavy loss, where the batched path pre-draws the same loss
+  // schedule and queues every delivered duplicate.
+  for (const double loss : {0.0, 0.2, 0.4}) {
+    for (const bool rsaw : {false, true}) {
+      pisa::SwitchConfig cfg;
+      cfg.ext.rsaw = rsaw;
+      cfg.ext.two_operand_shift = rsaw;
+      SessionOptions opts;
+      opts.num_workers = 3;
+      opts.slots = 8;
+      opts.lanes = 4;
+      opts.loss_rate = loss;
+      opts.loss_seed = 71 + static_cast<std::uint64_t>(loss * 10);
+      opts.max_retransmits = 256;
+
+      SessionOptions batched = opts;
+      batched.batched = true;
+      SessionOptions per_packet = opts;
+      per_packet.batched = false;
+      AggregationSession fast(cfg, batched);
+      AggregationSession slow(cfg, per_packet);
+
+      const auto workers = make_workers(3, 100, 72);
+      const auto got = fast.reduce(workers);
+      const auto want = slow.reduce(workers);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(core::fp32_bits(got[i]), core::fp32_bits(want[i]))
+            << "loss=" << loss << " rsaw=" << rsaw << " i=" << i;
+      }
+      EXPECT_EQ(fast.stats().packets_sent, slow.stats().packets_sent);
+      EXPECT_EQ(fast.stats().packets_lost, slow.stats().packets_lost);
+      EXPECT_EQ(fast.stats().retransmissions, slow.stats().retransmissions);
+      EXPECT_EQ(fast.stats().duplicates_absorbed,
+                slow.stats().duplicates_absorbed);
+      EXPECT_EQ(fast.stats().slot_reuses, slow.stats().slot_reuses);
+      // Post-job switch state (all lane registers + bitmap + counter).
+      for (int r = 0; r < 2 * 4 + 2; ++r) {
+        for (std::size_t s = 0; s < 8; ++s) {
+          ASSERT_EQ(fast.fpisa_switch().sim().reg(r).read(s),
+                    slow.fpisa_switch().sim().reg(r).read(s))
+              << "loss=" << loss << " reg=" << r << " slot=" << s;
+        }
+      }
+    }
+  }
+}
+
 TEST(Session, FullVariantOnExtendedSwitch) {
   pisa::SwitchConfig ext;
   ext.ext.two_operand_shift = true;
