@@ -8,8 +8,12 @@
 // The datapath is the batched one end to end: 32-lane chunk packets
 // (amortizing the FPISA header + frame overhead over 32 values on the
 // modeled wire), encoded into reused buffers and applied through
-// FpisaSwitch::add_batch with one shard-mutex hold per wave. A 2-lane
-// single-shard row is kept for continuity with the pre-batching numbers.
+// FpisaSwitch::add_batch with one shard-mutex hold per wave, and collect
+// phases drained through the compiled egress read_and_reset_batch. The
+// add/collect wall-time split is reported per shard count, plus a per-slot
+// collect baseline row (read/reset round trips through the packet sim) to
+// track the batched egress speedup. A 2-lane single-shard row is kept for
+// continuity with the pre-batching numbers.
 #include <chrono>
 #include <cstdio>
 
@@ -36,12 +40,15 @@ std::vector<std::vector<float>> make_workers(int w, std::size_t n,
 struct RunResult {
   double modeled_s = 0;
   double wall_ms = 0;
+  double add_phase_ms = 0;
+  double collect_phase_ms = 0;
   std::uint64_t packets = 0;
 };
 
 RunResult run_once(int shards, int lanes, std::size_t values,
                    const std::vector<std::vector<float>>& workers,
-                   double gbps, double latency_us) {
+                   double gbps, double latency_us,
+                   bool batched_collect = true) {
   using namespace fpisa;
   using namespace fpisa::cluster;
   ClusterOptions opts;
@@ -49,6 +56,7 @@ RunResult run_once(int shards, int lanes, std::size_t values,
   opts.lanes = lanes;
   opts.slots_per_shard = 64;
   opts.slots_per_job = 64;
+  opts.batched_collect = batched_collect;
   AggregationService service(opts);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -60,6 +68,8 @@ RunResult run_once(int shards, int lanes, std::size_t values,
       4u * static_cast<std::size_t>(lanes) + 46u;
   RunResult r;
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.add_phase_ms = service.phase_breakdown().add_s * 1e3;
+  r.collect_phase_ms = service.phase_breakdown().collect_s * 1e3;
   r.modeled_s = modeled_shard_parallel_seconds(report.per_shard, pkt_bytes,
                                                gbps, latency_us);
   r.packets = report.stats.packets_sent;
@@ -89,7 +99,8 @@ int main() {
   json.set("link_gbps", kGbps);
 
   util::Table t({"Shards", "Packets", "Modeled time (ms)", "Values/s (x1e6)",
-                 "Speedup", "Sim wall (ms)", "Wall values/s (x1e6)"});
+                 "Speedup", "Sim wall (ms)", "Add (ms)", "Collect (ms)",
+                 "Wall values/s (x1e6)"});
   double base_rate = 0.0;
   double rate_at_4 = 0.0;
   for (const int shards : {1, 2, 4, 8}) {
@@ -106,12 +117,41 @@ int main() {
                util::Table::num(rate / 1e6, 1),
                util::Table::num(rate / base_rate, 2) + "x",
                util::Table::num(r.wall_ms, 1),
+               util::Table::num(r.add_phase_ms, 2),
+               util::Table::num(r.collect_phase_ms, 2),
                util::Table::num(wall_rate / 1e6, 1)});
     json.set("values_per_s_shards_" + std::to_string(shards), rate);
     json.set("sim_wall_ms_shards_" + std::to_string(shards), r.wall_ms);
+    json.set("add_phase_ms_shards_" + std::to_string(shards), r.add_phase_ms);
+    json.set("collect_phase_ms_shards_" + std::to_string(shards),
+             r.collect_phase_ms);
     json.set("wall_values_per_s_shards_" + std::to_string(shards), wall_rate);
   }
   std::printf("%s", t.render().c_str());
+
+  // Compiled batched egress vs the per-slot collect baseline (read/reset
+  // round trips through the packet sim) on one shard: the collect-phase
+  // wall time is the PR 3 acceptance metric (target >= 3x).
+  const RunResult per_slot =
+      run_once(1, kLanes, kValues, workers, kGbps, kLatencyUs,
+               /*batched_collect=*/false);
+  const RunResult batched_collect =
+      run_once(1, kLanes, kValues, workers, kGbps, kLatencyUs,
+               /*batched_collect=*/true);
+  const double collect_speedup =
+      per_slot.collect_phase_ms / batched_collect.collect_phase_ms;
+  json.set("collect_phase_ms_per_slot_baseline", per_slot.collect_phase_ms);
+  json.set("collect_phase_ms_batched", batched_collect.collect_phase_ms);
+  json.set("collect_speedup_vs_per_slot", collect_speedup);
+  json.set("sim_wall_ms_per_slot_collect", per_slot.wall_ms);
+  std::printf("\ncollect phase, 1 shard: per-slot %.2f ms -> batched "
+              "read_batch %.2f ms = %.1fx (acceptance target: >= 3x)\n",
+              per_slot.collect_phase_ms, batched_collect.collect_phase_ms,
+              collect_speedup);
+  if (collect_speedup < 3.0) {
+    std::printf("warning: collect-phase speedup below the 3x target on this "
+                "machine\n");
+  }
   const double speedup_4 = rate_at_4 / base_rate;
   json.set("speedup_1_to_4", speedup_4);
   std::printf("\naggregate throughput scaling 1 -> 4 shards: %.2fx "

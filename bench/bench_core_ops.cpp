@@ -1,6 +1,7 @@
 // Microbenchmarks + ablations for the core FPISA operations:
 //   * add throughput: full vs FPISA-A vs host float
 //   * batched branchless datapath vs the scalar reference loop, per backend
+//   * batched egress (read/renormalize) vs the per-slot read loop, per backend
 //   * read (delayed renorm) vs hypothetical renormalize-every-add
 //   * LPM-table CLZ vs native countl_zero
 //   * advanced ops (multiply / table-multiply / log2 / sqrt)
@@ -173,6 +174,81 @@ void BM_BatchAddApproxAvx2(benchmark::State& state) {
   run_batch(state, core::Variant::kApproximate, core::BatchBackend::kAvx2);
 }
 BENCHMARK(BM_BatchAddApproxAvx2);
+
+// --- batched egress (read/renormalize) vs the per-slot reference -----------
+// The reference is the pre-batching collect shape: one fpisa_read
+// (renormalize + assemble) per register pair. The batched kernels are
+// bit-identical to it (test_core_batch_equivalence), so these rows measure
+// pure datapath shape for the collect phase.
+
+/// Registers pre-loaded with a gradient stream: realistic exponent spread
+/// for the renormalize path.
+struct ReadState {
+  std::vector<std::int32_t> exp;
+  std::vector<std::int64_t> man;
+};
+
+ReadState make_read_state(std::size_t n, const core::AccumulatorConfig& cfg) {
+  ReadState s;
+  s.exp.assign(n, 0);
+  s.man.assign(n, 0);
+  core::OpCounters counters;
+  for (int round = 0; round < 4; ++round) {
+    const auto bits = value_bits(n, 50 + static_cast<std::uint64_t>(round));
+    core::fpisa_add_batch(bits, s.exp, s.man, cfg, counters);
+  }
+  return s;
+}
+
+void run_read_reference_loop(benchmark::State& state) {
+  const core::AccumulatorConfig cfg = bench_cfg(core::Variant::kFull);
+  const ReadState s = make_read_state(4096, cfg);
+  std::vector<std::uint32_t> out(4096);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<std::uint32_t>(
+          core::fpisa_read({s.exp[i], s.man[i]}, cfg).bits);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+
+void run_read_batch(benchmark::State& state, core::BatchBackend backend) {
+  bool available = false;
+  for (const auto b : core::available_batch_backends()) {
+    available = available || b == backend;
+  }
+  if (!available) {
+    state.SkipWithError("backend not available on this CPU/build");
+    return;
+  }
+  core::force_batch_backend(backend);
+  const core::AccumulatorConfig cfg = bench_cfg(core::Variant::kFull);
+  const ReadState s = make_read_state(4096, cfg);
+  std::vector<std::uint32_t> out(4096);
+  for (auto _ : state) {
+    core::fpisa_read_batch(s.exp, s.man, out, cfg);
+    benchmark::DoNotOptimize(out.data());
+  }
+  core::reset_batch_backend();
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+
+void BM_BatchReadReference(benchmark::State& state) {
+  run_read_reference_loop(state);
+}
+BENCHMARK(BM_BatchReadReference);
+
+void BM_BatchReadScalar(benchmark::State& state) {
+  run_read_batch(state, core::BatchBackend::kScalar);
+}
+BENCHMARK(BM_BatchReadScalar);
+
+void BM_BatchReadAvx2(benchmark::State& state) {
+  run_read_batch(state, core::BatchBackend::kAvx2);
+}
+BENCHMARK(BM_BatchReadAvx2);
 
 // Ablation: delayed renormalization (read once at the end) vs
 // renormalizing after every add — the data-dependency the design removes.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "core/packed.h"
@@ -17,6 +18,12 @@ pisa::FpisaProgramOptions shard_program_options(const ClusterOptions& opts) {
   p.slots = opts.slots_per_shard;
   p.num_workers = 32;  // bitmap width: any job with <= 32 workers fits
   return p;
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
 }
 
 /// Independent per-(job, shard) loss stream so results are deterministic
@@ -117,6 +124,53 @@ void AggregationService::flush_wave(Shard& shard, WaveScratch& scratch) {
   scratch.values.clear();
 }
 
+void AggregationService::collect_wave(
+    Shard& shard, const SlotRange& range,
+    const std::vector<std::size_t>& chunks, std::size_t base,
+    std::size_t wave_end, std::vector<float>& result, const JobParams& params,
+    util::Rng& rng, switchml::SessionStats& stats, WaveScratch& scratch) {
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t n = result.size();
+  const std::size_t wave_n = wave_end - base;
+
+  // Draw every slot's read + reset loss schedule in the per-packet order
+  // (the schedule depends only on the task's rng stream, never on the
+  // switch); switchml::draw_collect_schedule is the single source of truth
+  // for this protocol order across the session and cluster layers.
+  const switchml::CollectSchedule sched = switchml::draw_collect_schedule(
+      wave_n, params.loss_rate, params.max_retransmits, rng, stats);
+
+  // Apply the cleared prefix in one compiled-egress call under a single
+  // mutex hold (values are read before the clear, exactly the per-slot
+  // read-then-reset order; a failed slot and everything after it stay
+  // untouched, as they would per-packet).
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.sw.read_and_reset_batch(
+        static_cast<std::uint16_t>(range.lo), sched.cleared,
+        {scratch.wave_values.data(), sched.cleared * lanes});
+    shard.sw.sim().account_packets(sched.delivered - sched.cleared);
+  }
+  if (sched.failure == 1) {
+    throw std::runtime_error("cluster: read packet exceeded max_retransmits");
+  }
+  if (sched.failure == 2) {
+    // A dirty slot would poison the range's next tenant via the dedup
+    // bitmap — fail loudly instead of finishing with a hidden leak.
+    throw std::runtime_error("cluster: reset packet exceeded max_retransmits");
+  }
+
+  for (std::size_t k = 0; k < wave_n; ++k) {
+    const std::size_t c = chunks[base + k];
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t i = c * lanes + l;
+      if (i < n) {
+        result[i] = core::fp32_value(scratch.wave_values[k * lanes + l]);
+      }
+    }
+  }
+}
+
 void AggregationService::scrub_range(Shard& shard, const SlotRange& range) {
   std::lock_guard<std::mutex> lk(shard.mu);
   for (std::size_t s = range.lo; s < range.hi; ++s) {
@@ -135,9 +189,12 @@ void AggregationService::run_shard_chunks(
   const std::size_t wave = range.size();
   WaveScratch scratch;
   scratch.lane_buf.assign(lanes, 0);
+  scratch.wave_values.assign(wave * lanes, 0);
+  using Clock = std::chrono::steady_clock;
 
   for (std::size_t base = 0; base < chunks.size(); base += wave) {
     const std::size_t wave_end = std::min(base + wave, chunks.size());
+    const auto t_submit = Clock::now();
     // Submit phase: encode every (chunk, worker) packet of the wave into
     // the reused flat buffers, drawing the loss schedule as we go, then
     // apply the whole wave with ONE shard-mutex hold (the per-packet
@@ -165,11 +222,24 @@ void AggregationService::run_shard_chunks(
       }
     }
     flush_wave(shard, scratch);
+    const auto t_collect = Clock::now();
+    add_phase_ns_.fetch_add(elapsed_ns(t_submit, t_collect),
+                            std::memory_order_relaxed);
 
-    // Collect phase: idempotent read then reset per chunk, all switch
-    // operations of the wave under one mutex hold, in the per-packet
-    // protocol's exact order (reads don't mutate; resets only touch this
-    // job's private slots, so coarser locking is externally invisible).
+    // Collect phase: idempotent read then reset per chunk. Batched: one
+    // compiled-egress read_and_reset_batch over the wave's slots (the
+    // default). Per-slot reference: read/reset round trips through the
+    // packet sim, all switch operations of the wave under one mutex hold,
+    // in the per-packet protocol's exact order (reads don't mutate; resets
+    // only touch this job's private slots, so coarser locking is
+    // externally invisible).
+    if (opts_.batched_collect) {
+      collect_wave(shard, range, chunks, base, wave_end, result, params, rng,
+                   stats, scratch);
+      collect_phase_ns_.fetch_add(elapsed_ns(t_collect, Clock::now()),
+                                  std::memory_order_relaxed);
+      continue;
+    }
     {
       std::lock_guard<std::mutex> lk(shard.mu);
       for (std::size_t k = base; k < wave_end; ++k) {
@@ -219,6 +289,8 @@ void AggregationService::run_shard_chunks(
         }
       }
     }
+    collect_phase_ns_.fetch_add(elapsed_ns(t_collect, Clock::now()),
+                                std::memory_order_relaxed);
   }
 }
 
@@ -380,6 +452,18 @@ std::vector<std::string> AggregationService::tenants() const {
 std::uint64_t AggregationService::jobs_completed() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   return jobs_completed_;
+}
+
+AggregationService::PhaseBreakdown AggregationService::phase_breakdown()
+    const {
+  PhaseBreakdown p;
+  p.add_s = static_cast<double>(
+                add_phase_ns_.load(std::memory_order_relaxed)) *
+            1e-9;
+  p.collect_s = static_cast<double>(
+                    collect_phase_ns_.load(std::memory_order_relaxed)) *
+                1e-9;
+  return p;
 }
 
 double modeled_shard_parallel_seconds(

@@ -7,6 +7,7 @@
 // on a tenant-private SlotRange so concurrent jobs never collide.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -37,6 +38,11 @@ struct ClusterOptions {
   std::uint64_t loss_seed = 1;
   int max_retransmits = 64;
   int worker_threads = 0;            ///< 0: one per shard
+  /// Collect phases drain each wave's slot range through one compiled
+  /// read_and_reset_batch call (default) instead of per-slot read/reset
+  /// round trips through the packet simulator. Identical observables —
+  /// the per-slot path remains as the reference/baseline.
+  bool batched_collect = true;
   pisa::SwitchConfig switch_config;  ///< applied to every shard
 };
 
@@ -84,6 +90,15 @@ class AggregationService {
   std::vector<std::string> tenants() const;
   std::uint64_t jobs_completed() const;
 
+  /// Cumulative wall time the shard tasks spent in each wave phase across
+  /// all completed work (submit/add vs collect) — the phase split that
+  /// bench_cluster_throughput reports.
+  struct PhaseBreakdown {
+    double add_s = 0;
+    double collect_s = 0;
+  };
+  PhaseBreakdown phase_breakdown() const;
+
  private:
   struct Shard {
     explicit Shard(const ClusterOptions& opts);
@@ -107,6 +122,10 @@ class AggregationService {
     std::vector<std::uint8_t> workers;
     std::vector<std::uint32_t> values;
     std::vector<std::uint32_t> lane_buf;
+    /// One preallocated result buffer per shard task (wave slots × lanes):
+    /// the batched collect reads the whole wave into it instead of per-slot
+    /// FpisaResult round trips through the packet sim.
+    std::vector<std::uint32_t> wave_values;
     pisa::FpisaResult result_buf;
   };
 
@@ -125,6 +144,15 @@ class AggregationService {
                         switchml::SessionStats& stats, WaveScratch& scratch);
   /// Applies the queued wave under ONE shard-mutex hold.
   static void flush_wave(Shard& shard, WaveScratch& scratch);
+  /// Batched collect: draws the per-slot read/reset loss schedules in the
+  /// per-packet order, then drains the wave's slots through one compiled
+  /// read_and_reset_batch call under a single shard-mutex hold. Throws
+  /// exactly where (and with the register state) the per-slot loop would.
+  void collect_wave(Shard& shard, const SlotRange& range,
+                    const std::vector<std::size_t>& chunks, std::size_t base,
+                    std::size_t wave_end, std::vector<float>& result,
+                    const JobParams& params, util::Rng& rng,
+                    switchml::SessionStats& stats, WaveScratch& scratch);
   /// Control-plane cleanup: clears every slot of `range` so a failed job
   /// cannot leak register state or dedup-bitmap bits to the range's next
   /// tenant.
@@ -146,6 +174,10 @@ class AggregationService {
   // waiting on each other's ranges.
   std::mutex alloc_mu_;
   std::condition_variable alloc_cv_;
+
+  // Wave-phase wall-time accounting (relaxed: totals only, no ordering).
+  std::atomic<std::uint64_t> add_phase_ns_{0};
+  std::atomic<std::uint64_t> collect_phase_ns_{0};
 
   // Cumulative accounting.
   mutable std::mutex stats_mu_;

@@ -20,6 +20,13 @@
 // This is enforced by tests/test_core_batch_equivalence.cpp (exhaustive
 // FP16-derived sweep + randomized FP32 streams).
 //
+// The egress half, `fpisa_read_batch` / `fpisa_read_reset_batch`, applies
+// the same restructuring to the paper's Fig 2 MAU5-8 dataflow (CLZ
+// renormalize + shift + sign fold + assemble): every register pair is a
+// stateless per-slot transform, so the collect phase vectorizes with no
+// cross-lane dependencies at all. Contract: bit-identical to per-slot
+// `fpisa_read` (same test file).
+//
 // Backends (runtime-dispatched behind this one interface):
 //  * kScalar — portable unrolled scalar code built from the same branchless
 //    lane primitive; compiles everywhere.
@@ -86,6 +93,34 @@ void fpisa_add_batch(std::span<const std::uint32_t> bits,
                      std::span<std::int32_t> exp, std::span<std::int64_t> man,
                      const AccumulatorConfig& cfg, OpCounters& counters);
 
+/// True when `cfg` can take the batched *read* fast path: packed binary32
+/// layout, a register narrower than 64 bits, and the hardware-faithful
+/// truncating read rounding (kTowardZero — the only mode the egress
+/// dataflow implements without guard-bit rounding logic). Ineligible
+/// configs still work — the read entry points fall back to the per-slot
+/// `fpisa_read` reference loop.
+bool read_batch_eligible(const AccumulatorConfig& cfg);
+
+/// Batched egress kernel (paper Fig 2 MAU5–8): renormalize-and-assemble
+/// every (exp[i], man[i]) register pair into packed FP32 bits — CLZ to find
+/// the leading one, shift to the canonical significand position, fold the
+/// two's-complement sign, adjust the exponent, pack — without modifying the
+/// register state. Bit-identical to per-slot `fpisa_read` (the kernel
+/// behind `FpisaAccumulator::read()`), including subnormal outputs and
+/// overflow-to-infinity clamping. Spans must have equal length.
+void fpisa_read_batch(std::span<const std::int32_t> exp,
+                      std::span<const std::int64_t> man,
+                      std::span<std::uint32_t> out,
+                      const AccumulatorConfig& cfg);
+
+/// Read-and-reset variant (SwitchML-style slot recycling): identical
+/// outputs to fpisa_read_batch, then every (exp[i], man[i]) pair is
+/// cleared to the initial (0, 0) state.
+void fpisa_read_reset_batch(std::span<std::int32_t> exp,
+                            std::span<std::int64_t> man,
+                            std::span<std::uint32_t> out,
+                            const AccumulatorConfig& cfg);
+
 namespace detail {
 
 /// Per-batch event tallies, merged into OpCounters once per call (the
@@ -106,6 +141,12 @@ struct BatchTallies {
 void add_batch_avx2(const std::uint32_t* bits, std::size_t n,
                     std::int32_t* exp, std::int64_t* man,
                     const AccumulatorConfig& cfg, BatchTallies& t);
+
+/// AVX2 egress kernel entry (defined in batch_read_avx2.cpp, only built
+/// when FPISA_ENABLE_AVX2 is on). Tail elements are finished by the scalar
+/// read primitive inside.
+void read_batch_avx2(const std::int32_t* exp, const std::int64_t* man,
+                     std::uint32_t* out, std::size_t n, int guard);
 
 }  // namespace detail
 

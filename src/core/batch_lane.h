@@ -134,6 +134,61 @@ inline void lane_add(std::uint32_t u, std::int32_t& se, std::int64_t& sm,
   sm = active ? nm : sm;
 }
 
+/// One branch-free renormalize-and-assemble (egress MAU5-8) of register
+/// pair (se, sm) into packed FP32 bits: CLZ to locate the leading one,
+/// truncating shift to the canonical significand position, sign fold,
+/// exponent adjust, pack. Bit-identical to `fpisa_read` with
+/// Rounding::kTowardZero — including subnormal outputs (truncation can
+/// never carry, so the general assemble's round-up-into-normal branch is
+/// unreachable), underflow to signed zero, and overflow to ±inf. The
+/// reference's shift-clamp rules are replicated exactly: a non-positive
+/// shift keeps the value unshifted and a shift >= 64 drops every bit.
+inline std::uint32_t lane_read(std::int32_t se, std::int64_t sm, int guard) {
+  const bool neg = sm < 0;
+  const std::uint64_t u = neg ? ~static_cast<std::uint64_t>(sm) + 1
+                              : static_cast<std::uint64_t>(sm);
+  const std::uint32_t sign = neg ? 0x80000000u : 0u;
+  // Leading-one position; the |1 keeps countl_zero defined for u == 0
+  // (that lane is selected out at the end anyway).
+  const int p = 63 - std::countl_zero(u | 1);
+  const std::int64_t norm_exp =
+      static_cast<std::int64_t>(se) + p - 23 - guard;
+  const int shift = p - 23;
+
+  // Subnormal output (norm_exp <= 0): extra right shift of 1 - norm_exp.
+  // frac < 2^23 always holds under truncation, so the pack is exact.
+  const std::int64_t ts = shift + 1 - norm_exp;
+  const std::uint64_t frac =
+      ts >= 64 ? 0 : (ts <= 0 ? u : u >> ts);
+  const std::uint32_t sub_bits = sign | static_cast<std::uint32_t>(frac);
+
+  // Normal output (0 < norm_exp < 255): leading 1 lands exactly at bit 23.
+  const std::uint64_t sig = shift >= 0 ? u >> shift : u << -shift;
+  const std::uint32_t norm_bits =
+      sign | (static_cast<std::uint32_t>(norm_exp) << 23) |
+      (static_cast<std::uint32_t>(sig) & 0x7FFFFFu);
+
+  const std::uint32_t inf_bits = sign | 0x7F800000u;
+  return sm == 0        ? 0u
+         : norm_exp >= 255 ? inf_bits
+         : norm_exp <= 0   ? sub_bits
+                           : norm_bits;
+}
+
+/// Runs the read primitive over a range (the portable backend's core and
+/// the AVX2 backend's tail loop).
+inline void lane_read_range(const std::int32_t* exp, const std::int64_t* man,
+                            std::uint32_t* out, std::size_t n, int guard) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {  // unrolled: independent lanes pipeline
+    out[i + 0] = lane_read(exp[i + 0], man[i + 0], guard);
+    out[i + 1] = lane_read(exp[i + 1], man[i + 1], guard);
+    out[i + 2] = lane_read(exp[i + 2], man[i + 2], guard);
+    out[i + 3] = lane_read(exp[i + 3], man[i + 3], guard);
+  }
+  for (; i < n; ++i) out[i] = lane_read(exp[i], man[i], guard);
+}
+
 /// Runs the lane primitive over a range (the portable backend's core and
 /// the AVX2 backend's tail loop).
 template <Variant V, OverflowPolicy P>

@@ -1,0 +1,119 @@
+// AVX2 backend for fpisa_read_batch: four 64-bit lanes per iteration, a
+// literal translation of the branchless read primitive in batch_lane.h
+// into vector selects. This translation unit is compiled with -mavx2 (and
+// only when FPISA_ENABLE_AVX2 is on); callers reach it solely through the
+// runtime-dispatched fpisa_read_batch, which checks CPU support first.
+//
+// AVX2 has no 64-bit lzcnt; the leading-one position comes from the
+// classic smear-then-popcount identity: OR-smearing the leading 1 down
+// turns u into 2^(p+1) - 1, whose popcount is p+1. The per-lane popcount
+// is the pshufb nibble-LUT trick summed across each 64-bit lane with
+// vpsadbw. Shift-count clamping mirrors the scalar primitive: vpsrlvq
+// already yields 0 for counts >= 64 (the reference's "drop everything"
+// rule), and negative counts are masked to 0 (the reference's "keep u"
+// rule) before the shift.
+#include "core/batch_accumulator.h"
+
+#if defined(FPISA_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "core/batch_lane.h"
+
+namespace fpisa::core::detail {
+namespace {
+
+inline __m256i set1(std::int64_t v) { return _mm256_set1_epi64x(v); }
+
+inline __m256i blend(__m256i a, __m256i b, __m256i mask) {
+  return _mm256_blendv_epi8(a, b, mask);  // mask lanes are all-ones/zeros
+}
+
+/// Leading-one position + 1 per 64-bit lane (0 for a zero lane).
+inline __m256i leading_one_pos_plus1(__m256i u) {
+  u = _mm256_or_si256(u, _mm256_srli_epi64(u, 1));
+  u = _mm256_or_si256(u, _mm256_srli_epi64(u, 2));
+  u = _mm256_or_si256(u, _mm256_srli_epi64(u, 4));
+  u = _mm256_or_si256(u, _mm256_srli_epi64(u, 8));
+  u = _mm256_or_si256(u, _mm256_srli_epi64(u, 16));
+  u = _mm256_or_si256(u, _mm256_srli_epi64(u, 32));
+  const __m256i lut = _mm256_setr_epi8(  // popcount of each nibble
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(u, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(u, 4), nib);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+}  // namespace
+
+void read_batch_avx2(const std::int32_t* exp, const std::int64_t* man,
+                     std::uint32_t* out, std::size_t n, int guard) {
+  const __m256i k_zero = _mm256_setzero_si256();
+  const __m256i k_one = set1(1);
+  const __m256i k_bias = set1(23 + guard);  // norm_exp = se + p - 23 - guard
+  const __m256i k_23 = set1(23);
+  const __m256i k_254 = set1(254);
+  const __m256i k_sign32 = set1(0x80000000LL);
+  const __m256i k_frac_mask = set1(0x7FFFFF);
+  const __m256i k_inf = set1(0x7F800000LL);
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i se = _mm256_cvtepi32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(exp + i)));
+    const __m256i sm =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(man + i));
+
+    // Sign fold: |sm| via (sm ^ mask) - mask; INT64_MIN negates correctly
+    // through the unsigned wrap, exactly like the scalar primitive.
+    const __m256i neg = _mm256_cmpgt_epi64(k_zero, sm);
+    const __m256i u = _mm256_sub_epi64(_mm256_xor_si256(sm, neg), neg);
+    const __m256i sign = _mm256_and_si256(neg, k_sign32);
+
+    // CLZ renormalize: p = leading-one position, shift to bit 23.
+    const __m256i p =
+        _mm256_sub_epi64(leading_one_pos_plus1(u), k_one);  // -1 for u==0
+    const __m256i norm_exp = _mm256_sub_epi64(_mm256_add_epi64(se, p), k_bias);
+    const __m256i shift = _mm256_sub_epi64(p, k_23);
+
+    // Subnormal result: total shift clamped at 0 below (vpsrlvq handles the
+    // >= 64 clamp natively by returning 0).
+    const __m256i ts =
+        _mm256_add_epi64(_mm256_sub_epi64(shift, norm_exp), k_one);
+    const __m256i tsc = _mm256_andnot_si256(_mm256_cmpgt_epi64(k_zero, ts), ts);
+    const __m256i sub_bits = _mm256_or_si256(sign, _mm256_srlv_epi64(u, tsc));
+
+    // Normal result: right or left shift selected by the sign of `shift`.
+    const __m256i shift_neg = _mm256_cmpgt_epi64(k_zero, shift);
+    const __m256i sig = blend(
+        _mm256_srlv_epi64(u, shift),
+        _mm256_sllv_epi64(u, _mm256_sub_epi64(k_zero, shift)), shift_neg);
+    const __m256i norm_bits = _mm256_or_si256(
+        _mm256_or_si256(sign, _mm256_slli_epi64(norm_exp, 23)),
+        _mm256_and_si256(sig, k_frac_mask));
+
+    // Select: zero register -> +0; overflow -> ±inf; subnormal range ->
+    // truncated subnormal; else normal pack.
+    const __m256i is_zero = _mm256_cmpeq_epi64(sm, k_zero);
+    const __m256i is_ovf = _mm256_cmpgt_epi64(norm_exp, k_254);
+    const __m256i is_sub = _mm256_cmpgt_epi64(k_one, norm_exp);
+    __m256i bits = blend(norm_bits, sub_bits, is_sub);
+    bits = blend(bits, _mm256_or_si256(sign, k_inf), is_ovf);
+    bits = _mm256_andnot_si256(is_zero, bits);
+
+    // Narrow the 4x int64 results (each fits 32 bits) to 4x uint32.
+    const __m256i packed = _mm256_permutevar8x32_epi32(
+        bits, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(packed));
+  }
+  lane_read_range(exp + i, man + i, out + i, n - i, guard);
+}
+
+}  // namespace fpisa::core::detail
+
+#endif  // FPISA_HAVE_AVX2

@@ -1,7 +1,6 @@
 #include "core/vector_accumulator.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -60,35 +59,17 @@ void FpisaVector::add_bits(std::span<const std::uint64_t> bits) {
 
 void FpisaVector::read(std::span<float> out) const {
   assert(out.size() == size());
-  if (batch_eligible(cfg_) && cfg_.read_rounding == Rounding::kTowardZero) {
-    // Renormalize fast path for the hardware-faithful truncating read: the
-    // in-range normal case is a clz + shift + pack (exactly what assemble
-    // computes for it — truncation cannot carry out of the significand);
-    // zero/subnormal/overflow outputs defer to the general assemble.
-    const int g = cfg_.guard_bits;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      const std::int64_t man = regs_.man[i];
-      if (man == 0) {
-        out[i] = 0.0f;
-        continue;
-      }
-      const bool neg = man < 0;
-      const std::uint64_t u = neg ? ~static_cast<std::uint64_t>(man) + 1
-                                  : static_cast<std::uint64_t>(man);
-      const int p = 63 - std::countl_zero(u);
-      const std::int64_t norm_exp =
-          static_cast<std::int64_t>(regs_.exp[i]) + p - 23 - g;
-      if (norm_exp <= 0 || norm_exp >= 255) {
-        out[i] = fp32_value(static_cast<std::uint32_t>(
-            fpisa_read({regs_.exp[i], regs_.man[i]}, cfg_).bits));
-        continue;
-      }
-      const int shift = p - 23;
-      const std::uint64_t sig = shift >= 0 ? u >> shift : u << -shift;
-      out[i] = fp32_value(static_cast<std::uint32_t>(
-          (neg ? 0x80000000u : 0u) |
-          (static_cast<std::uint32_t>(norm_exp) << 23) |
-          (static_cast<std::uint32_t>(sig) & 0x7FFFFFu)));
+  if (read_batch_eligible(cfg_)) {
+    // Hardware-faithful truncating read: the batched renormalize kernel
+    // (CLZ + shift + pack, bit-identical to the general assemble — proven
+    // in tests/test_core_batch_equivalence.cpp), chunked through a stack
+    // buffer like the add path.
+    std::uint32_t bits[kChunk];
+    for (std::size_t base = 0; base < out.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, out.size() - base);
+      fpisa_read_batch({regs_.exp.data() + base, n},
+                       {regs_.man.data() + base, n}, {bits, n}, cfg_);
+      for (std::size_t i = 0; i < n; ++i) out[base + i] = fp32_value(bits[i]);
     }
     return;
   }

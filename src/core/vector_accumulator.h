@@ -5,9 +5,10 @@
 // aggregate gradient vectors.
 //
 // Storage is a structure-of-arrays RegisterFile so element-wise adds run
-// through the batched branchless kernel (core/batch_accumulator.h) — the
-// scalar reference loop remains as the fallback for non-FP32 formats and is
-// the bit-exactness oracle either way.
+// through the batched branchless kernel (core/batch_accumulator.h) and
+// truncating reads run through its egress twin (fpisa_read_batch) — the
+// scalar reference loops remain as the fallback for non-FP32 formats and
+// are the bit-exactness oracle either way.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,7 @@
 #include "pisa/fpisa_program.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <string>
 
@@ -582,8 +583,8 @@ void FpisaSwitch::read_and_reset_into(std::uint16_t slot, FpisaResult& out) {
 // mantissa arithmetic, and the exponent-register update on zero inputs —
 // so the state evolution is bit-identical to per-packet `add` calls
 // (tests/test_pisa_fpisa_program.cpp proves it against the interpreter).
-// Egress (result emission) is skipped: batch callers read aggregates with
-// read()/read_into().
+// Egress (result emission) is skipped: batch callers collect aggregates
+// with read_batch()/read_and_reset_batch() — the compiled egress below.
 // ---------------------------------------------------------------------------
 
 void FpisaSwitch::apply_add_lane(int lane, std::size_t slot,
@@ -653,6 +654,109 @@ void FpisaSwitch::add_batch(std::span<const std::uint16_t> slots,
     for (int l = 0; l < lanes; ++l) apply_add_lane(l, slot, lane_vals[l]);
   }
   sim_.account_packets(slots.size());
+}
+
+// ---------------------------------------------------------------------------
+// Batched read fast path: the compiled form of the egress program
+// (MAU5-8), applied straight to the register arrays. Each step mirrors the
+// interpreter's table semantics on the same PHV widths: the 32-bit
+// two's-complement sign split, the LPM CLZ table's fixed shift to bit 23,
+// the 16-bit exponent adjust, and the range gateway's zero / FTZ /
+// overflow-to-inf / pack priority order — so results and register state
+// are bit-identical to per-packet read()/read_and_reset() traversals
+// (tests/test_pisa_fpisa_program.cpp proves it against the interpreter).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One lane's compiled egress: (exp register, mantissa register) -> packed
+/// FP32 result field, exactly as MAU5-8 compute it.
+std::uint32_t egress_renormalize(std::uint64_t r_exp, std::uint64_t r_man) {
+  // MAU5: two's complement -> sign + 32-bit magnitude.
+  const auto man = static_cast<std::uint32_t>(r_man);
+  const std::uint32_t sign2 = man >> 31;
+  std::uint32_t uman = sign2 ? (0u - man) : man;
+  // MAU6: LPM CLZ + fixed shift to bit 23 (the table's default entry for
+  // uman == 0 applies no shift and delta 0). delta is a 16-bit field, so
+  // negative shifts wrap exactly like the SetImm's masked immediate.
+  std::uint16_t delta = 0;
+  if (uman != 0) {
+    const int shift = 8 - std::countl_zero(uman);
+    uman = shift >= 0 ? uman >> shift : uman << -shift;
+    delta = static_cast<std::uint16_t>(shift);
+  }
+  // MAU7: 16-bit exponent adjust.
+  const auto e_norm =
+      static_cast<std::uint16_t>(static_cast<std::uint32_t>(r_exp) + delta);
+  // MAU8: range gateway in the ternary table's priority order.
+  if (uman == 0) return 0;                                  // mantissa == 0
+  if ((e_norm & 0x8000u) || e_norm == 0) return sign2 << 31;  // FTZ
+  if ((e_norm & 0x7F00u) || e_norm == 255) {
+    return 0x7F800000u | (sign2 << 31);  // exponent >= 255: clamp to ±inf
+  }
+  return (uman & 0x7FFFFFu) |
+         (static_cast<std::uint32_t>(e_norm) << 23) | (sign2 << 31);
+}
+
+}  // namespace
+
+void FpisaSwitch::collect_batch(std::uint16_t slot0, std::size_t n,
+                                bool reset,
+                                std::span<std::uint32_t> out_values,
+                                std::span<std::uint32_t> out_bitmaps,
+                                std::span<std::uint16_t> out_counts) {
+  const int lanes = opts_.lanes;
+  assert(out_values.size() == n * static_cast<std::size_t>(lanes));
+  assert(out_bitmaps.empty() || out_bitmaps.size() == n);
+  assert(out_counts.empty() || out_counts.size() == n);
+  RegisterArray& bitmap = sim_.reg(2 * lanes);
+  RegisterArray& count = sim_.reg(2 * lanes + 1);
+  assert(slot0 + n <= bitmap.size());
+
+  for (int l = 0; l < lanes; ++l) {
+    RegisterArray& exp_reg = sim_.reg(2 * l);
+    RegisterArray& man_reg = sim_.reg(2 * l + 1);
+    std::uint32_t* out = out_values.data() + l;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t slot = slot0 + k;
+      out[k * static_cast<std::size_t>(lanes)] =
+          egress_renormalize(exp_reg.read(slot), man_reg.read(slot));
+      if (reset) {  // kClear: result computed from the old value
+        exp_reg.write(slot, 0);
+        man_reg.write(slot, 0);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t slot = slot0 + k;
+    if (!out_bitmaps.empty()) {
+      out_bitmaps[k] = static_cast<std::uint32_t>(bitmap.read(slot));
+    }
+    if (!out_counts.empty()) {
+      out_counts[k] = static_cast<std::uint16_t>(count.read(slot));
+    }
+    if (reset) {
+      bitmap.write(slot, 0);
+      count.write(slot, 0);
+    }
+  }
+  sim_.account_packets(n);
+}
+
+void FpisaSwitch::read_batch(std::uint16_t slot0, std::size_t n,
+                             std::span<std::uint32_t> out_values,
+                             std::span<std::uint32_t> out_bitmaps,
+                             std::span<std::uint16_t> out_counts) {
+  collect_batch(slot0, n, /*reset=*/false, out_values, out_bitmaps,
+                out_counts);
+}
+
+void FpisaSwitch::read_and_reset_batch(std::uint16_t slot0, std::size_t n,
+                                       std::span<std::uint32_t> out_values,
+                                       std::span<std::uint32_t> out_bitmaps,
+                                       std::span<std::uint16_t> out_counts) {
+  collect_batch(slot0, n, /*reset=*/true, out_values, out_bitmaps,
+                out_counts);
 }
 
 }  // namespace fpisa::pisa

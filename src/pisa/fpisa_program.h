@@ -109,6 +109,29 @@ class FpisaSwitch {
                  std::span<const std::uint8_t> workers,
                  std::span<const std::uint32_t> values);
 
+  /// Batched egress fast path: reads `n` consecutive slots [slot0,
+  /// slot0 + n) through the compiled renormalize-and-assemble (MAU5-8),
+  /// writing lane-major FP32 results into `out_values` (n * lanes
+  /// entries; slot k's lane l lands at out_values[k*lanes + l]). Results
+  /// and register state are bit-identical to n read() packets — including
+  /// the egress FTZ / overflow-to-inf range handling — but skip wire
+  /// encode/parse and table interpretation (enforced by
+  /// tests/test_pisa_fpisa_program.cpp). `out_bitmaps` / `out_counts`
+  /// (size n each) capture the per-slot dedup bitmap and completion
+  /// counter the result packets would carry; pass empty spans to skip.
+  void read_batch(std::uint16_t slot0, std::size_t n,
+                  std::span<std::uint32_t> out_values,
+                  std::span<std::uint32_t> out_bitmaps = {},
+                  std::span<std::uint16_t> out_counts = {});
+  /// Read-and-reset variant (SwitchML-style slot recycling): identical
+  /// outputs to read_batch, then clears the slots' exponent / mantissa /
+  /// bitmap / counter registers exactly as n read_and_reset() packets
+  /// would.
+  void read_and_reset_batch(std::uint16_t slot0, std::size_t n,
+                            std::span<std::uint32_t> out_values,
+                            std::span<std::uint32_t> out_bitmaps = {},
+                            std::span<std::uint16_t> out_counts = {});
+
   const FpisaProgramOptions& options() const { return opts_; }
   SwitchSim& sim() { return sim_; }
 
@@ -119,6 +142,11 @@ class FpisaSwitch {
                       std::span<const std::uint32_t> values, FpisaResult& out);
   /// One lane's ingress register update (the compiled form of MAU0-4).
   void apply_add_lane(int lane, std::size_t slot, std::uint32_t value_bits);
+  /// Shared body of the batched read paths (the compiled form of MAU5-8).
+  void collect_batch(std::uint16_t slot0, std::size_t n, bool reset,
+                     std::span<std::uint32_t> out_values,
+                     std::span<std::uint32_t> out_bitmaps,
+                     std::span<std::uint16_t> out_counts);
 
   FpisaProgramOptions opts_;
   SwitchSim sim_;

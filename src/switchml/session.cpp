@@ -93,6 +93,84 @@ void AggregationSession::flush_pending() {
   pending_values_.clear();
 }
 
+CollectSchedule draw_collect_schedule(std::size_t n, double loss_rate,
+                                      int max_retransmits, util::Rng& rng,
+                                      SessionStats& stats) {
+  CollectSchedule sched;
+  for (std::size_t k = 0; k < n; ++k) {
+    bool have = false;
+    for (int attempt = 0; attempt <= max_retransmits && !have; ++attempt) {
+      ++stats.packets_sent;
+      if (rng.next_double() < loss_rate) {
+        ++stats.packets_lost;
+        continue;
+      }
+      ++sched.delivered;
+      if (rng.next_double() < loss_rate) {
+        ++stats.packets_lost;
+        continue;
+      }
+      have = true;
+    }
+    if (!have) {
+      sched.failure = 1;
+      return sched;
+    }
+    bool cleared_slot = false;
+    for (int attempt = 0; attempt <= max_retransmits; ++attempt) {
+      ++stats.packets_sent;
+      if (rng.next_double() < loss_rate) {
+        ++stats.packets_lost;
+        continue;
+      }
+      ++sched.delivered;
+      ++stats.slot_reuses;
+      cleared_slot = true;
+      if (rng.next_double() >= loss_rate) break;
+      ++stats.packets_lost;  // ack lost: re-clearing is harmless
+    }
+    if (!cleared_slot) {
+      sched.failure = 2;
+      return sched;
+    }
+    ++sched.cleared;
+  }
+  return sched;
+}
+
+void AggregationSession::collect_wave(std::size_t base, std::size_t wave_end,
+                                      std::size_t n, std::span<float> result) {
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t wave_n = wave_end - base;
+  wave_values_.resize(wave_n * lanes);
+
+  const CollectSchedule sched = draw_collect_schedule(
+      wave_n, opts_.loss_rate, opts_.max_retransmits, loss_rng_, stats_);
+
+  // Apply the cleared prefix in one compiled-egress call (values are read
+  // before the clear, exactly the per-slot read-then-reset order; a
+  // failed slot and everything after it stay untouched, as they would).
+  switch_.read_and_reset_batch(0, sched.cleared,
+                               {wave_values_.data(), sched.cleared * lanes});
+  switch_.sim().account_packets(sched.delivered - sched.cleared);
+  if (sched.failure == 1) {
+    throw std::runtime_error("read packet exceeded retransmits");
+  }
+  if (sched.failure == 2) {
+    // A never-reset slot would swallow the next wave's adds through the
+    // dedup bitmap — fail loudly rather than aggregate silently wrong.
+    throw std::runtime_error("reset packet exceeded retransmits");
+  }
+
+  for (std::size_t k = 0; k < wave_n; ++k) {
+    const std::size_t c = base + k;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t i = c * lanes + l;
+      if (i < n) result[i] = core::fp32_value(wave_values_[k * lanes + l]);
+    }
+  }
+}
+
 std::vector<float> AggregationSession::reduce(
     std::span<const std::vector<float>> workers) {
   assert(static_cast<int>(workers.size()) == opts_.num_workers);
@@ -135,6 +213,12 @@ std::vector<float> AggregationSession::reduce(
     // Collect + recycle every slot of the wave: an idempotent read
     // (retried until acknowledged), then a reset (extra resets re-clear an
     // already-empty slot, which is harmless once the value is captured).
+    // The batched path drains the whole wave through one compiled-egress
+    // read_and_reset_batch call with the identical loss schedule.
+    if (opts_.batched) {
+      collect_wave(base, wave_end, n, result);
+      continue;
+    }
     for (std::size_t c = base; c < wave_end; ++c) {
       const auto slot = static_cast<std::uint16_t>(c - base);
       bool have = false;

@@ -10,12 +10,14 @@
 // integration of parser, MAUs, stateful ALUs and deparser, with failure
 // injection for the loss-recovery path.
 //
-// Two submission datapaths, identical in every observable (results, stats,
-// switch register evolution — proven in tests/test_switchml_session.cpp):
+// Two datapaths, identical in every observable (results, stats, switch
+// register evolution — proven in tests/test_switchml_session.cpp):
 //  * batched (default): a whole wave of chunk packets is encoded into
-//    reused flat buffers and applied through FpisaSwitch::add_batch; loss
-//    is drawn up front in the exact per-packet order, so the loss schedule
-//    and statistics match the per-packet path bit-for-bit.
+//    reused flat buffers and applied through FpisaSwitch::add_batch, and
+//    the wave's collect phase drains every slot through ONE
+//    read_and_reset_batch call (the compiled egress); loss is drawn up
+//    front in the exact per-packet order, so the loss schedule and
+//    statistics match the per-packet path bit-for-bit.
 //  * per-packet: one simulator traversal per packet (the reference).
 #pragma once
 
@@ -35,7 +37,9 @@ struct SessionOptions {
   double loss_rate = 0.0;        ///< probability a packet (either way) drops
   std::uint64_t loss_seed = 1;
   int max_retransmits = 64;      ///< per packet, before giving up
-  bool batched = true;           ///< chunk-batched fast path vs per-packet
+  /// Batched fast paths (add_batch waves + read_and_reset_batch collects)
+  /// vs the per-packet reference protocol. Identical observables.
+  bool batched = true;
 };
 
 struct SessionStats {
@@ -55,6 +59,27 @@ struct SessionStats {
     return *this;
   }
 };
+
+/// Outcome of drawing a wave's collect (read + reset) loss schedule in the
+/// per-packet protocol order, without touching the switch.
+struct CollectSchedule {
+  std::uint64_t delivered = 0;  ///< switch traversals the schedule implies
+  std::size_t cleared = 0;      ///< prefix of slots whose reset was delivered
+  int failure = 0;              ///< 0: none, 1: read failed, 2: reset failed
+};
+
+/// Draws the per-slot read/reset retry schedule for `n` slots exactly as
+/// the per-slot collect loop would — same rng draw order, same
+/// packets_sent / packets_lost / slot_reuses counting. Reads are
+/// idempotent and re-clearing an already-reset slot is a no-op, so ONE
+/// physical read-and-reset per fully-collected slot (the `cleared`
+/// prefix) plus `delivered` accounted traversals reproduces the per-slot
+/// protocol's register evolution and packet accounting exactly. Shared by
+/// AggregationSession and cluster::AggregationService so the two batched
+/// collect paths cannot drift apart.
+CollectSchedule draw_collect_schedule(std::size_t n, double loss_rate,
+                                      int max_retransmits, util::Rng& rng,
+                                      SessionStats& stats);
 
 /// Aggregates `workers` equal-length FP32 vectors through a switch,
 /// packet by packet, tolerating packet loss. Returns the aggregated sum.
@@ -78,6 +103,12 @@ class AggregationSession {
   bool queue_add(std::uint16_t slot, std::uint8_t worker,
                  std::span<const std::uint32_t> values);
   void flush_pending();
+  /// Batched collect: draws the per-slot read/reset loss schedules in the
+  /// per-packet order, then drains the wave's slots [0, wave size) through
+  /// one read_and_reset_batch call and scatters the values into `result`.
+  /// Throws exactly where (and with the state) the per-slot loop would.
+  void collect_wave(std::size_t base, std::size_t wave_end, std::size_t n,
+                    std::span<float> result);
 
   SessionOptions opts_;
   pisa::FpisaSwitch switch_;
@@ -89,6 +120,7 @@ class AggregationSession {
   std::vector<std::uint8_t> pending_workers_;
   std::vector<std::uint32_t> pending_values_;
   std::vector<std::uint32_t> lane_buf_;
+  std::vector<std::uint32_t> wave_values_;  ///< batched collect results
   pisa::FpisaResult result_buf_;
 };
 

@@ -201,6 +201,166 @@ TEST(BatchEquivalence, RandomizedFp32Streams) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Egress kernel proof obligations: fpisa_read_batch / fpisa_read_reset_batch
+// (every available backend) must be BIT-identical to per-slot fpisa_read —
+// output bits, post-read register state, and OpCounters totals (reads are
+// stateless: the counters accumulated while building the state must come
+// through untouched) — across states reached by the add datapath and raw
+// synthesized register states, for both variants and overflow policies.
+// ---------------------------------------------------------------------------
+
+/// Renormalizes (exp, man) through both read paths on every backend and
+/// demands bit-identical outputs; the reset variant must additionally clear
+/// the registers while the plain variant must leave them untouched.
+void check_read_state(std::span<const std::int32_t> exp,
+                      std::span<const std::int64_t> man,
+                      const AccumulatorConfig& cfg, const std::string& what) {
+  const std::size_t regs = exp.size();
+  std::vector<std::uint32_t> want(regs);
+  for (std::size_t i = 0; i < regs; ++i) {
+    want[i] =
+        static_cast<std::uint32_t>(fpisa_read({exp[i], man[i]}, cfg).bits);
+  }
+  for (const BatchBackend backend : available_batch_backends()) {
+    force_batch_backend(backend);
+    const std::string tag = what + " [" + backend_tag(backend) + "]";
+
+    std::vector<std::uint32_t> got(regs, 0xDEADBEEFu);
+    fpisa_read_batch(exp, man, got, cfg);
+    for (std::size_t i = 0; i < regs; ++i) {
+      ASSERT_EQ(got[i], want[i])
+          << tag << " reg " << i << " exp=" << exp[i] << " man=" << man[i];
+    }
+
+    std::vector<std::int32_t> exp2(exp.begin(), exp.end());
+    std::vector<std::int64_t> man2(man.begin(), man.end());
+    std::vector<std::uint32_t> got2(regs, 0xDEADBEEFu);
+    fpisa_read_reset_batch(exp2, man2, got2, cfg);
+    for (std::size_t i = 0; i < regs; ++i) {
+      ASSERT_EQ(got2[i], want[i]) << tag << " reset-read reg " << i;
+      ASSERT_EQ(exp2[i], 0) << tag << " reset exp reg " << i;
+      ASSERT_EQ(man2[i], 0) << tag << " reset man reg " << i;
+    }
+    reset_batch_backend();
+  }
+}
+
+TEST(ReadBatchEquivalence, ExhaustiveFp16SingleValueStates) {
+  // Every FP16 bit pattern lifted to FP32 and added into its own register:
+  // a complete sweep of the single-add state space (±0, all subnormals,
+  // all normals — inf/NaN are skipped by the add path and leave (0, 0)),
+  // then read back through both paths.
+  std::vector<std::uint32_t> stream;
+  stream.reserve(1u << 16);
+  for (std::uint32_t h = 0; h < (1u << 16); ++h) {
+    stream.push_back(fp32_bits(static_cast<float>(decode(h, kFp16))));
+  }
+  for (const auto& cfg : sweep_configs()) {
+    std::vector<std::int32_t> exp(stream.size(), 0);
+    std::vector<std::int64_t> man(stream.size(), 0);
+    OpCounters counters;
+    fpisa_add_batch(stream, exp, man, cfg, counters);
+    const OpCounters before = counters;
+    check_read_state(exp, man, cfg, "fp16-exhaustive read");
+    // Reads are stateless: the counter totals must be exactly what the add
+    // phase left behind.
+    expect_counters_eq(counters, before, "fp16-exhaustive read counters");
+  }
+}
+
+TEST(ReadBatchEquivalence, AccumulatedStreamStates) {
+  // States produced by whole randomized streams hammering shared registers
+  // (cancellation to zero, saturated/wrapped registers, guard-bit configs),
+  // via every add backend so both datapaths are crossed.
+  util::Rng rng(0x5EED5);
+  for (const auto& cfg : sweep_configs()) {
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::uint32_t> stream(4096);
+      for (auto& u : stream) {
+        switch (rng.next_u64() % 4) {
+          case 0:
+            u = fp32_bits(static_cast<float>(rng.normal(0.0, 0.1)));
+            break;
+          case 1:
+            u = fp32_bits(static_cast<float>(
+                std::ldexp(rng.uniform(-1.0, 1.0),
+                           static_cast<int>(rng.next_u64() % 120) - 60)));
+            break;
+          case 2:
+            u = static_cast<std::uint32_t>(rng.next_u64());
+            break;
+          default:
+            u = (rng.next_u64() & 1) ? 0x80000000u : 0u;
+            break;
+        }
+      }
+      std::vector<std::int32_t> exp(64, 0);
+      std::vector<std::int64_t> man(64, 0);
+      OpCounters counters;
+      for (std::size_t base = 0; base < stream.size(); base += 64) {
+        fpisa_add_batch(std::span<const std::uint32_t>(stream).subspan(base, 64),
+                        exp, man, cfg, counters);
+      }
+      check_read_state(exp, man, cfg,
+                       "stream-state round " + std::to_string(round));
+    }
+  }
+}
+
+TEST(ReadBatchEquivalence, SynthesizedRawRegisterStates) {
+  // Raw (exp, man) pairs the add path may never produce — extreme
+  // exponents, full-width mantissas, INT64_MIN — must still renormalize
+  // bit-identically to the reference (the kernel's shift-clamp rules are
+  // exercised here: negative and >= 64 total shifts, subnormal outputs
+  // with the leading one far below bit 23).
+  util::Rng rng(0xC1Cu);
+  AccumulatorConfig cfg;  // default FP32 / 32-bit register config
+  std::vector<std::int32_t> exp;
+  std::vector<std::int64_t> man;
+  // Directed corners.
+  const std::int32_t exps[] = {0, 1, 18, 23, 127, 254, 255, 300,
+                               -1, -300, 100000, -100000};
+  const std::int64_t mans[] = {0,  1,  -1, 32, -32, (1 << 23), -(1 << 23),
+                               0x7FFFFFFF, -0x7FFFFFFFLL,
+                               std::numeric_limits<std::int64_t>::min(),
+                               std::numeric_limits<std::int64_t>::max()};
+  for (const auto e : exps) {
+    for (const auto m : mans) {
+      exp.push_back(e);
+      man.push_back(m);
+    }
+  }
+  // Randomized fill.
+  while (exp.size() % 4 != 0 || exp.size() < 1024) {
+    exp.push_back(static_cast<std::int32_t>(rng.uniform_int(-1000, 1000)));
+    man.push_back(static_cast<std::int64_t>(rng.next_u64()) >>
+                  (rng.next_u64() % 40));
+  }
+  check_read_state(exp, man, cfg, "synthesized raw states");
+  AccumulatorConfig guarded = cfg;
+  guarded.guard_bits = 4;
+  check_read_state(exp, man, guarded, "synthesized raw states g=4");
+}
+
+TEST(ReadBatchEquivalence, IneligibleConfigsFallBackToReference) {
+  // Non-truncating read rounding and non-FP32 layouts are not eligible;
+  // the entry points must still produce the per-slot reference results.
+  AccumulatorConfig nearest;
+  nearest.read_rounding = Rounding::kNearestEven;
+  nearest.guard_bits = 4;
+  EXPECT_TRUE(batch_eligible(nearest));
+  EXPECT_FALSE(read_batch_eligible(nearest));
+
+  std::vector<std::int32_t> exp = {120, 127, 140, 0};
+  std::vector<std::int64_t> man = {(1 << 24) + 3, -((1 << 24) + 5), 7, 0};
+  check_read_state(exp, man, nearest, "nearest-even fallback");
+
+  AccumulatorConfig bf16;
+  bf16.format = kBf16;
+  EXPECT_FALSE(read_batch_eligible(bf16));
+}
+
 TEST(BatchEquivalence, ReadFastPathMatchesGeneralAssemble) {
   // FpisaVector::read's truncating fast path must agree bit-for-bit with
   // the general fpisa_read on every register state a stream can produce —

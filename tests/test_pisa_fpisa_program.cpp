@@ -387,6 +387,110 @@ TEST(FpisaSwitch, BatchAddBitIdenticalToPerPacketPipeline) {
   }
 }
 
+TEST(FpisaSwitch, ReadBatchBitIdenticalToPerPacketPipeline) {
+  // The compiled egress fast path must emit exactly what the interpreted
+  // read/read_and_reset packets emit — values (FTZ and overflow-to-inf
+  // range handling included), bitmap and count fields — leave the register
+  // arrays in the identical state, and account the same packet count.
+  for (const auto variant :
+       {core::Variant::kApproximate, core::Variant::kFull}) {
+    FpisaProgramOptions opts;
+    opts.variant = variant;
+    opts.lanes = 4;
+    opts.slots = 16;
+    const SwitchConfig cfg = variant == core::Variant::kFull
+                                 ? extended_switch()
+                                 : baseline_tofino();
+    FpisaSwitch per_packet(cfg, opts);
+    FpisaSwitch batched(cfg, opts);
+
+    // Drive both switches into an identical, adversarial state: normals,
+    // wide exponent spreads, zeros, bit noise (inf/NaN/subnormals), tiny
+    // magnitudes whose renormalized output is subnormal (FTZ), and huge
+    // same-sign values that overflow to infinity on read.
+    util::Rng rng(0xEC3E55);
+    std::vector<std::uint16_t> slots;
+    std::vector<std::uint8_t> workers;
+    std::vector<std::uint32_t> values;
+    for (int p = 0; p < 400; ++p) {
+      slots.push_back(static_cast<std::uint16_t>(rng.next_u64() % 16));
+      workers.push_back(static_cast<std::uint8_t>(rng.next_u64() % 16));
+      for (int l = 0; l < 4; ++l) {
+        std::uint32_t u;
+        switch (rng.next_u64() % 6) {
+          case 0:
+            u = core::fp32_bits(static_cast<float>(rng.normal(0, 1)));
+            break;
+          case 1:
+            u = core::fp32_bits(static_cast<float>(
+                std::exp2(rng.uniform_int(-80, 80)) * rng.normal(0, 1)));
+            break;
+          case 2:
+            u = 0;
+            break;
+          case 3:
+            u = static_cast<std::uint32_t>(rng.next_u64());
+            break;
+          case 4:  // near-cancelling tiny pair fodder (FTZ outputs)
+            u = core::fp32_bits(std::ldexp((rng.next_u64() & 1) ? 1.0f : -1.0f,
+                                           -126 - static_cast<int>(
+                                                      rng.next_u64() % 20)));
+            break;
+          default:  // overflow-to-inf pressure
+            u = core::fp32_bits(3e38f);
+            break;
+        }
+        values.push_back(u);
+      }
+    }
+    per_packet.add_batch(slots, workers, values);
+    batched.add_batch(slots, workers, values);
+
+    // Non-destructive reads: batch vs interpreter, state untouched.
+    std::vector<std::uint32_t> vals(16 * 4);
+    std::vector<std::uint32_t> bitmaps(16);
+    std::vector<std::uint16_t> counts(16);
+    batched.read_batch(0, 16, vals, bitmaps, counts);
+    for (std::uint16_t s = 0; s < 16; ++s) {
+      const FpisaResult want = per_packet.read(s);
+      ASSERT_EQ(bitmaps[s], want.bitmap) << "slot " << s;
+      ASSERT_EQ(counts[s], want.count) << "slot " << s;
+      for (int l = 0; l < 4; ++l) {
+        ASSERT_EQ(vals[4 * s + l], want.values[static_cast<std::size_t>(l)])
+            << "variant=" << (variant == core::Variant::kFull ? "full" : "a")
+            << " slot=" << s << " lane=" << l;
+      }
+    }
+    EXPECT_EQ(batched.sim().packets_processed(),
+              per_packet.sim().packets_processed());
+
+    // Destructive reads: same outputs, and the register arrays (lane
+    // exponents/mantissas + bitmap + count) must clear identically.
+    std::vector<std::uint32_t> vals2(16 * 4);
+    std::vector<std::uint32_t> bitmaps2(16);
+    std::vector<std::uint16_t> counts2(16);
+    batched.read_and_reset_batch(0, 16, vals2, bitmaps2, counts2);
+    for (std::uint16_t s = 0; s < 16; ++s) {
+      const FpisaResult want = per_packet.read_and_reset(s);
+      ASSERT_EQ(bitmaps2[s], want.bitmap) << "slot " << s;
+      ASSERT_EQ(counts2[s], want.count) << "slot " << s;
+      for (int l = 0; l < 4; ++l) {
+        ASSERT_EQ(vals2[4 * s + l], want.values[static_cast<std::size_t>(l)])
+            << "slot=" << s << " lane=" << l;
+      }
+    }
+    for (int r = 0; r < 2 * 4 + 2; ++r) {
+      for (std::size_t s = 0; s < 16; ++s) {
+        ASSERT_EQ(batched.sim().reg(r).read(s),
+                  per_packet.sim().reg(r).read(s))
+            << "post-reset reg=" << r << " slot=" << s;
+      }
+    }
+    EXPECT_EQ(batched.sim().packets_processed(),
+              per_packet.sim().packets_processed());
+  }
+}
+
 TEST(FpisaResources, ShiftExtensionUnlocksParallelInstances) {
   FpisaProgramOptions opts;
   opts.variant = core::Variant::kApproximate;
