@@ -14,11 +14,16 @@
 // collect baseline row (read/reset round trips through the packet sim) to
 // track the batched egress speedup. A 2-lane single-shard row is kept for
 // continuity with the pre-batching numbers.
+// The bench drives everything through the unified collective API
+// (collective::ClusterCommunicator / TreeCommunicator): gradients enter as
+// zero-copy views and the result lands in a caller-owned buffer, exactly
+// as a framework integration would run it.
 #include <chrono>
 #include <cstdio>
 
 #include "cluster/aggregation_service.h"
 #include "cluster/hierarchy.h"
+#include "collective/communicator.h"
 #include "pisa/fpisa_program.h"
 #include "util/bench_json.h"
 #include "util/rng.h"
@@ -57,10 +62,13 @@ RunResult run_once(int shards, int lanes, std::size_t values,
   opts.slots_per_shard = 64;
   opts.slots_per_job = 64;
   opts.batched_collect = batched_collect;
-  AggregationService service(opts);
+  collective::ClusterCommunicator comm(opts);
 
+  std::vector<float> out(workers.front().size());
   const auto t0 = std::chrono::steady_clock::now();
-  const JobReport report = service.reduce({"bench", workers});
+  const collective::ReduceStats stats =
+      comm.allreduce(collective::WorkerViews(workers), out,
+                     collective::ReduceOp::kSum, "bench");
   const auto t1 = std::chrono::steady_clock::now();
 
   const std::size_t pkt_bytes =
@@ -68,11 +76,11 @@ RunResult run_once(int shards, int lanes, std::size_t values,
       4u * static_cast<std::size_t>(lanes) + 46u;
   RunResult r;
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  r.add_phase_ms = service.phase_breakdown().add_s * 1e3;
-  r.collect_phase_ms = service.phase_breakdown().collect_s * 1e3;
-  r.modeled_s = modeled_shard_parallel_seconds(report.per_shard, pkt_bytes,
+  r.add_phase_ms = comm.service().phase_breakdown().add_s * 1e3;
+  r.collect_phase_ms = comm.service().phase_breakdown().collect_s * 1e3;
+  r.modeled_s = modeled_shard_parallel_seconds(stats.per_shard, pkt_bytes,
                                                gbps, latency_us);
-  r.packets = report.stats.packets_sent;
+  r.packets = stats.network.packets_sent;
   (void)values;
   return r;
 }
@@ -180,11 +188,13 @@ int main() {
     hopts.lanes = kLegacyLanes;
     hopts.link_gbps = kGbps;
     hopts.link_latency_us = kLatencyUs;
-    HierarchicalAggregator tree(hopts);
+    collective::TreeCommunicator comm(hopts);
+    HierarchicalAggregator& tree = comm.tree();
 
     const std::size_t n = 4096;
     const auto tw = make_workers(tree.total_workers(), n, 201);
-    (void)tree.reduce(tw);
+    std::vector<float> out(n);
+    (void)comm.allreduce(collective::WorkerViews(tw), out);
     const HierarchyTiming flat = flat_baseline_timing(hopts, n);
     tree_done.push_back(tree.timing().done_s);
     flat_done.push_back(flat.done_s);

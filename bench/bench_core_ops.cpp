@@ -214,7 +214,8 @@ void run_read_reference_loop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4096);
 }
 
-void run_read_batch(benchmark::State& state, core::BatchBackend backend) {
+void run_read_batch(benchmark::State& state, core::BatchBackend backend,
+                    int reg_bits = 0) {
   bool available = false;
   for (const auto b : core::available_batch_backends()) {
     available = available || b == backend;
@@ -224,7 +225,8 @@ void run_read_batch(benchmark::State& state, core::BatchBackend backend) {
     return;
   }
   core::force_batch_backend(backend);
-  const core::AccumulatorConfig cfg = bench_cfg(core::Variant::kFull);
+  core::AccumulatorConfig cfg = bench_cfg(core::Variant::kFull);
+  cfg.reg_bits = reg_bits;
   const ReadState s = make_read_state(4096, cfg);
   std::vector<std::uint32_t> out(4096);
   for (auto _ : state) {
@@ -245,10 +247,18 @@ void BM_BatchReadScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchReadScalar);
 
+// Default 32-bit register: the 8-lane 32-bit AVX2 read kernel.
 void BM_BatchReadAvx2(benchmark::State& state) {
   run_read_batch(state, core::BatchBackend::kAvx2);
 }
 BENCHMARK(BM_BatchReadAvx2);
+
+// 40-bit register: the generic 4x64-bit-lane AVX2 read kernel, kept as the
+// comparison row for the 8-lane specialization above.
+void BM_BatchReadAvx2Wide64(benchmark::State& state) {
+  run_read_batch(state, core::BatchBackend::kAvx2, 40);
+}
+BENCHMARK(BM_BatchReadAvx2Wide64);
 
 // Ablation: delayed renormalization (read once at the end) vs
 // renormalizing after every add — the data-dependency the design removes.

@@ -1,9 +1,11 @@
 // Distributed ML training with in-network gradient aggregation (paper §5):
-// 8 data-parallel workers train an MLP; gradients are summed by an FPISA-A
-// switch instead of a parameter server, and compared against exact and
-// SwitchML-quantized aggregation.
+// 8 data-parallel workers train an MLP; every aggregation strategy is a
+// collective::Communicator handed to the same trainer — the exact host
+// reference, SwitchML-quantized, and FPISA-A, swapped without the trainer
+// knowing which fabric runs its allreduce.
 #include <cstdio>
 
+#include "collective/communicator.h"
 #include "ml/data.h"
 #include "ml/nn.h"
 #include "ml/trainer.h"
@@ -16,26 +18,33 @@ int main() {
                                         /*train=*/1024, /*test=*/256,
                                         /*seed=*/7);
 
-  auto train = [&](switchml::GradientAggregator& agg) {
+  auto train = [&](collective::Communicator& comm) {
     ml::Network net = ml::make_mlp(16, 24, 4, /*seed=*/11);
-    ml::DataParallelTrainer trainer(net, ds, agg, {});
+    ml::DataParallelTrainer trainer(net, ds, comm, {});
     for (int epoch = 0; epoch < 10; ++epoch) trainer.train_epoch();
     return trainer.evaluate();
   };
 
+  // The communicators wrap caller-owned aggregators so their protocol and
+  // error counters stay readable after training.
   switchml::ExactAggregator exact;
   switchml::SwitchMlAggregator swml;
   core::AccumulatorConfig cfg;
   cfg.variant = core::Variant::kApproximate;
   switchml::FpisaAggregator fpisa(cfg);
+  collective::HostCommunicator exact_comm(exact);
+  collective::HostCommunicator swml_comm(swml);
+  collective::HostCommunicator fpisa_comm(fpisa);
 
   std::printf("8 workers x 10 epochs, identical init/data order:\n");
-  std::printf("  exact aggregation      -> accuracy %.3f\n", train(exact));
-  const float swml_acc = train(swml);  // before reading its RTT counter
+  std::printf("  exact aggregation      -> accuracy %.3f\n",
+              train(exact_comm));
+  const float swml_acc = train(swml_comm);  // before reading its RTT counter
   std::printf("  SwitchML (int32+scale) -> accuracy %.3f (%llu extra RTTs)\n",
               swml_acc,
               static_cast<unsigned long long>(swml.extra_round_trips()));
-  std::printf("  FPISA-A (in-switch FP) -> accuracy %.3f\n", train(fpisa));
+  std::printf("  FPISA-A (in-switch FP) -> accuracy %.3f\n",
+              train(fpisa_comm));
   const auto& c = fpisa.counters();
   std::printf(
       "  FPISA-A events: %llu adds, %llu rounded, %llu overwrites, "

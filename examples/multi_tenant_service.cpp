@@ -1,12 +1,14 @@
-// Multi-tenant rack-scale aggregation: three tenants submit reduce jobs
-// concurrently to one AggregationService backed by four FpisaSwitch shards
-// (one lossy tenant exercises recovery), then a two-level ToR->spine tree
-// reduces across sixteen hosts. Demonstrates the src/cluster/ service API.
+// Multi-tenant rack-scale aggregation through the unified collective API:
+// three tenants hold persistent TenantHandles on ONE ClusterCommunicator
+// (four FpisaSwitch shards, mildly lossy fabric) and submit reduce jobs
+// concurrently — gradients travel as zero-copy views from submission to
+// result, and the service's bounded job-runner pool executes the burst.
+// The same interface then drives a two-level ToR->spine TreeCommunicator
+// across sixteen hosts.
 #include <cmath>
 #include <cstdio>
 
-#include "cluster/aggregation_service.h"
-#include "cluster/hierarchy.h"
+#include "collective/communicator.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -44,44 +46,56 @@ double max_abs_error(const std::vector<float>& got,
 
 int main() {
   using namespace fpisa;
-  using namespace fpisa::cluster;
+  using namespace fpisa::collective;
 
   std::printf("=== multi-tenant aggregation service (4 switch shards) ===\n\n");
-  ClusterOptions opts;
+  cluster::ClusterOptions opts;
   opts.num_shards = 4;
   opts.slots_per_shard = 32;
   opts.slots_per_job = 8;
   opts.lanes = 2;
   opts.loss_rate = 0.05;  // every tenant rides a mildly lossy fabric
-  AggregationService service(opts);
+  ClusterCommunicator comm(opts);
+
+  // Persistent per-tenant handles: one per training job, held across
+  // submissions; gradients stay in the tenants' own buffers (views only).
+  TenantHandle resnet = comm.tenant("resnet-job");
+  TenantHandle bert = comm.tenant("bert-job");
+  TenantHandle telemetry = comm.tenant("telemetry");
 
   const auto grads_a = make_workers(8, 500, 300);
   const auto grads_b = make_workers(4, 800, 301);
   const auto grads_c = make_workers(2, 1200, 302);
-  auto fa = service.submit({"resnet-job", grads_a});
-  auto fb = service.submit({"bert-job", grads_b});
-  auto fc = service.submit({"telemetry", grads_c});
-  const JobReport ra = fa.get();
-  const JobReport rb = fb.get();
-  const JobReport rc = fc.get();
+  std::vector<float> out_a(500), out_b(800), out_c(1200);
+  JobHandle ha = resnet.submit(WorkerViews(grads_a), out_a);
+  JobHandle hb = bert.submit(WorkerViews(grads_b), out_b);
+  JobHandle hc = telemetry.submit(WorkerViews(grads_c), out_c);
+  const ReduceStats ra = ha.wait();
+  const ReduceStats rb = hb.wait();
+  const ReduceStats rc = hc.wait();
 
   util::Table t({"Tenant", "Workers", "Values", "Packets", "Lost", "Retrans",
                  "Dups absorbed", "Max abs error"});
   const struct {
-    const JobReport* r;
+    const TenantHandle* tenant;
+    const ReduceStats* r;
+    const std::vector<float>* out;
     const std::vector<std::vector<float>>* w;
-  } rows[] = {{&ra, &grads_a}, {&rb, &grads_b}, {&rc, &grads_c}};
+  } rows[] = {{&resnet, &ra, &out_a, &grads_a},
+              {&bert, &rb, &out_b, &grads_b},
+              {&telemetry, &rc, &out_c, &grads_c}};
   for (const auto& row : rows) {
-    t.add_row({row.r->tenant, std::to_string(row.w->size()),
-               std::to_string(row.r->result.size()),
-               std::to_string(row.r->stats.packets_sent),
-               std::to_string(row.r->stats.packets_lost),
-               std::to_string(row.r->stats.retransmissions),
-               std::to_string(row.r->stats.duplicates_absorbed),
-               util::Table::num(max_abs_error(row.r->result, *row.w), 8)});
+    t.add_row({row.tenant->name(), std::to_string(row.w->size()),
+               std::to_string(row.out->size()),
+               std::to_string(row.r->network.packets_sent),
+               std::to_string(row.r->network.packets_lost),
+               std::to_string(row.r->network.retransmissions),
+               std::to_string(row.r->network.duplicates_absorbed),
+               util::Table::num(max_abs_error(*row.out, *row.w), 8)});
   }
   std::printf("%s\n", t.render().c_str());
 
+  cluster::AggregationService& service = comm.service();
   util::Table s({"Shard", "Packets", "Lost", "Slot reuses"});
   for (int i = 0; i < service.num_shards(); ++i) {
     const auto st = service.shard_stats(i);
@@ -90,32 +104,40 @@ int main() {
                std::to_string(st.slot_reuses)});
   }
   std::printf("%s\n", s.render().c_str());
-  std::printf("jobs completed: %llu (tenants never share aggregation slots; "
-              "chunk routing policy: %s)\n\n",
+  std::printf("jobs completed: %llu on %d bounded job-runner threads "
+              "(peak concurrency %llu; tenants never share aggregation "
+              "slots; chunk routing policy: %s)\n\n",
               static_cast<unsigned long long>(service.jobs_completed()),
-              routing_policy_name(service.options().routing));
+              service.job_runner_threads(),
+              static_cast<unsigned long long>(service.peak_concurrent_jobs()),
+              cluster::routing_policy_name(service.options().routing));
 
   std::printf("=== two-level ToR -> spine tree (4 racks x 4 hosts) ===\n\n");
-  HierarchyOptions hopts;
+  cluster::HierarchyOptions hopts;
   hopts.leaves = 4;
   hopts.workers_per_leaf = 4;
   hopts.slots = 32;
   hopts.lanes = 2;
-  HierarchicalAggregator tree(hopts);
-  const auto rack_grads = make_workers(tree.total_workers(), 2000, 303);
-  const auto reduced = tree.reduce(rack_grads);
-  const HierarchyTiming flat = flat_baseline_timing(hopts, reduced.size());
+  TreeCommunicator tree_comm(hopts);
+  const auto rack_grads =
+      make_workers(tree_comm.tree().total_workers(), 2000, 303);
+  std::vector<float> reduced(2000);
+  // Same interface as the service above — only the backend changed.
+  (void)tree_comm.allreduce(WorkerViews(rack_grads), reduced);
+  const cluster::HierarchyTiming flat =
+      cluster::flat_baseline_timing(hopts, reduced.size());
+  const cluster::HierarchyTiming& timing = tree_comm.tree().timing();
   std::printf("reduced %zu values across %d hosts: max abs error %.2e\n",
-              reduced.size(), tree.total_workers(),
+              reduced.size(), tree_comm.tree().total_workers(),
               max_abs_error(reduced, rack_grads));
   std::printf("tree:  done in %.3f ms (%llu packets, %.1f KB on the wire)\n",
-              tree.timing().done_s * 1e3,
-              static_cast<unsigned long long>(tree.timing().packets),
-              static_cast<double>(tree.timing().wire_bytes) / 1024.0);
+              timing.done_s * 1e3,
+              static_cast<unsigned long long>(timing.packets),
+              static_cast<double>(timing.wire_bytes) / 1024.0);
   std::printf("flat:  done in %.3f ms (%llu packets) but needs %d switch "
               "ports at the root instead of %d\n",
               flat.done_s * 1e3,
               static_cast<unsigned long long>(flat.packets),
-              tree.total_workers(), hopts.leaves);
+              tree_comm.tree().total_workers(), hopts.leaves);
   return 0;
 }

@@ -1,8 +1,14 @@
 // In-network query acceleration (paper §6): Top-N and group-by queries
 // over floating-point data, Spark-like baseline vs FPISA switch pruning
-// and aggregation.
+// and aggregation — plus the distributed closing step: per-partition
+// group-by partials combined through the unified collective API.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <map>
+#include <vector>
 
+#include "collective/communicator.h"
 #include "query/data.h"
 #include "query/queries.h"
 
@@ -32,5 +38,39 @@ int main() {
               "performed in the switch\n",
               gfp.stats.time_s, gbase.stats.time_s / gfp.stats.time_s,
               static_cast<unsigned long long>(gfp.stats.switch_adds));
+
+  // Distributed flavor: four data partitions each produce per-group partial
+  // sums; merging them IS an allreduce, so the query path rides the same
+  // collective API as gradient aggregation (here: the switch backend).
+  using namespace fpisa;
+  const std::size_t groups = gbase.group_sum.size();
+  const int kPartitions = 4;
+  std::map<std::uint32_t, std::size_t> group_index;
+  for (const auto& [key, sum] : gbase.group_sum) {
+    group_index.emplace(key, group_index.size());
+  }
+  std::vector<std::vector<float>> partials(
+      kPartitions, std::vector<float>(groups, 0.0f));
+  for (std::size_t r = 0; r < uv.rows(); ++r) {
+    const std::size_t part = r % kPartitions;
+    partials[part][group_index.at(uv.source_ip[r])] += uv.ad_revenue[r];
+  }
+  collective::CommunicatorOptions copts;
+  copts.backend = collective::Backend::kSwitch;
+  const auto comm = collective::make_communicator(copts);
+  std::vector<float> merged(groups);
+  const collective::ReduceStats rstats =
+      comm->allreduce(collective::WorkerViews(partials), merged);
+  double worst = 0.0;
+  for (const auto& [key, sum] : gbase.group_sum) {
+    worst = std::max(worst,
+                     std::fabs(static_cast<double>(merged[group_index.at(key)]) -
+                               static_cast<double>(sum)));
+  }
+  std::printf("\n%d-partition group-by merge via %s allreduce: %zu groups in "
+              "%llu packets, max |err| vs single-node %.3g\n",
+              kPartitions, std::string(comm->name()).c_str(), groups,
+              static_cast<unsigned long long>(rstats.network.packets_sent),
+              worst);
   return 0;
 }

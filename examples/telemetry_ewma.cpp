@@ -5,7 +5,9 @@
 // addition plus the Appendix-A multiply building blocks.
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "collective/communicator.h"
 #include "core/accumulator.h"
 #include "core/advanced_ops.h"
 #include "util/rng.h"
@@ -50,5 +52,35 @@ int main() {
               core::fp32_value(static_cast<std::uint32_t>(
                   sqrt_table.sqrt(core::fp32_bits(x)))),
               std::sqrt(static_cast<double>(x)));
+
+  // Rack-scale roll-up: each ToR keeps a per-port EWMA vector; the fleet
+  // view is one allreduce over the same collective API the training stack
+  // uses (ReduceOp::kMean -> fleet-average utilization per port class).
+  util::Rng fleet_rng(7);
+  const int kSwitches = 4;
+  const std::size_t kPorts = 16;
+  std::vector<std::vector<float>> per_switch(
+      kSwitches, std::vector<float>(kPorts));
+  for (auto& sw : per_switch) {
+    for (auto& port : sw) {
+      port = static_cast<float>(fleet_rng.uniform(10.0, 90.0));
+    }
+  }
+  const auto comm = collective::make_communicator({});  // host FPISA backend
+  std::vector<float> fleet_mean(kPorts);
+  (void)comm->allreduce(collective::WorkerViews(per_switch), fleet_mean,
+                        collective::ReduceOp::kMean);
+  double hottest = 0.0;
+  std::size_t hottest_port = 0;
+  for (std::size_t p = 0; p < kPorts; ++p) {
+    if (fleet_mean[p] > hottest) {
+      hottest = fleet_mean[p];
+      hottest_port = p;
+    }
+  }
+  std::printf("\nfleet telemetry: %d switches x %zu ports averaged via one "
+              "%s allreduce; hottest port class %zu at %.1f Gbps\n",
+              kSwitches, kPorts, std::string(comm->name()).c_str(),
+              hottest_port, hottest);
   return 0;
 }

@@ -55,9 +55,24 @@ AggregationService::AggregationService(ClusterOptions opts)
   for (int t = 0; t < threads; ++t) {
     pool_.emplace_back([this] { worker_loop(); });
   }
+  const int job_threads = opts_.job_runner_threads > 0
+                              ? opts_.job_runner_threads
+                              : std::max(2, opts_.num_shards);
+  job_pool_.reserve(static_cast<std::size_t>(job_threads));
+  for (int t = 0; t < job_threads; ++t) {
+    job_pool_.emplace_back([this] { job_runner_loop(); });
+  }
 }
 
 AggregationService::~AggregationService() {
+  // Stop the job runners first (they feed the worker pool), draining any
+  // still-queued submissions so their futures resolve; then the workers.
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    stopping_jobs_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : job_pool_) t.join();
   {
     std::lock_guard<std::mutex> lk(pool_mu_);
     stopping_ = true;
@@ -78,6 +93,33 @@ void AggregationService::worker_loop() {
     }
     task();
   }
+}
+
+void AggregationService::job_runner_loop() {
+  for (;;) {
+    std::packaged_task<JobReport()> task;
+    {
+      std::unique_lock<std::mutex> lk(job_mu_);
+      job_cv_.wait(lk,
+                   [this] { return stopping_jobs_ || !job_tasks_.empty(); });
+      if (job_tasks_.empty()) return;  // stopping and drained
+      task = std::move(job_tasks_.front());
+      job_tasks_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+std::future<JobReport> AggregationService::enqueue_job(
+    std::function<JobReport()> fn) {
+  std::packaged_task<JobReport()> task(std::move(fn));
+  std::future<JobReport> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    job_tasks_.push_back(std::move(task));
+  }
+  job_cv_.notify_one();
+  return fut;
 }
 
 bool AggregationService::queue_add(std::uint16_t slot, std::uint8_t worker,
@@ -127,7 +169,7 @@ void AggregationService::flush_wave(Shard& shard, WaveScratch& scratch) {
 void AggregationService::collect_wave(
     Shard& shard, const SlotRange& range,
     const std::vector<std::size_t>& chunks, std::size_t base,
-    std::size_t wave_end, std::vector<float>& result, const JobParams& params,
+    std::size_t wave_end, std::span<float> result, const JobParams& params,
     util::Rng& rng, switchml::SessionStats& stats, WaveScratch& scratch) {
   const auto lanes = static_cast<std::size_t>(opts_.lanes);
   const std::size_t n = result.size();
@@ -181,7 +223,7 @@ void AggregationService::scrub_range(Shard& shard, const SlotRange& range) {
 void AggregationService::run_shard_chunks(
     Shard& shard, const SlotRange& range,
     const std::vector<std::size_t>& chunks,
-    std::span<const std::vector<float>> workers, std::vector<float>& result,
+    std::span<const std::span<const float>> workers, std::span<float> result,
     const JobParams& params, util::Rng& rng, switchml::SessionStats& stats) {
   const auto lanes = static_cast<std::size_t>(opts_.lanes);
   const std::size_t n = result.size();
@@ -294,7 +336,27 @@ void AggregationService::run_shard_chunks(
   }
 }
 
-JobReport AggregationService::reduce(JobRequest job) {
+JobReport AggregationService::reduce(const JobRequest& job) {
+  // Views over the request's vectors — the floats are read in place.
+  const std::vector<std::span<const float>> views(job.workers.begin(),
+                                                  job.workers.end());
+  JobReport report;
+  report.result.assign(job.workers.empty() ? 0 : job.workers.front().size(),
+                       0.0f);
+  run_job(JobView{job.tenant, views, job.loss_rate, job.max_retransmits},
+          report.result, report);
+  return report;
+}
+
+JobReport AggregationService::reduce(const JobView& job,
+                                     std::span<float> out) {
+  JobReport report;
+  run_job(job, out, report);
+  return report;
+}
+
+void AggregationService::run_job(const JobView& job, std::span<float> out,
+                                 JobReport& report) {
   if (job.workers.empty()) {
     throw std::invalid_argument("cluster: job has no workers");
   }
@@ -302,21 +364,36 @@ JobReport AggregationService::reduce(JobRequest job) {
     throw std::invalid_argument("cluster: bitmap is 32 bits wide");
   }
   const std::size_t n = job.workers.front().size();
-  for (const auto& w : job.workers) {
+  for (const auto w : job.workers) {
     if (w.size() != n) {
       throw std::invalid_argument("cluster: worker vectors differ in length");
     }
   }
+  if (out.size() != n) {
+    throw std::invalid_argument("cluster: out span length mismatch");
+  }
 
-  JobReport report;
+  // High-water accounting for the bounded-concurrency guarantee.
+  const std::uint64_t running =
+      running_jobs_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t peak = peak_jobs_.load(std::memory_order_relaxed);
+  while (running > peak &&
+         !peak_jobs_.compare_exchange_weak(peak, running,
+                                           std::memory_order_relaxed)) {
+  }
+  struct RunningGuard {
+    std::atomic<std::uint64_t>& c;
+    ~RunningGuard() { c.fetch_sub(1, std::memory_order_relaxed); }
+  } running_guard{running_jobs_};
+
   report.tenant = job.tenant;
-  report.result.assign(n, 0.0f);
   report.per_shard.assign(static_cast<std::size_t>(opts_.num_shards), {});
+  std::fill(out.begin(), out.end(), 0.0f);
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     report.job_id = next_job_id_++;
   }
-  if (n == 0) return report;
+  if (n == 0) return;
 
   const auto lanes = static_cast<std::size_t>(opts_.lanes);
   const std::size_t chunks = (n + lanes - 1) / lanes;
@@ -350,20 +427,20 @@ JobReport AggregationService::reduce(JobRequest job) {
   const JobParams params{
       job.loss_rate >= 0.0 ? job.loss_rate : opts_.loss_rate,
       job.max_retransmits >= 0 ? job.max_retransmits : opts_.max_retransmits};
-  const std::span<const std::vector<float>> workers(job.workers);
+  const std::span<const std::span<const float>> workers = job.workers;
   {
     std::lock_guard<std::mutex> lk(pool_mu_);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (parts[s].empty()) continue;
       ++join.pending;
-      tasks_.push_back([this, s, &parts, &ranges, workers, &report, &join,
-                        params] {
+      tasks_.push_back([this, s, &parts, &ranges, workers, out, &report,
+                        &join, params] {
         util::Rng rng(task_seed(opts_.loss_seed, report.job_id,
                                 static_cast<int>(s)));
         switchml::SessionStats stats{};
         try {
-          run_shard_chunks(*shards_[s], ranges[s], parts[s], workers,
-                           report.result, params, rng, stats);
+          run_shard_chunks(*shards_[s], ranges[s], parts[s], workers, out,
+                           params, rng, stats);
         } catch (...) {
           std::lock_guard<std::mutex> jl(join.mu);
           if (!join.error) join.error = std::current_exception();
@@ -409,17 +486,29 @@ JobReport AggregationService::reduce(JobRequest job) {
     if (!join.error) ++jobs_completed_;
   }
   if (join.error) std::rethrow_exception(join.error);
-  return report;
 }
 
 std::future<JobReport> AggregationService::submit(JobRequest job) {
-  // The job's control loop gets its own thread; only per-shard work shares
-  // the pool. (Pool tasks never block on other tasks, so jobs cannot
-  // deadlock the pool no matter how many tenants are in flight.)
-  return std::async(std::launch::async,
-                    [this, j = std::move(job)]() mutable {
-                      return reduce(std::move(j));
-                    });
+  // The job's control loop runs on the bounded job-runner pool; only the
+  // per-shard work shares the worker pool. (Worker-pool tasks never block
+  // on other tasks and job runners never wait on other jobs — ranges are
+  // acquired in ascending shard order — so no fleet of tenants can
+  // deadlock or grow the thread count.)
+  return enqueue_job([this, j = std::move(job)]() { return reduce(j); });
+}
+
+std::future<JobReport> AggregationService::submit(const JobView& job,
+                                                  std::span<float> out) {
+  // Copy the tenant name and the span *table* (W pointers+lengths) — never
+  // the gradients. The caller owns the viewed buffers and `out` until the
+  // future resolves.
+  return enqueue_job(
+      [this, tenant = std::string(job.tenant),
+       views = std::vector<std::span<const float>>(job.workers.begin(),
+                                                   job.workers.end()),
+       loss = job.loss_rate, retx = job.max_retransmits, out]() {
+        return reduce(JobView{tenant, views, loss, retx}, out);
+      });
 }
 
 switchml::SessionStats AggregationService::shard_stats(int shard) const {

@@ -43,6 +43,11 @@ struct ClusterOptions {
   /// round trips through the packet simulator. Identical observables —
   /// the per-slot path remains as the reference/baseline.
   bool batched_collect = true;
+  /// Control threads that run submitted jobs' reduce loops (the shard work
+  /// itself always shares the worker pool). Bounds the service's thread
+  /// count no matter how many jobs are in flight: excess submissions queue.
+  /// 0: max(2, num_shards).
+  int job_runner_threads = 0;
   pisa::SwitchConfig switch_config;  ///< applied to every shard
 };
 
@@ -53,6 +58,17 @@ struct JobRequest {
   /// (tenants can ride links of different quality through one service).
   double loss_rate = -1.0;
   int max_retransmits = -1;
+};
+
+/// Zero-copy job description: worker gradients stay in caller-owned storage
+/// and are only ever *viewed* by the service — nothing is deep-copied
+/// between submission and result. For the async entry points the viewed
+/// buffers (and the out span) must stay alive until the future resolves.
+struct JobView {
+  std::string_view tenant;
+  std::span<const std::span<const float>> workers;  ///< equal-length views
+  double loss_rate = -1.0;   ///< negative: inherit ClusterOptions
+  int max_retransmits = -1;  ///< negative: inherit ClusterOptions
 };
 
 struct JobReport {
@@ -73,11 +89,21 @@ class AggregationService {
   /// Runs one reduce job to completion. Thread-safe: may be called from
   /// many tenant threads at once; shard work interleaves on the pool.
   /// Throws std::runtime_error when a packet exhausts max_retransmits.
-  JobReport reduce(JobRequest job);
+  /// Reads `job.workers` in place — no gradient copies.
+  JobReport reduce(const JobRequest& job);
 
-  /// Asynchronous submission: the job runs on its own control thread and
-  /// shares the shard worker pool with every other in-flight job.
+  /// Zero-copy reduce: aggregates `job.workers` (views) into `out`
+  /// (out.size() == worker length). The returned report's `result` is left
+  /// empty — the data is already where the caller wants it.
+  JobReport reduce(const JobView& job, std::span<float> out);
+
+  /// Asynchronous submission on the bounded job-runner pool (at most
+  /// `job_runner_threads` jobs execute concurrently; the rest queue).
+  /// The owning form moves the request in; the view form copies only the
+  /// tenant name and the span table — the caller keeps the gradient
+  /// buffers and `out` alive until the future resolves.
   std::future<JobReport> submit(JobRequest job);
+  std::future<JobReport> submit(const JobView& job, std::span<float> out);
 
   const ClusterOptions& options() const { return opts_; }
   const ShardRouter& router() const { return router_; }
@@ -98,6 +124,16 @@ class AggregationService {
     double collect_s = 0;
   };
   PhaseBreakdown phase_breakdown() const;
+
+  /// Job-runner sizing and high-water mark: how many reduce loops ever ran
+  /// at once (submitted + synchronous). With submit() alone this can never
+  /// exceed job_runner_threads() — the burst test pins that down.
+  int job_runner_threads() const {
+    return static_cast<int>(job_pool_.size());
+  }
+  std::uint64_t peak_concurrent_jobs() const {
+    return peak_jobs_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Shard {
@@ -130,10 +166,16 @@ class AggregationService {
   };
 
   void worker_loop();
+  void job_runner_loop();
+  /// Runs one job end to end (validation, range acquisition, shard fan-out,
+  /// accounting), writing the sum into `out`. Both reduce() overloads and
+  /// every submit path land here.
+  void run_job(const JobView& job, std::span<float> out, JobReport& report);
+  std::future<JobReport> enqueue_job(std::function<JobReport()> fn);
   void run_shard_chunks(Shard& shard, const SlotRange& range,
                         const std::vector<std::size_t>& chunks,
-                        std::span<const std::vector<float>> workers,
-                        std::vector<float>& result, const JobParams& params,
+                        std::span<const std::span<const float>> workers,
+                        std::span<float> result, const JobParams& params,
                         util::Rng& rng, switchml::SessionStats& stats);
   /// Draws the per-packet loss schedule (identical order to the
   /// per-packet protocol) and queues every delivered copy into `scratch`;
@@ -150,7 +192,7 @@ class AggregationService {
   /// exactly where (and with the register state) the per-slot loop would.
   void collect_wave(Shard& shard, const SlotRange& range,
                     const std::vector<std::size_t>& chunks, std::size_t base,
-                    std::size_t wave_end, std::vector<float>& result,
+                    std::size_t wave_end, std::span<float> result,
                     const JobParams& params, util::Rng& rng,
                     switchml::SessionStats& stats, WaveScratch& scratch);
   /// Control-plane cleanup: clears every slot of `range` so a failed job
@@ -162,12 +204,24 @@ class AggregationService {
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Worker pool.
+  // Worker pool (shard tasks; tasks never block on other tasks).
   std::vector<std::thread> pool_;
   std::deque<std::function<void()>> tasks_;
   std::mutex pool_mu_;
   std::condition_variable pool_cv_;
   bool stopping_ = false;
+
+  // Bounded job-runner pool (submitted jobs' control loops). Kept separate
+  // from the worker pool because a job's control loop BLOCKS on its shard
+  // tasks — running it on the worker pool could deadlock the shard work it
+  // waits for.
+  std::vector<std::thread> job_pool_;
+  std::deque<std::packaged_task<JobReport()>> job_tasks_;
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;
+  bool stopping_jobs_ = false;
+  std::atomic<std::uint64_t> running_jobs_{0};
+  std::atomic<std::uint64_t> peak_jobs_{0};
 
   // Slot-range allocation: jobs acquire ranges in ascending shard order
   // (the same order for every job), so concurrent tenants cannot deadlock

@@ -49,20 +49,33 @@ std::size_t HierarchicalAggregator::packet_bytes() const {
 
 std::vector<float> HierarchicalAggregator::reduce(
     std::span<const std::vector<float>> workers) {
+  const std::vector<std::span<const float>> views(workers.begin(),
+                                                  workers.end());
+  std::vector<float> result(workers.empty() ? 0 : workers.front().size(),
+                            0.0f);
+  reduce_into(views, result);
+  return result;
+}
+
+void HierarchicalAggregator::reduce_into(
+    std::span<const std::span<const float>> workers, std::span<float> result) {
   const int wpl = opts_.workers_per_leaf;
   if (static_cast<int>(workers.size()) != total_workers()) {
     throw std::invalid_argument("hierarchy: wrong worker count");
   }
   const std::size_t n = workers.front().size();
-  for (const auto& w : workers) {
+  for (const auto w : workers) {
     if (w.size() != n) {
       throw std::invalid_argument("hierarchy: worker vectors differ");
     }
   }
+  if (result.size() != n) {
+    throw std::invalid_argument("hierarchy: out span length mismatch");
+  }
+  std::fill(result.begin(), result.end(), 0.0f);
 
   const auto lanes = static_cast<std::size_t>(opts_.lanes);
   const std::size_t chunks = (n + lanes - 1) / lanes;
-  std::vector<float> result(n, 0.0f);
 
   // --- timing substrate: one uplink per host, one per ToR, one result
   // downlink per ToR. Workers stream back-to-back from t = 0; the tree's
@@ -162,7 +175,6 @@ std::vector<float> HierarchicalAggregator::reduce(
   sim.run();
   timing.wire_bytes = timing.packets * packet_bytes();
   timing_ = timing;
-  return result;
 }
 
 HierarchyTiming flat_baseline_timing(const HierarchyOptions& opts,

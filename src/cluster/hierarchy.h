@@ -63,7 +63,11 @@ class HierarchicalAggregator {
 
   /// Reduces `workers` (size == total_workers(); worker w is homed on leaf
   /// w / workers_per_leaf) through the two-level tree. Also refreshes the
-  /// timing model for this reduction; see timing().
+  /// timing model for this reduction; see timing(). The zero-copy form
+  /// reads the views in place and writes the sum into `out`; the allocating
+  /// form is a thin adapter over it.
+  void reduce_into(std::span<const std::span<const float>> workers,
+                   std::span<float> out);
   std::vector<float> reduce(std::span<const std::vector<float>> workers);
 
   /// Timing of the most recent reduce().

@@ -1,0 +1,250 @@
+#include "collective/communicator.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace fpisa::collective {
+namespace {
+
+double elapsed_s(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+void Communicator::validate(std::span<const std::span<const float>> workers,
+                            std::span<float> out) {
+  if (workers.empty()) {
+    throw std::invalid_argument("collective: allreduce with no workers");
+  }
+  const std::size_t n = workers.front().size();
+  for (const auto w : workers) {
+    if (w.size() != n) {
+      throw std::invalid_argument(
+          "collective: worker views differ in length");
+    }
+  }
+  if (out.size() != n) {
+    throw std::invalid_argument("collective: out span length mismatch");
+  }
+}
+
+ReduceStats Communicator::run_and_finish(
+    std::span<const std::span<const float>> workers, std::span<float> out,
+    ReduceOp op, std::string_view tenant) {
+  validate(workers, out);
+
+  // Single-substrate backends (one session / one aggregator / one tree)
+  // are not internally synchronized; serialize their jobs so concurrent
+  // allreduce calls — or deferred JobHandles waited from several threads —
+  // cannot race the substrate.
+  std::unique_lock<std::mutex> lock(run_mu_, std::defer_lock);
+  if (!substrate_is_thread_safe()) lock.lock();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ReduceStats stats = run(workers, out, tenant);
+  if (op == ReduceOp::kMean) {
+    // Identical float op to the legacy trainer's host-side averaging.
+    const float inv_w = 1.0f / static_cast<float>(workers.size());
+    for (auto& v : out) v *= inv_w;
+  }
+  stats.wall_s = elapsed_s(t0, std::chrono::steady_clock::now());
+  return stats;
+}
+
+ReduceStats Communicator::allreduce(const WorkerViews& workers,
+                                    std::span<float> out, ReduceOp op,
+                                    std::string_view tenant) {
+  return run_and_finish(workers.views(), out, op, tenant);
+}
+
+JobHandle Communicator::submit(const WorkerViews& workers,
+                               std::span<float> out, ReduceOp op,
+                               std::string_view tenant) {
+  // Deferred: single-substrate backends serialize jobs anyway, so the work
+  // runs at wait() on the waiter's thread — no thread is spawned. The span
+  // table is copied (W pointers), the gradients are not.
+  std::vector<std::span<const float>> views(workers.views().begin(),
+                                            workers.views().end());
+  return wrap(std::async(
+      std::launch::deferred,
+      [this, views = std::move(views), out, op, t = std::string(tenant)] {
+        return run_and_finish(views, out, op, t);
+      }));
+}
+
+TenantHandle Communicator::tenant(std::string name) {
+  return TenantHandle(*this, std::move(name));
+}
+
+// --- host ------------------------------------------------------------------
+
+HostCommunicator::HostCommunicator(HostAlgorithm algo,
+                                   core::AccumulatorConfig accumulator)
+    : accumulator_(accumulator) {
+  switch (algo) {
+    case HostAlgorithm::kExact:
+      owned_ = std::make_unique<switchml::ExactAggregator>();
+      break;
+    case HostAlgorithm::kFp32:
+      owned_ = std::make_unique<switchml::FloatSumAggregator>();
+      break;
+    case HostAlgorithm::kPacked:
+      owned_ = std::make_unique<switchml::PackedSumAggregator>(
+          accumulator_.format);
+      break;
+    case HostAlgorithm::kSwitchMl:
+      owned_ = std::make_unique<switchml::SwitchMlAggregator>();
+      break;
+    case HostAlgorithm::kFpisa:
+      owned_ = std::make_unique<switchml::FpisaAggregator>(accumulator_);
+      break;
+  }
+  agg_ = owned_.get();
+}
+
+ReduceStats HostCommunicator::run(
+    std::span<const std::span<const float>> workers, std::span<float> out,
+    std::string_view /*tenant*/) {
+  agg_->reduce(workers, out);
+  ReduceStats stats;
+  stats.job_id = next_job_id_++;
+  return stats;  // host path: no packet protocol
+}
+
+// --- switch ----------------------------------------------------------------
+
+void SwitchCommunicator::ensure_session(int num_workers) {
+  if (session_ && opts_.num_workers == num_workers) return;
+  opts_.num_workers = num_workers;
+  session_ =
+      std::make_unique<switchml::AggregationSession>(config_, opts_);
+}
+
+switchml::AggregationSession& SwitchCommunicator::session() {
+  ensure_session(opts_.num_workers);
+  return *session_;
+}
+
+ReduceStats SwitchCommunicator::run(
+    std::span<const std::span<const float>> workers, std::span<float> out,
+    std::string_view /*tenant*/) {
+  ensure_session(static_cast<int>(workers.size()));
+  const switchml::SessionStats before = session_->stats();
+  session_->reduce_into(workers, out);
+  ReduceStats stats;
+  stats.job_id = next_job_id_++;
+  // This job's protocol traffic: the session's cumulative delta.
+  const switchml::SessionStats& after = session_->stats();
+  stats.network.packets_sent = after.packets_sent - before.packets_sent;
+  stats.network.packets_lost = after.packets_lost - before.packets_lost;
+  stats.network.retransmissions =
+      after.retransmissions - before.retransmissions;
+  stats.network.duplicates_absorbed =
+      after.duplicates_absorbed - before.duplicates_absorbed;
+  stats.network.slot_reuses = after.slot_reuses - before.slot_reuses;
+  total_ += stats.network;  // survives session recreation, unlike stats()
+  return stats;
+}
+
+// --- cluster ---------------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kDefaultTenant = "default";
+
+ReduceStats report_to_stats(const cluster::JobReport& report) {
+  ReduceStats stats;
+  stats.job_id = report.job_id;
+  stats.network = report.stats;
+  stats.per_shard = report.per_shard;
+  return stats;
+}
+
+}  // namespace
+
+ReduceStats ClusterCommunicator::run(
+    std::span<const std::span<const float>> workers, std::span<float> out,
+    std::string_view tenant) {
+  const cluster::JobView job{tenant.empty() ? kDefaultTenant : tenant,
+                             workers};
+  return report_to_stats(service_.reduce(job, out));
+}
+
+JobHandle ClusterCommunicator::submit(const WorkerViews& workers,
+                                      std::span<float> out, ReduceOp op,
+                                      std::string_view tenant) {
+  // Shape errors surface here, like every other backend's submit — not at
+  // wait(). The job itself runs on the service's bounded job-runner pool;
+  // the deferred wrapper only collects the report, applies the kMean scale
+  // and stamps the wall clock at wait() time.
+  validate(workers.views(), out);
+  const cluster::JobView job{tenant.empty() ? kDefaultTenant : tenant,
+                             workers.views()};
+  const std::size_t w = workers.count();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::future<cluster::JobReport> inner = service_.submit(job, out);
+  return wrap(std::async(
+      std::launch::deferred,
+      [inner = std::move(inner), out, op, w, t0]() mutable {
+        const cluster::JobReport report = inner.get();
+        if (op == ReduceOp::kMean && w > 0) {
+          const float inv_w = 1.0f / static_cast<float>(w);
+          for (auto& v : out) v *= inv_w;
+        }
+        ReduceStats stats = report_to_stats(report);
+        stats.wall_s = elapsed_s(t0, std::chrono::steady_clock::now());
+        return stats;
+      }));
+}
+
+// --- tree ------------------------------------------------------------------
+
+ReduceStats TreeCommunicator::run(
+    std::span<const std::span<const float>> workers, std::span<float> out,
+    std::string_view /*tenant*/) {
+  tree_.reduce_into(workers, out);
+  ReduceStats stats;
+  stats.job_id = next_job_id_++;
+  // The tree models its fabric with EventSim links rather than a lossy
+  // packet protocol; surface the modeled packet count.
+  stats.network.packets_sent = tree_.timing().packets;
+  total_ += stats.network;
+  return stats;
+}
+
+// --- factory ---------------------------------------------------------------
+
+std::unique_ptr<Communicator> make_communicator(
+    const CommunicatorOptions& opts) {
+  switch (opts.backend) {
+    case Backend::kHost:
+      return std::make_unique<HostCommunicator>(opts.host_algorithm,
+                                                opts.accumulator);
+    case Backend::kSwitch:
+      return std::make_unique<SwitchCommunicator>(opts.switch_config,
+                                                  opts.session);
+    case Backend::kCluster:
+      return std::make_unique<ClusterCommunicator>(opts.cluster);
+    case Backend::kTree:
+      return std::make_unique<TreeCommunicator>(opts.hierarchy);
+  }
+  throw std::invalid_argument("collective: unknown backend");
+}
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kHost:
+      return "host";
+    case Backend::kSwitch:
+      return "switch";
+    case Backend::kCluster:
+      return "cluster";
+    case Backend::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+}  // namespace fpisa::collective

@@ -1,0 +1,302 @@
+// Unified zero-copy collective API: ONE communicator-style interface (the
+// shape SwitchML exposed to training frameworks, NSDI '21 §5) over every
+// aggregation substrate this repo has grown — host reference aggregators,
+// a single simulated switch, the sharded multi-tenant rack service, and
+// the ToR→spine tree. Frameworks call
+//
+//   comm.allreduce(workers, out, ReduceOp::kSum);
+//
+// and never learn which fabric ran it; gradients travel as *views*
+// (span-of-spans into caller-owned storage) from submission to result, so
+// no backend ever deep-copies a worker vector.
+//
+// Every backend is differentially tested to be bit-identical — results AND
+// SessionStats — to its legacy entry point under identical seeds
+// (tests/test_collective_api.cpp); the legacy entry points remain as thin
+// adapters.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/aggregation_service.h"
+#include "cluster/hierarchy.h"
+#include "switchml/aggregator.h"
+#include "switchml/session.h"
+
+namespace fpisa::collective {
+
+/// Zero-copy view of W equal-length worker gradient vectors: a span of
+/// spans. Constructible straight from span-of-spans, or adapted from the
+/// legacy vector<vector<float>> shape — the adapter materializes the span
+/// *table* (W pointers + lengths), never the gradients.
+class WorkerViews {
+ public:
+  WorkerViews(std::span<const std::span<const float>> views)  // NOLINT
+      : views_(views) {}
+  WorkerViews(std::span<const std::vector<float>> workers)  // NOLINT
+      : storage_(workers.begin(), workers.end()), views_(storage_) {}
+  WorkerViews(const std::vector<std::vector<float>>& workers)  // NOLINT
+      : WorkerViews(std::span<const std::vector<float>>(workers)) {}
+
+  // Copying would leave views_ pointing into the source's span table; the
+  // type is a per-call view, so pass it by reference instead.
+  WorkerViews(const WorkerViews&) = delete;
+  WorkerViews& operator=(const WorkerViews&) = delete;
+
+  std::span<const std::span<const float>> views() const { return views_; }
+  std::size_t count() const { return views_.size(); }
+  std::size_t length() const {
+    return views_.empty() ? 0 : views_.front().size();
+  }
+
+ private:
+  std::vector<std::span<const float>> storage_;  ///< adapter path only
+  std::span<const std::span<const float>> views_;
+};
+
+enum class ReduceOp {
+  kSum,   ///< element-wise sum (what the switch computes)
+  kMean,  ///< sum scaled by 1/W on the host (gradient averaging)
+};
+
+/// Per-job completion stats, uniform across backends. Backends without a
+/// packet protocol (host) report zero network counters; the cluster
+/// backend also breaks the job down per shard.
+struct ReduceStats {
+  std::uint64_t job_id = 0;
+  switchml::SessionStats network;
+  std::vector<switchml::SessionStats> per_shard;
+  double wall_s = 0;
+};
+
+/// Handle to an asynchronously submitted job. The gradient buffers viewed
+/// by the job and the out span stay caller-owned: keep them alive until
+/// wait() returns. wait() rethrows any backend error (e.g. retransmit
+/// exhaustion).
+class JobHandle {
+ public:
+  JobHandle() = default;
+  bool valid() const { return fut_.valid(); }
+  ReduceStats wait() { return fut_.get(); }
+
+ private:
+  friend class Communicator;
+  explicit JobHandle(std::future<ReduceStats> fut) : fut_(std::move(fut)) {}
+  std::future<ReduceStats> fut_;
+};
+
+class TenantHandle;
+
+/// The unified collective interface. Synchronous `allreduce` writes the
+/// reduction of `workers` into `out` (out.size() == workers.length());
+/// `submit` is the asynchronous flavor; `tenant` returns a persistent
+/// per-tenant handle (multi-tenant backends key accounting and fabric
+/// overrides off the tenant name, others ignore it).
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+  virtual std::string_view name() const = 0;
+
+  ReduceStats allreduce(const WorkerViews& workers, std::span<float> out,
+                        ReduceOp op = ReduceOp::kSum,
+                        std::string_view tenant = {});
+  virtual JobHandle submit(const WorkerViews& workers, std::span<float> out,
+                           ReduceOp op = ReduceOp::kSum,
+                           std::string_view tenant = {});
+  TenantHandle tenant(std::string name);
+
+  /// Cumulative packet-protocol stats across every completed job (zeros
+  /// for backends without a packet protocol).
+  virtual switchml::SessionStats total_stats() const = 0;
+
+ protected:
+  /// Backend hook: sum `workers` into `out` and report the job's stats.
+  virtual ReduceStats run(std::span<const std::span<const float>> workers,
+                          std::span<float> out, std::string_view tenant) = 0;
+
+  /// Backends whose substrate is internally thread-safe (the cluster
+  /// service) override this to let jobs run concurrently. All others get
+  /// their run() calls serialized by the base class, so allreduce — and
+  /// wait()ing deferred JobHandles — is safe from multiple threads.
+  virtual bool substrate_is_thread_safe() const { return false; }
+
+  /// Shared driver: validation + (serialized) run() + ReduceOp::kMean
+  /// scaling + wall clock. allreduce and the default submit both land here.
+  ReduceStats run_and_finish(std::span<const std::span<const float>> workers,
+                             std::span<float> out, ReduceOp op,
+                             std::string_view tenant);
+  /// Shape checks shared by every entry point; throws std::invalid_argument.
+  static void validate(std::span<const std::span<const float>> workers,
+                       std::span<float> out);
+  static JobHandle wrap(std::future<ReduceStats> fut) {
+    return JobHandle(std::move(fut));
+  }
+
+ private:
+  std::mutex run_mu_;  ///< serializes run() for single-substrate backends
+};
+
+/// Persistent per-tenant handle: a Communicator bound to one tenant name,
+/// so frameworks can hold one handle per training job. Valid as long as
+/// the communicator it came from.
+class TenantHandle {
+ public:
+  TenantHandle(Communicator& comm, std::string name)
+      : comm_(&comm), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  ReduceStats allreduce(const WorkerViews& workers, std::span<float> out,
+                        ReduceOp op = ReduceOp::kSum) {
+    return comm_->allreduce(workers, out, op, name_);
+  }
+  JobHandle submit(const WorkerViews& workers, std::span<float> out,
+                   ReduceOp op = ReduceOp::kSum) {
+    return comm_->submit(workers, out, op, name_);
+  }
+
+ private:
+  Communicator* comm_;
+  std::string name_;
+};
+
+// --- backends --------------------------------------------------------------
+
+/// Which host reference aggregator HostCommunicator wraps.
+enum class HostAlgorithm {
+  kExact,     ///< double-precision reference
+  kFp32,      ///< host FP32 summation (paper's "default addition")
+  kPacked,    ///< packed-format host summation (e.g. FP16 pipelines)
+  kSwitchMl,  ///< SwitchML int32+scaling-factor protocol
+  kFpisa,     ///< FPISA decomposed accumulation (core reference)
+};
+
+/// Host backend: the aggregator zoo behind the communicator interface.
+/// Either owns an aggregator picked by HostAlgorithm, or wraps a
+/// caller-owned switchml::GradientAggregator (the adapter the trainer's
+/// legacy constructor rides on).
+class HostCommunicator final : public Communicator {
+ public:
+  explicit HostCommunicator(HostAlgorithm algo = HostAlgorithm::kFpisa,
+                            core::AccumulatorConfig accumulator = {});
+  /// Non-owning: `agg` must outlive this communicator.
+  explicit HostCommunicator(switchml::GradientAggregator& agg) : agg_(&agg) {}
+
+  std::string_view name() const override { return agg_->name(); }
+  switchml::SessionStats total_stats() const override { return {}; }
+  switchml::GradientAggregator& aggregator() { return *agg_; }
+
+ protected:
+  ReduceStats run(std::span<const std::span<const float>> workers,
+                  std::span<float> out, std::string_view tenant) override;
+
+ private:
+  core::AccumulatorConfig accumulator_;  ///< stable home for format refs
+  std::unique_ptr<switchml::GradientAggregator> owned_;
+  switchml::GradientAggregator* agg_ = nullptr;
+  std::uint64_t next_job_id_ = 0;
+};
+
+/// Single-switch backend: the SwitchML-style packet protocol over one
+/// simulated FpisaSwitch. The session is created for the first job's
+/// worker count and recreated (fresh loss stream and stats, same options)
+/// only when the worker count changes.
+class SwitchCommunicator final : public Communicator {
+ public:
+  SwitchCommunicator(pisa::SwitchConfig config, switchml::SessionOptions opts)
+      : config_(config), opts_(opts) {}
+
+  std::string_view name() const override { return "switch"; }
+  switchml::SessionStats total_stats() const override { return total_; }
+  /// The underlying session (created on first use).
+  switchml::AggregationSession& session();
+
+ protected:
+  ReduceStats run(std::span<const std::span<const float>> workers,
+                  std::span<float> out, std::string_view tenant) override;
+
+ private:
+  void ensure_session(int num_workers);
+  pisa::SwitchConfig config_;
+  switchml::SessionOptions opts_;
+  std::unique_ptr<switchml::AggregationSession> session_;
+  switchml::SessionStats total_{};  ///< survives session recreation
+  std::uint64_t next_job_id_ = 0;
+};
+
+/// Rack-scale backend: the sharded multi-tenant AggregationService. Fully
+/// view-based — a job's gradients are never copied between submission and
+/// result — and submit() rides the service's bounded job-runner pool.
+class ClusterCommunicator final : public Communicator {
+ public:
+  explicit ClusterCommunicator(cluster::ClusterOptions opts)
+      : service_(std::move(opts)) {}
+
+  std::string_view name() const override { return "cluster"; }
+  switchml::SessionStats total_stats() const override {
+    return service_.total_stats();
+  }
+  JobHandle submit(const WorkerViews& workers, std::span<float> out,
+                   ReduceOp op = ReduceOp::kSum,
+                   std::string_view tenant = {}) override;
+  cluster::AggregationService& service() { return service_; }
+
+ protected:
+  ReduceStats run(std::span<const std::span<const float>> workers,
+                  std::span<float> out, std::string_view tenant) override;
+  bool substrate_is_thread_safe() const override { return true; }
+
+ private:
+  cluster::AggregationService service_;
+};
+
+/// Hierarchy backend: the two-level ToR→spine tree. Worker count must
+/// equal the tree's total_workers(). Network stats report the modeled
+/// packet count of the most recent timing pass.
+class TreeCommunicator final : public Communicator {
+ public:
+  explicit TreeCommunicator(cluster::HierarchyOptions opts) : tree_(opts) {}
+
+  std::string_view name() const override { return "tree"; }
+  switchml::SessionStats total_stats() const override { return total_; }
+  cluster::HierarchicalAggregator& tree() { return tree_; }
+
+ protected:
+  ReduceStats run(std::span<const std::span<const float>> workers,
+                  std::span<float> out, std::string_view tenant) override;
+
+ private:
+  cluster::HierarchicalAggregator tree_;
+  switchml::SessionStats total_{};
+  std::uint64_t next_job_id_ = 0;
+};
+
+// --- factory ---------------------------------------------------------------
+
+enum class Backend { kHost, kSwitch, kCluster, kTree };
+
+struct CommunicatorOptions {
+  Backend backend = Backend::kHost;
+  // kHost
+  HostAlgorithm host_algorithm = HostAlgorithm::kFpisa;
+  core::AccumulatorConfig accumulator;  ///< kFpisa/kPacked configuration
+  // kSwitch
+  pisa::SwitchConfig switch_config;
+  switchml::SessionOptions session;
+  // kCluster
+  cluster::ClusterOptions cluster;
+  // kTree
+  cluster::HierarchyOptions hierarchy;
+};
+
+std::unique_ptr<Communicator> make_communicator(
+    const CommunicatorOptions& opts = {});
+
+const char* backend_name(Backend backend);
+
+}  // namespace fpisa::collective

@@ -144,9 +144,12 @@ void add_batch_avx2(const std::uint32_t* bits, std::size_t n,
 
 /// AVX2 egress kernel entry (defined in batch_read_avx2.cpp, only built
 /// when FPISA_ENABLE_AVX2 is on). Tail elements are finished by the scalar
-/// read primitive inside.
+/// read primitive inside. `reg_bits` picks the lane width: registers of
+/// <= 32 bits take the 8-lane 32-bit kernel (mirroring the add kernel's
+/// run32), wider registers the generic 4x64-bit kernel.
 void read_batch_avx2(const std::int32_t* exp, const std::int64_t* man,
-                     std::uint32_t* out, std::size_t n, int guard);
+                     std::uint32_t* out, std::size_t n, int guard,
+                     int reg_bits);
 
 }  // namespace detail
 

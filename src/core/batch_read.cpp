@@ -35,7 +35,7 @@ void run_read(std::span<const std::int32_t> exp,
 #if defined(FPISA_HAVE_AVX2)
   if (batch_backend() == BatchBackend::kAvx2) {
     detail::read_batch_avx2(exp.data(), man.data(), out.data(), out.size(),
-                            cfg.guard_bits);
+                            cfg.guard_bits, cfg.effective_reg_bits());
     return;
   }
 #endif

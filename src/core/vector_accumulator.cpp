@@ -101,25 +101,34 @@ void FpisaVector::reset() {
   counters_ = {};
 }
 
-AggregateResult aggregate(std::span<const std::vector<float>> workers,
-                          AccumulatorConfig cfg) {
+OpCounters aggregate_into(std::span<const std::span<const float>> workers,
+                          std::span<float> out, AccumulatorConfig cfg) {
   assert(!workers.empty());
-  FpisaVector acc(workers.front().size(), cfg);
+  assert(out.size() == workers.front().size());
+  FpisaVector acc(out.size(), cfg);
   if (cfg.format.total_bits == 32) {
-    for (const auto& w : workers) acc.add(w);
+    for (const auto w : workers) acc.add(w);
   } else {
     std::vector<std::uint64_t> bits(acc.size());
-    for (const auto& w : workers) {
+    for (const auto w : workers) {
       for (std::size_t i = 0; i < w.size(); ++i) {
         bits[i] = encode(w[i], cfg.format);
       }
       acc.add_bits(bits);
     }
   }
+  acc.read(out);
+  return acc.counters();
+}
+
+AggregateResult aggregate(std::span<const std::vector<float>> workers,
+                          AccumulatorConfig cfg) {
+  assert(!workers.empty());
+  const std::vector<std::span<const float>> views(workers.begin(),
+                                                  workers.end());
   AggregateResult out;
-  out.sum.resize(acc.size());
-  acc.read(out.sum);
-  out.counters = acc.counters();
+  out.sum.resize(workers.front().size());
+  out.counters = aggregate_into(views, out.sum, cfg);
   return out;
 }
 

@@ -59,4 +59,11 @@ struct AggregateResult {
 AggregateResult aggregate(std::span<const std::vector<float>> workers,
                           AccumulatorConfig cfg = {});
 
+/// Zero-copy flavor: sums equal-length worker *views* (span-of-spans — the
+/// collective layer's currency) into `out` (out.size() == view length);
+/// returns the pooled counters. `aggregate` above is a thin adapter over
+/// this.
+OpCounters aggregate_into(std::span<const std::span<const float>> workers,
+                          std::span<float> out, AccumulatorConfig cfg = {});
+
 }  // namespace fpisa::core

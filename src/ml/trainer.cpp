@@ -9,11 +9,24 @@
 namespace fpisa::ml {
 
 DataParallelTrainer::DataParallelTrainer(Network& model, const Dataset& data,
+                                         collective::Communicator& comm,
+                                         TrainerOptions opts)
+    : model_(model),
+      data_(data),
+      comm_(comm),
+      opts_(opts),
+      order_(static_cast<std::size_t>(data.train_size())),
+      shuffle_rng_(opts.shuffle_seed) {
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+DataParallelTrainer::DataParallelTrainer(Network& model, const Dataset& data,
                                          switchml::GradientAggregator& agg,
                                          TrainerOptions opts)
     : model_(model),
       data_(data),
-      agg_(agg),
+      owned_comm_(std::make_unique<collective::HostCommunicator>(agg)),
+      comm_(*owned_comm_),
       opts_(opts),
       order_(static_cast<std::size_t>(data.train_size())),
       shuffle_rng_(opts.shuffle_seed) {
@@ -64,10 +77,13 @@ float DataParallelTrainer::train_epoch(const GradHook& on_worker_grads) {
 
     if (on_worker_grads) on_worker_grads(worker_grads);
 
-    std::vector<float> sum = agg_.aggregate(worker_grads);
-    const float inv_w = 1.0f / static_cast<float>(opts_.workers);
-    for (auto& v : sum) v *= inv_w;
-    model_.set_gradients(sum);
+    // One allreduce over views of the workers' gradients (zero-copy into
+    // the communicator); kMean applies the same 1/W scale the legacy
+    // host-side averaging did, float-for-float.
+    mean_grad_.resize(worker_grads.front().size());
+    (void)comm_.allreduce(collective::WorkerViews(worker_grads), mean_grad_,
+                          collective::ReduceOp::kMean);
+    model_.set_gradients(mean_grad_);
     model_.sgd_step(opts_.lr, opts_.momentum, opts_.weight_decay);
     ++steps_;
   }

@@ -1,14 +1,18 @@
-// Data-parallel training with pluggable gradient aggregation — the paper's
-// §5 testbed in miniature. Each of W simulated workers computes gradients
-// on its shard of the batch; the aggregator (exact / SwitchML-quantized /
-// FPISA / FPISA-A; FP32 or FP16 emulation) combines them; SGD applies the
-// mean.
+// Data-parallel training over the unified collective API — the paper's §5
+// testbed in miniature. Each of W simulated workers computes gradients on
+// its shard of the batch; a collective::Communicator (host aggregator zoo,
+// single switch, rack-scale cluster service, or ToR→spine tree — all
+// interchangeable) allreduces them with ReduceOp::kMean; SGD applies the
+// result. A legacy constructor still accepts a bare GradientAggregator and
+// wraps it in a host-backend communicator.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "collective/communicator.h"
 #include "core/float_format.h"
 #include "ml/data.h"
 #include "ml/nn.h"
@@ -31,6 +35,10 @@ struct TrainerOptions {
 class DataParallelTrainer {
  public:
   DataParallelTrainer(Network& model, const Dataset& data,
+                      collective::Communicator& comm, TrainerOptions opts);
+  /// Legacy adapter: trains through `agg` by wrapping it in a host-backend
+  /// communicator (agg must outlive the trainer).
+  DataParallelTrainer(Network& model, const Dataset& data,
                       switchml::GradientAggregator& agg, TrainerOptions opts);
 
   /// Runs one epoch over the training set; returns mean loss.
@@ -48,10 +56,12 @@ class DataParallelTrainer {
  private:
   Network& model_;
   const Dataset& data_;
-  switchml::GradientAggregator& agg_;
+  std::unique_ptr<collective::Communicator> owned_comm_;  ///< legacy ctor
+  collective::Communicator& comm_;
   TrainerOptions opts_;
   std::vector<int> order_;
   util::Rng shuffle_rng_;
+  std::vector<float> mean_grad_;  ///< reused allreduce output buffer
   int steps_ = 0;
 };
 

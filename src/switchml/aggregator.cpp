@@ -1,5 +1,6 @@
 #include "switchml/aggregator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -7,54 +8,61 @@
 
 namespace fpisa::switchml {
 
-std::vector<float> ExactAggregator::aggregate(
+std::vector<float> GradientAggregator::aggregate(
     std::span<const std::vector<float>> workers) {
   assert(!workers.empty());
-  std::vector<double> acc(workers.front().size(), 0.0);
-  for (const auto& w : workers) {
+  const std::vector<std::span<const float>> views(workers.begin(),
+                                                  workers.end());
+  std::vector<float> out(workers.front().size());
+  reduce(views, out);
+  return out;
+}
+
+void ExactAggregator::reduce(std::span<const std::span<const float>> workers,
+                             std::span<float> out) {
+  assert(!workers.empty());
+  std::vector<double> acc(out.size(), 0.0);
+  for (const auto w : workers) {
     for (std::size_t i = 0; i < w.size(); ++i) {
       acc[i] += static_cast<double>(w[i]);
     }
   }
-  std::vector<float> out(acc.size());
   for (std::size_t i = 0; i < acc.size(); ++i) {
     out[i] = static_cast<float>(acc[i]);
   }
-  return out;
 }
 
-std::vector<float> FloatSumAggregator::aggregate(
-    std::span<const std::vector<float>> workers) {
+void FloatSumAggregator::reduce(
+    std::span<const std::span<const float>> workers, std::span<float> out) {
   assert(!workers.empty());
-  std::vector<float> acc(workers.front().size(), 0.0f);
-  for (const auto& w : workers) {
-    for (std::size_t i = 0; i < w.size(); ++i) acc[i] += w[i];
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (const auto w : workers) {
+    for (std::size_t i = 0; i < w.size(); ++i) out[i] += w[i];
   }
-  return acc;
 }
 
-std::vector<float> PackedSumAggregator::aggregate(
-    std::span<const std::vector<float>> workers) {
+void PackedSumAggregator::reduce(
+    std::span<const std::span<const float>> workers, std::span<float> out) {
   assert(!workers.empty());
-  std::vector<float> acc(workers.front().size(), 0.0f);
-  for (const auto& w : workers) {
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (const auto w : workers) {
     for (std::size_t i = 0; i < w.size(); ++i) {
       // Quantize the operand and the running sum to the packed format, as
       // a low-precision host pipeline would.
       const double vq = core::decode(core::encode(w[i], *fmt_), *fmt_);
-      const double sum = static_cast<double>(acc[i]) + vq;
-      acc[i] = static_cast<float>(core::decode(core::encode(sum, *fmt_), *fmt_));
+      const double sum = static_cast<double>(out[i]) + vq;
+      out[i] =
+          static_cast<float>(core::decode(core::encode(sum, *fmt_), *fmt_));
     }
   }
-  return acc;
 }
 
-std::vector<float> SwitchMlAggregator::aggregate(
-    std::span<const std::vector<float>> workers) {
+void SwitchMlAggregator::reduce(
+    std::span<const std::span<const float>> workers, std::span<float> out) {
   assert(!workers.empty());
-  const std::size_t n = workers.front().size();
+  const std::size_t n = out.size();
   const auto w_count = static_cast<double>(workers.size());
-  std::vector<float> out(n, 0.0f);
+  std::fill(out.begin(), out.end(), 0.0f);
 
   for (std::size_t base = 0; base < n; base += chunk_) {
     const std::size_t end = std::min(base + chunk_, n);
@@ -63,7 +71,7 @@ std::vector<float> SwitchMlAggregator::aggregate(
     // scaling factor (the protocol overhead FPISA removes).
     ++round_trips_;
     float max_abs = 0.0f;
-    for (const auto& w : workers) {
+    for (const auto w : workers) {
       for (std::size_t i = base; i < end; ++i) {
         max_abs = std::max(max_abs, std::fabs(w[i]));
       }
@@ -80,21 +88,18 @@ std::vector<float> SwitchMlAggregator::aggregate(
     // Round 2: quantize on hosts, integer-add "in the switch", dequantize.
     for (std::size_t i = base; i < end; ++i) {
       std::int64_t acc = 0;
-      for (const auto& w : workers) {
+      for (const auto w : workers) {
         acc += static_cast<std::int64_t>(
             std::llrint(std::ldexp(static_cast<double>(w[i]), shift)));
       }
       out[i] = static_cast<float>(std::ldexp(static_cast<double>(acc), -shift));
     }
   }
-  return out;
 }
 
-std::vector<float> FpisaAggregator::aggregate(
-    std::span<const std::vector<float>> workers) {
-  const core::AggregateResult r = core::aggregate(workers, cfg_);
-  counters_ += r.counters;
-  return r.sum;
+void FpisaAggregator::reduce(std::span<const std::span<const float>> workers,
+                             std::span<float> out) {
+  counters_ += core::aggregate_into(workers, out, cfg_);
 }
 
 }  // namespace fpisa::switchml

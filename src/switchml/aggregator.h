@@ -14,29 +14,36 @@
 
 namespace fpisa::switchml {
 
-/// Sums `workers` equal-length gradient vectors.
+/// Sums equal-length gradient vectors. The primary entry point is the
+/// zero-copy `reduce` over worker *views* (span-of-spans into
+/// caller-owned storage — the collective layer's currency); the legacy
+/// allocating `aggregate` is a thin adapter over it.
 class GradientAggregator {
  public:
   virtual ~GradientAggregator() = default;
   virtual std::string_view name() const = 0;
-  virtual std::vector<float> aggregate(
-      std::span<const std::vector<float>> workers) = 0;
+  /// Sums `workers` element-wise into `out` (out.size() == view length).
+  virtual void reduce(std::span<const std::span<const float>> workers,
+                      std::span<float> out) = 0;
+  /// Legacy allocating form: materializes views over `workers` (never the
+  /// gradients themselves) and forwards to reduce().
+  std::vector<float> aggregate(std::span<const std::vector<float>> workers);
 };
 
 /// Double-precision reference (what an ideal aggregator would produce).
 class ExactAggregator final : public GradientAggregator {
  public:
   std::string_view name() const override { return "exact"; }
-  std::vector<float> aggregate(
-      std::span<const std::vector<float>> workers) override;
+  void reduce(std::span<const std::span<const float>> workers,
+              std::span<float> out) override;
 };
 
 /// Host-side FP32 summation — the paper's "default addition" baseline.
 class FloatSumAggregator final : public GradientAggregator {
  public:
   std::string_view name() const override { return "fp32-host"; }
-  std::vector<float> aggregate(
-      std::span<const std::vector<float>> workers) override;
+  void reduce(std::span<const std::span<const float>> workers,
+              std::span<float> out) override;
 };
 
 /// Host-side summation carried out in an arbitrary packed format (e.g.
@@ -45,8 +52,8 @@ class PackedSumAggregator final : public GradientAggregator {
  public:
   explicit PackedSumAggregator(const core::FloatFormat& fmt) : fmt_(&fmt) {}
   std::string_view name() const override { return "packed-host"; }
-  std::vector<float> aggregate(
-      std::span<const std::vector<float>> workers) override;
+  void reduce(std::span<const std::span<const float>> workers,
+              std::span<float> out) override;
 
  private:
   const core::FloatFormat* fmt_;
@@ -61,8 +68,8 @@ class SwitchMlAggregator final : public GradientAggregator {
       : chunk_(chunk_elements) {}
 
   std::string_view name() const override { return "switchml-int"; }
-  std::vector<float> aggregate(
-      std::span<const std::vector<float>> workers) override;
+  void reduce(std::span<const std::span<const float>> workers,
+              std::span<float> out) override;
 
   /// One per chunk: the exponent-exchange round trips the protocol needs.
   std::uint64_t extra_round_trips() const { return round_trips_; }
@@ -83,8 +90,8 @@ class FpisaAggregator final : public GradientAggregator {
   std::string_view name() const override {
     return cfg_.variant == core::Variant::kFull ? "fpisa" : "fpisa-a";
   }
-  std::vector<float> aggregate(
-      std::span<const std::vector<float>> workers) override;
+  void reduce(std::span<const std::span<const float>> workers,
+              std::span<float> out) override;
 
   /// Pooled error-event counters across all aggregate() calls (Fig 8's
   /// overwrite / left-shift / rounding taxonomy).

@@ -173,11 +173,22 @@ void AggregationSession::collect_wave(std::size_t base, std::size_t wave_end,
 
 std::vector<float> AggregationSession::reduce(
     std::span<const std::vector<float>> workers) {
+  const std::vector<std::span<const float>> views(workers.begin(),
+                                                  workers.end());
+  std::vector<float> result(workers.empty() ? 0 : workers.front().size(),
+                            0.0f);
+  reduce_into(views, result);
+  return result;
+}
+
+void AggregationSession::reduce_into(
+    std::span<const std::span<const float>> workers, std::span<float> result) {
   assert(static_cast<int>(workers.size()) == opts_.num_workers);
   const std::size_t n = workers.front().size();
+  assert(result.size() == n);
   const auto lanes = static_cast<std::size_t>(opts_.lanes);
   const std::size_t chunks = (n + lanes - 1) / lanes;
-  std::vector<float> result(n, 0.0f);
+  std::fill(result.begin(), result.end(), 0.0f);
 
   for (std::size_t base = 0; base < chunks; base += opts_.slots) {
     const std::size_t wave_end = std::min(base + opts_.slots, chunks);
@@ -265,7 +276,6 @@ std::vector<float> AggregationSession::reduce(
       }
     }
   }
-  return result;
 }
 
 }  // namespace fpisa::switchml

@@ -87,6 +87,12 @@ class AggregationSession {
  public:
   AggregationSession(pisa::SwitchConfig config, SessionOptions opts);
 
+  /// Zero-copy reduce over worker views (span-of-spans into caller-owned
+  /// storage): the sum lands in `out` (out.size() == view length).
+  void reduce_into(std::span<const std::span<const float>> workers,
+                   std::span<float> out);
+  /// Legacy allocating form — materializes views (never the gradients) and
+  /// forwards to reduce_into.
   std::vector<float> reduce(std::span<const std::vector<float>> workers);
 
   const SessionStats& stats() const { return stats_; }

@@ -344,6 +344,85 @@ TEST(ClusterService, ConcurrentTenantsAreIsolated) {
                                     service.tenant_stats("carol").packets_sent);
 }
 
+TEST(ClusterService, BurstOf64SubmitsIsBoundedAndDeterministic) {
+  // 64 concurrent submissions may never grow the thread count: the control
+  // loops run on the bounded job-runner pool (here 3 threads), so the
+  // job-concurrency high-water mark is capped at 3 no matter the burst
+  // size — and every report must be identical to a lone job on a fresh
+  // service (lossless fabric: results and stats are schedule-independent).
+  ClusterOptions opts;
+  opts.num_shards = 2;
+  opts.slots_per_shard = 16;
+  opts.slots_per_job = 8;
+  opts.job_runner_threads = 3;
+  AggregationService service(opts);
+  ASSERT_EQ(service.job_runner_threads(), 3);
+
+  const auto workers = make_workers(4, 96, 140);
+  AggregationService fresh(opts);
+  const auto want = fresh.reduce({"t", workers});
+
+  constexpr int kBurst = 64;
+  std::vector<std::future<JobReport>> futures;
+  futures.reserve(kBurst);
+  for (int j = 0; j < kBurst; ++j) {
+    futures.push_back(service.submit({"t", workers}));
+  }
+  for (auto& f : futures) {
+    const JobReport got = f.get();
+    ASSERT_EQ(got.result.size(), want.result.size());
+    for (std::size_t i = 0; i < want.result.size(); ++i) {
+      ASSERT_EQ(core::fp32_bits(got.result[i]),
+                core::fp32_bits(want.result[i]))
+          << i;
+    }
+    EXPECT_EQ(got.stats.packets_sent, want.stats.packets_sent);
+    EXPECT_EQ(got.stats.slot_reuses, want.stats.slot_reuses);
+    EXPECT_EQ(got.stats.packets_lost, 0u);
+  }
+  EXPECT_EQ(service.jobs_completed(), static_cast<std::uint64_t>(kBurst));
+  EXPECT_GE(service.peak_concurrent_jobs(), 1u);
+  EXPECT_LE(service.peak_concurrent_jobs(), 3u)
+      << "burst must not run more jobs at once than the runner pool has "
+         "threads";
+}
+
+TEST(ClusterService, ViewReduceIsBitExactVsOwningReduceWithoutCopies) {
+  // The zero-copy JobView entry: gradients live in one flat caller buffer,
+  // results land in a caller span, and the bits match the legacy owning
+  // path exactly — with and without loss.
+  for (const double loss : {0.0, 0.2}) {
+    ClusterOptions opts;
+    opts.num_shards = 3;
+    opts.slots_per_shard = 16;
+    opts.slots_per_job = 8;
+    opts.lanes = 2;
+    opts.loss_rate = loss;
+    opts.loss_seed = 150;
+    opts.max_retransmits = 256;
+
+    const auto workers = make_workers(4, 130, 151);
+    AggregationService legacy_service(opts);
+    const auto want = legacy_service.reduce({"t", workers});
+
+    std::vector<float> flat;
+    for (const auto& w : workers) flat.insert(flat.end(), w.begin(), w.end());
+    std::vector<std::span<const float>> views;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      views.push_back({flat.data() + w * 130, 130});
+    }
+    AggregationService service(opts);
+    std::vector<float> out(130);
+    const JobReport got = service.reduce(JobView{"t", views}, out);
+    EXPECT_TRUE(got.result.empty()) << "view path must not allocate a result";
+    EXPECT_EQ(got.stats.packets_sent, want.stats.packets_sent) << loss;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(core::fp32_bits(out[i]), core::fp32_bits(want.result[i]))
+          << "loss=" << loss << " i=" << i;
+    }
+  }
+}
+
 // --- hierarchy -------------------------------------------------------------
 
 TEST(Hierarchy, BitIdenticalToSingleSwitchWithFourLeaves) {

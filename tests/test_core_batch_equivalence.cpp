@@ -343,6 +343,101 @@ TEST(ReadBatchEquivalence, SynthesizedRawRegisterStates) {
   check_read_state(exp, man, guarded, "synthesized raw states g=4");
 }
 
+TEST(ReadBatchEquivalence, Reg32LaneSpecializationCornersAndFallback) {
+  // The 8-lane 32-bit AVX2 read kernel activates for registers of <= 32
+  // bits; its invariant gate must route mantissas outside int32 (and
+  // exponents near the int32 rim) through the scalar primitive PER 8-BLOCK,
+  // so mixed blocks — some lanes in range, some out — are the adversarial
+  // shape. Every row must stay bit-identical to per-slot fpisa_read.
+  std::vector<std::int32_t> exp;
+  std::vector<std::int64_t> man;
+  const std::int64_t in_range[] = {0, 1, -1, (1 << 23), -(1 << 23),
+                                   0x7FFFFFFFLL, -0x80000000LL};
+  const std::int64_t out_of_range[] = {
+      0x80000000LL, -0x80000001LL, (std::int64_t{1} << 40),
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  // Exponents cover the kernel's 2^24 fallback gate both ways; they stop at
+  // +-2^30 because the reference assemble's `1 - norm_exp` int cast wraps
+  // at the int32 rim, making larger magnitudes ill-defined as an oracle.
+  const std::int32_t exps[] = {0, 1, 127, 254, (1 << 24) - 1, (1 << 24),
+                               (1 << 24) + 1, -(1 << 24), -(1 << 24) - 1,
+                               (1 << 30), -(1 << 30)};
+  // Pure in-range blocks, pure out-of-range blocks, and interleavings.
+  for (const auto e : exps) {
+    for (const auto m : in_range) {
+      exp.push_back(e);
+      man.push_back(m);
+    }
+    for (const auto m : out_of_range) {
+      exp.push_back(e);
+      man.push_back(m);
+    }
+  }
+  // Mixed 8-blocks: alternate one in-range / one out-of-range lane.
+  util::Rng rng(0x32B17);
+  for (int k = 0; k < 256; ++k) {
+    const bool out_lane = (k & 1) != 0;
+    exp.push_back(static_cast<std::int32_t>(rng.uniform_int(-300, 300)));
+    man.push_back(out_lane
+                      ? (std::int64_t{1} << 33) +
+                            static_cast<std::int64_t>(rng.next_u64() & 0xFFFF)
+                      : static_cast<std::int64_t>(
+                            static_cast<std::int32_t>(rng.next_u64())));
+  }
+  for (const int reg_bits : {0, 26}) {  // 0: default 32-bit register
+    AccumulatorConfig cfg;
+    cfg.reg_bits = reg_bits;
+    check_read_state(exp, man, cfg,
+                     "reg32 corners reg_bits=" + std::to_string(reg_bits));
+    AccumulatorConfig guarded = cfg;
+    guarded.guard_bits = 4;
+    check_read_state(exp, man, guarded,
+                     "reg32 corners g=4 reg_bits=" + std::to_string(reg_bits));
+  }
+}
+
+TEST(ReadBatchEquivalence, Reg32BackendsAgreeAtInt32ExponentRim) {
+  // Exponents at the int32 rim make the reference assemble ill-defined (its
+  // `1 - norm_exp` int cast wraps), so the property that CAN be pinned down
+  // is backend consistency: every backend must emit the same bits for the
+  // same state regardless of whether it lands in a vectorized 8-block or a
+  // scalar tail — i.e. the AVX2 fallback gate must route the rim to the
+  // scalar primitive (abs_epi32's INT32_MIN fixed point once let it slip
+  // through and wrap norm_exp).
+  const std::int32_t rim[] = {std::numeric_limits<std::int32_t>::min(),
+                              std::numeric_limits<std::int32_t>::min() + 1,
+                              std::numeric_limits<std::int32_t>::max()};
+  std::vector<std::int32_t> exp;
+  std::vector<std::int64_t> man;
+  for (const auto e : rim) {
+    for (const std::int64_t m : {1LL, -1LL, 0x7FFFFFLL, -0x800000LL}) {
+      exp.push_back(e);
+      man.push_back(m);
+    }
+  }
+  while (exp.size() % 8 != 0) {  // full blocks: every lane vector-eligible
+    exp.push_back(127);
+    man.push_back(1 << 23);
+  }
+  const AccumulatorConfig cfg;  // default 32-bit register
+  std::vector<std::vector<std::uint32_t>> per_backend;
+  for (const BatchBackend backend : available_batch_backends()) {
+    force_batch_backend(backend);
+    std::vector<std::uint32_t> got(exp.size(), 0xDEADBEEFu);
+    fpisa_read_batch(exp, man, got, cfg);
+    reset_batch_backend();
+    per_backend.push_back(std::move(got));
+  }
+  for (std::size_t b = 1; b < per_backend.size(); ++b) {
+    for (std::size_t i = 0; i < exp.size(); ++i) {
+      ASSERT_EQ(per_backend[b][i], per_backend[0][i])
+          << "backend " << b << " reg " << i << " exp=" << exp[i]
+          << " man=" << man[i];
+    }
+  }
+}
+
 TEST(ReadBatchEquivalence, IneligibleConfigsFallBackToReference) {
   // Non-truncating read rounding and non-FP32 layouts are not eligible;
   // the entry points must still produce the per-slot reference results.

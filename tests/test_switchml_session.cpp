@@ -207,6 +207,151 @@ TEST(Session, BatchedAndPerPacketSubmissionAreIdentical) {
   }
 }
 
+TEST(SessionStatsMerge, OperatorPlusEqualsSumsEveryField) {
+  SessionStats a{1, 2, 3, 4, 5};
+  const SessionStats b{10, 20, 30, 40, 50};
+  SessionStats& ref = (a += b);
+  EXPECT_EQ(&ref, &a) << "operator+= must return *this for chaining";
+  EXPECT_EQ(a.packets_sent, 11u);
+  EXPECT_EQ(a.packets_lost, 22u);
+  EXPECT_EQ(a.retransmissions, 33u);
+  EXPECT_EQ(a.duplicates_absorbed, 44u);
+  EXPECT_EQ(a.slot_reuses, 55u);
+  // Merging an empty stats object is the identity.
+  const SessionStats before = a;
+  a += SessionStats{};
+  EXPECT_EQ(a.packets_sent, before.packets_sent);
+  EXPECT_EQ(a.slot_reuses, before.slot_reuses);
+}
+
+TEST(CollectSchedule, LosslessScheduleClearsEverySlotWithTwoPacketsEach) {
+  util::Rng rng(300);
+  SessionStats stats{};
+  const CollectSchedule sched =
+      draw_collect_schedule(/*n=*/17, /*loss_rate=*/0.0,
+                            /*max_retransmits=*/4, rng, stats);
+  EXPECT_EQ(sched.failure, 0);
+  EXPECT_EQ(sched.cleared, 17u);
+  EXPECT_EQ(sched.delivered, 2u * 17u);  // one read + one reset per slot
+  EXPECT_EQ(stats.packets_sent, 2u * 17u);
+  EXPECT_EQ(stats.packets_lost, 0u);
+  EXPECT_EQ(stats.slot_reuses, 17u);
+}
+
+TEST(CollectSchedule, ReadFailureReportsCode1AndClearedPrefix) {
+  // Total loss with a tiny retransmit budget: the FIRST slot's read can
+  // never be delivered, so failure == 1 and nothing was cleared — but the
+  // doomed attempts must still be accounted as sent + lost.
+  util::Rng rng(301);
+  SessionStats stats{};
+  const CollectSchedule sched =
+      draw_collect_schedule(8, /*loss_rate=*/1.0, /*max_retransmits=*/3, rng,
+                            stats);
+  EXPECT_EQ(sched.failure, 1);
+  EXPECT_EQ(sched.cleared, 0u);
+  EXPECT_EQ(sched.delivered, 0u);
+  EXPECT_EQ(stats.packets_sent, 4u);  // initial + 3 retransmits
+  EXPECT_EQ(stats.packets_lost, 4u);
+  EXPECT_EQ(stats.slot_reuses, 0u);
+}
+
+TEST(CollectSchedule, ResetFailureReportsCode2AndCountsDeliveredRead) {
+  // A loss stream crafted so the read succeeds but every reset attempt is
+  // lost on the request leg: failure == 2, the read's switch traversal is
+  // still in `delivered`, and the slot is NOT counted cleared or reused.
+  // Rng draw order per slot: read-request, read-ack, then per reset
+  // attempt: request, [ack]. We search seeds for a stream whose first two
+  // draws pass at loss 0.5 and whose next 4 request draws all fail.
+  const double loss = 0.5;
+  const int max_retransmits = 3;
+  bool exercised = false;
+  for (std::uint64_t seed = 0; seed < 4096 && !exercised; ++seed) {
+    util::Rng probe(seed);
+    if (probe.next_double() < loss) continue;  // read request must pass
+    if (probe.next_double() < loss) continue;  // read ack must pass
+    bool all_reset_requests_lost = true;
+    for (int a = 0; a <= max_retransmits; ++a) {
+      all_reset_requests_lost =
+          all_reset_requests_lost && probe.next_double() < loss;
+    }
+    if (!all_reset_requests_lost) continue;
+
+    util::Rng rng(seed);
+    SessionStats stats{};
+    const CollectSchedule sched =
+        draw_collect_schedule(4, loss, max_retransmits, rng, stats);
+    EXPECT_EQ(sched.failure, 2);
+    EXPECT_EQ(sched.cleared, 0u);
+    EXPECT_EQ(sched.delivered, 1u);          // only the read reached the switch
+    EXPECT_EQ(stats.packets_sent, 1u + 4u);  // 1 read + 4 doomed resets
+    EXPECT_EQ(stats.packets_lost, 4u);
+    EXPECT_EQ(stats.slot_reuses, 0u);
+    exercised = true;
+  }
+  ASSERT_TRUE(exercised) << "no seed produced the reset-failure shape";
+}
+
+TEST(CollectSchedule, DeliveredCountsSwitchTraversalsNotAcks) {
+  // Property sweep: for any lossy stream that completes, `delivered` must
+  // equal cleared-slot resets (one physical reset each) plus every read
+  // attempt that reached the switch (acks lost or not), and `cleared` must
+  // equal n. Cross-check delivered against an independent replay of the
+  // rng stream.
+  for (const std::uint64_t seed : {41ull, 42ull, 43ull, 44ull}) {
+    const double loss = 0.3;
+    const int retx = 64;
+    const std::size_t n = 25;
+    util::Rng rng(seed);
+    SessionStats stats{};
+    const CollectSchedule sched =
+        draw_collect_schedule(n, loss, retx, rng, stats);
+    ASSERT_EQ(sched.failure, 0);
+    EXPECT_EQ(sched.cleared, n);
+
+    // Independent replay of the identical protocol order.
+    util::Rng replay(seed);
+    std::uint64_t delivered = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t reuses = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (bool have = false; !have;) {
+        ++sent;
+        if (replay.next_double() < loss) {
+          ++lost;
+          continue;
+        }
+        ++delivered;
+        if (replay.next_double() < loss) {
+          ++lost;
+          continue;
+        }
+        have = true;
+      }
+      // Resets retransmit until an ACK comes back; every delivered copy
+      // re-clears the slot (harmless) and counts as a traversal + reuse.
+      for (bool acked = false; !acked;) {
+        ++sent;
+        if (replay.next_double() < loss) {
+          ++lost;
+          continue;
+        }
+        ++delivered;
+        ++reuses;
+        if (replay.next_double() >= loss) {
+          acked = true;
+        } else {
+          ++lost;
+        }
+      }
+    }
+    EXPECT_EQ(sched.delivered, delivered) << "seed " << seed;
+    EXPECT_EQ(stats.packets_sent, sent) << "seed " << seed;
+    EXPECT_EQ(stats.packets_lost, lost) << "seed " << seed;
+    EXPECT_EQ(stats.slot_reuses, reuses) << "seed " << seed;
+  }
+}
+
 TEST(Session, FullVariantOnExtendedSwitch) {
   pisa::SwitchConfig ext;
   ext.ext.two_operand_shift = true;
