@@ -53,7 +53,7 @@ struct RunResult {
 RunResult run_once(int shards, int lanes, std::size_t values,
                    const std::vector<std::vector<float>>& workers,
                    double gbps, double latency_us,
-                   bool batched_collect = true) {
+                   bool batched_collect = true, int kill_shard = -1) {
   using namespace fpisa;
   using namespace fpisa::cluster;
   ClusterOptions opts;
@@ -62,7 +62,9 @@ RunResult run_once(int shards, int lanes, std::size_t values,
   opts.slots_per_shard = 64;
   opts.slots_per_job = 64;
   opts.batched_collect = batched_collect;
+  opts.failover.enabled = kill_shard >= 0;
   collective::ClusterCommunicator comm(opts);
+  if (kill_shard >= 0) comm.service().kill_shard(kill_shard);
 
   std::vector<float> out(workers.front().size());
   const auto t0 = std::chrono::steady_clock::now();
@@ -165,6 +167,22 @@ int main() {
   std::printf("\naggregate throughput scaling 1 -> 4 shards: %.2fx "
               "(acceptance target: >= 2x)\n",
               speedup_4);
+
+  // Degraded mode: the same 4-shard fabric with one shard dead — its chunk
+  // set re-routes onto the 3 survivors (ShardRouter::reroute), so capacity
+  // gracefully steps down to roughly the N-1 line instead of the job
+  // failing. This is the failover subsystem's throughput story.
+  const RunResult degraded =
+      run_once(4, kLanes, kValues, workers, kGbps, kLatencyUs,
+               /*batched_collect=*/true, /*kill_shard=*/3);
+  const double degraded_rate =
+      static_cast<double>(kValues) / degraded.modeled_s;
+  json.set("values_per_s_shards_4_degraded", degraded_rate);
+  json.set("sim_wall_ms_shards_4_degraded", degraded.wall_ms);
+  json.set("degraded_fraction_of_healthy_4", degraded_rate / rate_at_4);
+  std::printf("degraded mode (4 shards, 1 dead): %.1fM values/s modeled = "
+              "%.0f%% of the healthy 4-shard fabric (expect ~N-1/N)\n",
+              degraded_rate / 1e6, 100.0 * degraded_rate / rate_at_4);
 
   // Continuity row: the pre-batching 2-lane geometry on one shard.
   const RunResult legacy =

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <exception>
 #include <stdexcept>
+#include <thread>
 
 #include "core/packed.h"
 
@@ -26,11 +28,14 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point a,
       std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
 }
 
-/// Independent per-(job, shard) loss stream so results are deterministic
-/// regardless of pool scheduling.
-std::uint64_t task_seed(std::uint64_t base, std::uint64_t job_id, int shard) {
+/// Independent per-(job, shard, pass) loss stream so results are
+/// deterministic regardless of pool scheduling. Pass 0 reproduces the
+/// pre-failover stream exactly; retry passes draw fresh schedules.
+std::uint64_t task_seed(std::uint64_t base, std::uint64_t job_id, int shard,
+                        std::uint64_t pass) {
   std::uint64_t state = base ^ (job_id * 0x9e3779b97f4a7c15ULL) ^
-                        (static_cast<std::uint64_t>(shard) << 32);
+                        (static_cast<std::uint64_t>(shard) << 32) ^
+                        (pass * 0xc2b2ae3d27d4eb4fULL);
   return util::splitmix64(state);
 }
 
@@ -42,9 +47,16 @@ AggregationService::Shard::Shard(const ClusterOptions& opts)
 
 AggregationService::AggregationService(ClusterOptions opts)
     : opts_(opts),
-      router_(opts.num_shards, opts.routing, opts.routing_salt) {
+      router_(opts.num_shards, opts.routing, opts.routing_salt),
+      health_(opts.num_shards, opts.failover.max_consecutive_failures),
+      fault_fired_(opts.failover.faults.size(), false) {
   // num_shards <= 0 already rejected by the ShardRouter initializer.
   if (opts_.slots_per_job == 0) opts_.slots_per_job = 1;
+  for (const ShardFault& f : opts_.failover.faults) {
+    if (f.shard < 0 || f.shard >= opts_.num_shards) {
+      throw std::invalid_argument("cluster: fault targets unknown shard");
+    }
+  }
   shards_.reserve(static_cast<std::size_t>(opts_.num_shards));
   for (int s = 0; s < opts_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(opts_));
@@ -122,6 +134,32 @@ std::future<JobReport> AggregationService::enqueue_job(
   return fut;
 }
 
+bool AggregationService::fire_kill_fault(int shard, FaultPhase phase,
+                                         std::size_t wave) {
+  if (opts_.failover.faults.empty()) return false;
+  std::lock_guard<std::mutex> lk(fault_mu_);
+  for (std::size_t i = 0; i < opts_.failover.faults.size(); ++i) {
+    const ShardFault& f = opts_.failover.faults[i];
+    if (fault_fired_[i] || f.kind != FaultKind::kKill) continue;
+    if (f.shard != shard || f.phase != phase) continue;
+    if (phase != FaultPhase::kBeforeJob && f.wave != wave) continue;
+    fault_fired_[i] = true;
+    return true;
+  }
+  return false;
+}
+
+double AggregationService::slowdown_ms(int shard) const {
+  // opts_ is immutable after construction: no lock needed.
+  double ms = 0.0;
+  for (const ShardFault& f : opts_.failover.faults) {
+    if (f.kind == FaultKind::kSlowdown && f.shard == shard) {
+      ms += f.slowdown_ms;
+    }
+  }
+  return ms;
+}
+
 bool AggregationService::queue_add(std::uint16_t slot, std::uint8_t worker,
                                    std::span<const std::uint32_t> values,
                                    const JobParams& params, util::Rng& rng,
@@ -167,7 +205,7 @@ void AggregationService::flush_wave(Shard& shard, WaveScratch& scratch) {
 }
 
 void AggregationService::collect_wave(
-    Shard& shard, const SlotRange& range,
+    int shard_idx, Shard& shard, const SlotRange& range,
     const std::vector<std::size_t>& chunks, std::size_t base,
     std::size_t wave_end, std::span<float> result, const JobParams& params,
     util::Rng& rng, switchml::SessionStats& stats, WaveScratch& scratch) {
@@ -194,12 +232,14 @@ void AggregationService::collect_wave(
     shard.sw.sim().account_packets(sched.delivered - sched.cleared);
   }
   if (sched.failure == 1) {
-    throw std::runtime_error("cluster: read packet exceeded max_retransmits");
+    throw ShardDeadError(shard_idx,
+                         "cluster: read packet exceeded max_retransmits");
   }
   if (sched.failure == 2) {
     // A dirty slot would poison the range's next tenant via the dedup
     // bitmap — fail loudly instead of finishing with a hidden leak.
-    throw std::runtime_error("cluster: reset packet exceeded max_retransmits");
+    throw ShardDeadError(shard_idx,
+                         "cluster: reset packet exceeded max_retransmits");
   }
 
   for (std::size_t k = 0; k < wave_n; ++k) {
@@ -221,28 +261,57 @@ void AggregationService::scrub_range(Shard& shard, const SlotRange& range) {
 }
 
 void AggregationService::run_shard_chunks(
-    Shard& shard, const SlotRange& range,
+    int shard_idx, Shard& shard, const SlotRange& range,
     const std::vector<std::size_t>& chunks,
     std::span<const std::span<const float>> workers, std::span<float> result,
     const JobParams& params, util::Rng& rng, switchml::SessionStats& stats) {
+  if (fire_kill_fault(shard_idx, FaultPhase::kBeforeJob, 0)) {
+    throw ShardDeadError(shard_idx,
+                         "cluster: shard killed before job (injected)");
+  }
   const auto lanes = static_cast<std::size_t>(opts_.lanes);
   const std::size_t n = result.size();
   const int nw = static_cast<int>(workers.size());
   const std::size_t wave = range.size();
+  if (wave == 0 && !chunks.empty()) {
+    // Belt-and-braces: a task with chunks but no slot range would loop
+    // forever below. run_job's liveness snapshot makes this unreachable;
+    // fail loudly if that invariant ever breaks — as a logic_error, NOT a
+    // ShardDeadError, so the failover machinery cannot misread an internal
+    // bug as an organic shard death and silently "recover" from it.
+    throw std::logic_error("cluster: shard task has no slot range");
+  }
+  const double straggle_ms = slowdown_ms(shard_idx);
   WaveScratch scratch;
   scratch.lane_buf.assign(lanes, 0);
   scratch.wave_values.assign(wave * lanes, 0);
   using Clock = std::chrono::steady_clock;
 
-  for (std::size_t base = 0; base < chunks.size(); base += wave) {
+  std::size_t wave_index = 0;
+  for (std::size_t base = 0; base < chunks.size(); base += wave, ++wave_index) {
     const std::size_t wave_end = std::min(base + wave, chunks.size());
+    if (straggle_ms > 0.0) {
+      // Injected straggler: the shard still answers, just late.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(straggle_ms));
+    }
     const auto t_submit = Clock::now();
     // Submit phase: encode every (chunk, worker) packet of the wave into
     // the reused flat buffers, drawing the loss schedule as we go, then
     // apply the whole wave with ONE shard-mutex hold (the per-packet
     // protocol locked per traversal — pure contention with zero benefit,
     // since concurrent jobs own disjoint slot ranges).
+    const std::size_t mid = base + (wave_end - base) / 2;
     for (std::size_t k = base; k < wave_end; ++k) {
+      if (k == mid &&
+          fire_kill_fault(shard_idx, FaultPhase::kMidAdd, wave_index)) {
+        // Deliver what the switch already received before dying, so the
+        // corpse's registers hold exactly the partial state a real
+        // mid-wave death would leave.
+        flush_wave(shard, scratch);
+        throw ShardDeadError(shard_idx,
+                             "cluster: shard killed mid-add (injected)");
+      }
       const std::size_t c = chunks[k];
       const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
       for (int w = 0; w < nw; ++w) {
@@ -258,7 +327,8 @@ void AggregationService::run_shard_chunks(
           // Deliver what the switch already received, so failure leaves
           // the same register state the per-packet protocol would.
           flush_wave(shard, scratch);
-          throw std::runtime_error(
+          throw ShardDeadError(
+              shard_idx,
               "cluster: aggregation packet exceeded max_retransmits");
         }
       }
@@ -268,6 +338,22 @@ void AggregationService::run_shard_chunks(
     add_phase_ns_.fetch_add(elapsed_ns(t_submit, t_collect),
                             std::memory_order_relaxed);
 
+    if (fire_kill_fault(shard_idx, FaultPhase::kMidCollect, wave_index)) {
+      // Die halfway through the collect: the first half of the wave's
+      // slots got their read-and-reset through, the rest keep their sums
+      // AND their dedup-bitmap bits — exactly the state scrub_range must
+      // clean before the range can serve another tenant.
+      const std::size_t half = (wave_end - base) / 2;
+      {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        shard.sw.read_and_reset_batch(
+            static_cast<std::uint16_t>(range.lo), half,
+            {scratch.wave_values.data(), half * lanes});
+      }
+      throw ShardDeadError(shard_idx,
+                           "cluster: shard killed mid-collect (injected)");
+    }
+
     // Collect phase: idempotent read then reset per chunk. Batched: one
     // compiled-egress read_and_reset_batch over the wave's slots (the
     // default). Per-slot reference: read/reset round trips through the
@@ -276,8 +362,8 @@ void AggregationService::run_shard_chunks(
     // only touch this job's private slots, so coarser locking is
     // externally invisible).
     if (opts_.batched_collect) {
-      collect_wave(shard, range, chunks, base, wave_end, result, params, rng,
-                   stats, scratch);
+      collect_wave(shard_idx, shard, range, chunks, base, wave_end, result,
+                   params, rng, stats, scratch);
       collect_phase_ns_.fetch_add(elapsed_ns(t_collect, Clock::now()),
                                   std::memory_order_relaxed);
       continue;
@@ -303,8 +389,8 @@ void AggregationService::run_shard_chunks(
           have = true;
         }
         if (!have) {
-          throw std::runtime_error(
-              "cluster: read packet exceeded max_retransmits");
+          throw ShardDeadError(
+              shard_idx, "cluster: read packet exceeded max_retransmits");
         }
         for (std::size_t l = 0; l < lanes; ++l) {
           const std::size_t i = c * lanes + l;
@@ -326,8 +412,8 @@ void AggregationService::run_shard_chunks(
         if (!cleared) {
           // A dirty slot would poison the range's next tenant via the dedup
           // bitmap — fail loudly instead of finishing with a hidden leak.
-          throw std::runtime_error(
-              "cluster: reset packet exceeded max_retransmits");
+          throw ShardDeadError(
+              shard_idx, "cluster: reset packet exceeded max_retransmits");
         }
       }
     }
@@ -353,6 +439,56 @@ JobReport AggregationService::reduce(const JobView& job,
   JobReport report;
   run_job(job, out, report);
   return report;
+}
+
+std::vector<std::exception_ptr> AggregationService::run_pass(
+    const std::vector<std::vector<std::size_t>>& parts,
+    const std::vector<SlotRange>& ranges,
+    std::span<const std::span<const float>> workers, std::span<float> out,
+    const JobParams& params, std::uint64_t job_id, std::uint64_t pass,
+    JobReport& report) {
+  // Fan one task per active shard out to the pool and wait for all of them
+  // (even on failure, so no task outlives this frame's state).
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+  } join;
+  std::vector<std::exception_ptr> errors(shards_.size());
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (parts[s].empty()) continue;
+      ++join.pending;
+      tasks_.push_back([this, s, &parts, &ranges, workers, out, &report,
+                        &join, &errors, params, job_id, pass] {
+        util::Rng rng(
+            task_seed(opts_.loss_seed, job_id, static_cast<int>(s), pass));
+        switchml::SessionStats stats{};
+        try {
+          run_shard_chunks(static_cast<int>(s), *shards_[s], ranges[s],
+                           parts[s], workers, out, params, rng, stats);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+        report.per_shard[s] += stats;  // += : retry passes merge in
+        {
+          // Notify under the lock: `join` lives on the waiting frame's
+          // stack, and a notify after the unlock could touch the condvar
+          // after the waiter saw pending==0 and destroyed it.
+          std::lock_guard<std::mutex> jl(join.mu);
+          --join.pending;
+          join.cv.notify_all();
+        }
+      });
+    }
+  }
+  pool_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(join.mu);
+    join.cv.wait(lk, [&join] { return join.pending == 0; });
+  }
+  return errors;
 }
 
 void AggregationService::run_job(const JobView& job, std::span<float> out,
@@ -394,73 +530,164 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     report.job_id = next_job_id_++;
   }
   if (n == 0) return;
+  const auto job_t0 = std::chrono::steady_clock::now();
 
+  const bool fo = opts_.failover.enabled;
   const auto lanes = static_cast<std::size_t>(opts_.lanes);
   const std::size_t chunks = (n + lanes - 1) / lanes;
-  const auto parts = router_.partition(chunks);
+  auto parts = router_.partition(chunks);
 
-  // Acquire one slot range per active shard, in ascending shard order (the
-  // same order for every job: no circular wait between tenants).
-  std::vector<SlotRange> ranges(shards_.size());
-  {
-    std::unique_lock<std::mutex> lk(alloc_mu_);
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      if (parts[s].empty()) continue;
-      for (;;) {
-        if (auto r = shards_[s]->slots.allocate(opts_.slots_per_job)) {
-          ranges[s] = *r;
-          break;
-        }
-        alloc_cv_.wait(lk);
+  // Job-level failover accounting: lives on the job total (and tenant
+  // stats), not on any one shard — a re-route is a fabric event.
+  switchml::SessionStats failover_delta{};
+
+  // One liveness snapshot per job: the fold below routes around shards
+  // dead at snapshot time, and range acquisition follows the folded parts
+  // (non-empty chunks ⟹ a range), so a concurrent death can never hand a
+  // task chunks without a slot range. A shard that dies after the
+  // snapshot just fails this job's pass and the retry machinery recovers.
+  std::vector<char> alive_mask(shards_.size(), 1);
+  if (fo) {
+    const std::vector<int> alive = health_.alive_shards();
+    if (alive.empty()) {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++jobs_failed_;
+      // The tenant's SLO book must agree with the service-level counter.
+      tenant_account_locked(job.tenant)
+          .slo.record(0.0, /*completed=*/false, /*failed_over=*/false);
+      throw std::runtime_error("cluster: no alive shards");
+    }
+    std::fill(alive_mask.begin(), alive_mask.end(), 0);
+    for (const int s : alive) alive_mask[static_cast<std::size_t>(s)] = 1;
+    // Route around shards already known dead before sending a packet: the
+    // degraded (N-1) steady state after a death.
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      if (parts[s].empty() || alive_mask[s]) continue;
+      const auto re =
+          router_.reroute(parts[s], static_cast<int>(s), alive);
+      failover_delta.chunks_rerouted += parts[s].size();
+      parts[s].clear();
+      for (std::size_t t = 0; t < re.size(); ++t) {
+        parts[t].insert(parts[t].end(), re[t].begin(), re[t].end());
       }
     }
+    for (auto& p : parts) std::sort(p.begin(), p.end());
   }
 
-  // Fan one task per active shard out to the pool and wait for all of them
-  // (even on failure, so no task outlives this frame's state).
-  struct Join {
-    std::mutex mu;
-    std::condition_variable cv;
-    int pending = 0;
-    std::exception_ptr error;
-  } join;
+  // Acquire one slot range per ACTIVE shard, in ascending shard order (the
+  // same order for every job: no circular wait between tenants). A retry
+  // pass releases every held range first and re-acquires only its targets
+  // — holding nothing while waiting keeps that deadlock-free too, and the
+  // healthy path never pays for ranges it doesn't route to.
+  std::vector<SlotRange> ranges(shards_.size());
+  const auto acquire_ranges =
+      [this, &ranges](const std::vector<std::vector<std::size_t>>& want) {
+        std::unique_lock<std::mutex> lk(alloc_mu_);
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+          if (want[s].empty()) continue;
+          for (;;) {
+            if (auto r = shards_[s]->slots.allocate(opts_.slots_per_job)) {
+              ranges[s] = *r;
+              break;
+            }
+            alloc_cv_.wait(lk);
+          }
+        }
+      };
+  acquire_ranges(parts);
+
   const JobParams params{
       job.loss_rate >= 0.0 ? job.loss_rate : opts_.loss_rate,
       job.max_retransmits >= 0 ? job.max_retransmits : opts_.max_retransmits};
   const std::span<const std::span<const float>> workers = job.workers;
-  {
-    std::lock_guard<std::mutex> lk(pool_mu_);
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      if (parts[s].empty()) continue;
-      ++join.pending;
-      tasks_.push_back([this, s, &parts, &ranges, workers, out, &report,
-                        &join, params] {
-        util::Rng rng(task_seed(opts_.loss_seed, report.job_id,
-                                static_cast<int>(s)));
-        switchml::SessionStats stats{};
-        try {
-          run_shard_chunks(*shards_[s], ranges[s], parts[s], workers, out,
-                           params, rng, stats);
-        } catch (...) {
-          std::lock_guard<std::mutex> jl(join.mu);
-          if (!join.error) join.error = std::current_exception();
+
+  std::exception_ptr error;
+  bool failed = false;
+  int reroutes = 0;
+  auto errors =
+      run_pass(parts, ranges, workers, out, params, report.job_id, 0, report);
+  for (;;) {
+    // Classify this pass's outcome: shard deaths are failover candidates,
+    // anything else fails the job as before.
+    std::exception_ptr fatal;
+    std::vector<int> dead_now;
+    bool any_error = false;
+    for (std::size_t s = 0; s < errors.size(); ++s) {
+      if (!errors[s]) {
+        if (!parts[s].empty()) health_.record_success(static_cast<int>(s));
+        continue;
+      }
+      any_error = true;
+      try {
+        std::rethrow_exception(errors[s]);
+      } catch (const ShardDeadError&) {
+        const bool dead = health_.record_failure(static_cast<int>(s));
+        if (fo && dead) {
+          dead_now.push_back(static_cast<int>(s));
+        } else if (!fatal) {
+          // Below the death threshold (or failover off): surface it.
+          fatal = errors[s];
         }
-        report.per_shard[s] = stats;
-        {
-          std::lock_guard<std::mutex> jl(join.mu);
-          --join.pending;
-        }
-        join.cv.notify_all();
-      });
+      } catch (...) {
+        if (!fatal) fatal = errors[s];
+      }
     }
-  }
-  pool_cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lk(join.mu);
-    join.cv.wait(lk, [&join] { return join.pending == 0; });
+    if (!any_error) break;  // pass completed cleanly
+    if (!fo || fatal || dead_now.empty() ||
+        reroutes >= opts_.failover.max_reroutes_per_job) {
+      for (const std::exception_ptr& e : errors) {
+        if (e && !error) error = e;
+      }
+      if (fatal) error = fatal;
+      failed = true;
+      break;
+    }
+    const std::vector<int> alive = health_.alive_shards();
+    if (alive.empty()) {
+      error = errors[static_cast<std::size_t>(dead_now.front())];
+      failed = true;
+      break;
+    }
+    // Failover: scrub each corpse's range (in a real rack the replacement
+    // switch comes up zeroed; here the scrub models that re-image — the
+    // survivors' slots were already reset by their own collects), re-home
+    // the dead chunk sets onto the survivors, and retry those chunks
+    // cleanly. Chunk sums are order-free across shards — every chunk is
+    // one private slot fed in worker order — so the retried values are
+    // bit-identical to a no-failure run.
+    std::vector<std::vector<std::size_t>> retry_parts(shards_.size());
+    for (const int d : dead_now) {
+      const auto ds = static_cast<std::size_t>(d);
+      scrub_range(*shards_[ds], ranges[ds]);
+      const auto re = router_.reroute(parts[ds], d, alive);
+      failover_delta.chunks_rerouted += parts[ds].size();
+      ++failover_delta.shard_failures;
+      for (std::size_t t = 0; t < re.size(); ++t) {
+        retry_parts[t].insert(retry_parts[t].end(), re[t].begin(),
+                              re[t].end());
+      }
+    }
+    for (auto& p : retry_parts) std::sort(p.begin(), p.end());
+    // Release EVERY held range before re-acquiring the retry targets:
+    // waiting on the allocator while holding nothing cannot deadlock with
+    // other tenants, and the freed slots let their jobs make progress.
+    {
+      std::lock_guard<std::mutex> lk(alloc_mu_);
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (!ranges[s].empty()) shards_[s]->slots.release(ranges[s]);
+        ranges[s] = SlotRange{};
+      }
+    }
+    alloc_cv_.notify_all();
+    acquire_ranges(retry_parts);
+    ++failover_delta.failover_retries;
+    ++reroutes;
+    parts = std::move(retry_parts);
+    errors = run_pass(parts, ranges, workers, out, params, report.job_id,
+                      static_cast<std::uint64_t>(reroutes), report);
   }
 
-  if (join.error) {
+  if (failed) {
     // A failed job can leave partial sums and dedup-bitmap bits in its
     // slots; scrub them (lossless control-plane resets) before the ranges
     // go back into the pool for the next tenant.
@@ -476,16 +703,29 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
   }
   alloc_cv_.notify_all();
 
+  const double wall_s =
+      static_cast<double>(
+          elapsed_ns(job_t0, std::chrono::steady_clock::now())) *
+      1e-9;
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       shards_[s]->stats += report.per_shard[s];
       report.stats += report.per_shard[s];
     }
-    tenant_stats_[report.tenant] += report.stats;
-    if (!join.error) ++jobs_completed_;
+    report.stats += failover_delta;
+    fabric_stats_ += failover_delta;
+    TenantAccount& account = tenant_account_locked(job.tenant);
+    account.stats += report.stats;
+    account.slo.record(wall_s, !failed,
+                       failover_delta.failover_retries > 0);
+    if (failed) {
+      ++jobs_failed_;
+    } else {
+      ++jobs_completed_;
+    }
   }
-  if (join.error) std::rethrow_exception(join.error);
+  if (failed) std::rethrow_exception(error);
 }
 
 std::future<JobReport> AggregationService::submit(JobRequest job) {
@@ -511,21 +751,47 @@ std::future<JobReport> AggregationService::submit(const JobView& job,
       });
 }
 
+void AggregationService::kill_shard(int shard) {
+  if (!opts_.failover.enabled) {
+    throw std::logic_error(
+        "cluster: kill_shard requires ClusterOptions::failover.enabled");
+  }
+  if (shard < 0 || shard >= opts_.num_shards) {
+    throw std::invalid_argument("cluster: kill_shard: unknown shard");
+  }
+  health_.mark_dead(shard);
+}
+
+AggregationService::TenantAccount& AggregationService::tenant_account_locked(
+    std::string_view tenant) {
+  const auto it = tenant_stats_.find(tenant);
+  if (it != tenant_stats_.end()) return it->second;
+  return tenant_stats_.emplace(std::string(tenant), TenantAccount{})
+      .first->second;
+}
+
 switchml::SessionStats AggregationService::shard_stats(int shard) const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   return shards_[static_cast<std::size_t>(shard)]->stats;
 }
 
 switchml::SessionStats AggregationService::tenant_stats(
-    const std::string& tenant) const {
+    std::string_view tenant) const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   const auto it = tenant_stats_.find(tenant);
-  return it == tenant_stats_.end() ? switchml::SessionStats{} : it->second;
+  return it == tenant_stats_.end() ? switchml::SessionStats{}
+                                   : it->second.stats;
+}
+
+TenantSlo AggregationService::tenant_slo(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  const auto it = tenant_stats_.find(tenant);
+  return it == tenant_stats_.end() ? TenantSlo{} : it->second.slo.snapshot();
 }
 
 switchml::SessionStats AggregationService::total_stats() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
-  switchml::SessionStats total{};
+  switchml::SessionStats total = fabric_stats_;
   for (const auto& s : shards_) total += s->stats;
   return total;
 }
@@ -534,13 +800,18 @@ std::vector<std::string> AggregationService::tenants() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   std::vector<std::string> out;
   out.reserve(tenant_stats_.size());
-  for (const auto& [name, stats] : tenant_stats_) out.push_back(name);
+  for (const auto& [name, account] : tenant_stats_) out.push_back(name);
   return out;
 }
 
 std::uint64_t AggregationService::jobs_completed() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   return jobs_completed_;
+}
+
+std::uint64_t AggregationService::jobs_failed() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return jobs_failed_;
 }
 
 AggregationService::PhaseBreakdown AggregationService::phase_breakdown()
@@ -561,11 +832,13 @@ double modeled_shard_parallel_seconds(
   // Shards drain independently (no cross-shard events), so the job is done
   // when the most-loaded shard's ingress pipe finishes serializing:
   // back-to-back packets at line rate, plus one propagation delay.
+  // Degenerate inputs (no shards, no packets, a non-positive line rate or
+  // packet size) model no traffic: 0 seconds, never NaN/inf.
   std::uint64_t max_packets = 0;
   for (const switchml::SessionStats& s : per_shard) {
     max_packets = std::max(max_packets, s.packets_sent);
   }
-  if (max_packets == 0) return 0.0;
+  if (max_packets == 0 || bytes_per_packet == 0 || gbps <= 0.0) return 0.0;
   const double tx =
       static_cast<double>(bytes_per_packet) * 8.0 / (gbps * 1e9);
   return static_cast<double>(max_packets) * tx + latency_us * 1e-6;

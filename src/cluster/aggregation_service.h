@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <map>
@@ -18,10 +19,13 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "cluster/shard_health.h"
 #include "cluster/shard_router.h"
+#include "cluster/slo.h"
 #include "pisa/fpisa_program.h"
 #include "switchml/session.h"
 
@@ -48,6 +52,14 @@ struct ClusterOptions {
   /// count no matter how many jobs are in flight: excess submissions queue.
   /// 0: max(2, num_shards).
   int job_runner_threads = 0;
+  /// Shard-failure failover: when enabled, a shard that exhausts its
+  /// retransmit budget is declared dead (after `max_consecutive_failures`),
+  /// its slot range is scrubbed and released, its chunk set is re-routed
+  /// onto the survivors (ShardRouter::reroute, salt-stable) and retried
+  /// once cleanly — the job completes with a sum bit-identical to the
+  /// no-failure run. Jobs arriving after a death route around the corpse at
+  /// partition time. Also carries kill/slowdown fault injection for tests.
+  FailoverOptions failover;
   pisa::SwitchConfig switch_config;  ///< applied to every shard
 };
 
@@ -109,12 +121,28 @@ class AggregationService {
   const ShardRouter& router() const { return router_; }
   int num_shards() const { return opts_.num_shards; }
 
-  /// Cumulative protocol stats across all completed jobs.
+  /// Cumulative protocol stats across all jobs (completed AND failed —
+  /// failed jobs' packets crossed the wire too, so packet accounting always
+  /// matches the fabric; job outcomes are counted separately below).
   switchml::SessionStats shard_stats(int shard) const;
-  switchml::SessionStats tenant_stats(const std::string& tenant) const;
+  /// Heterogeneous lookup: string_view / literals hit the map without a
+  /// temporary std::string.
+  switchml::SessionStats tenant_stats(std::string_view tenant) const;
   switchml::SessionStats total_stats() const;
   std::vector<std::string> tenants() const;
   std::uint64_t jobs_completed() const;
+  std::uint64_t jobs_failed() const;
+
+  /// Per-tenant SLO snapshot: job outcome counts (completed / failed /
+  /// completed-only-via-failover) and p50/p99 job wall time from a small
+  /// reservoir.
+  TenantSlo tenant_slo(std::string_view tenant) const;
+
+  /// Shard liveness (consecutive-failure tracking, deaths).
+  const ShardHealth& health() const { return health_; }
+  /// Administrative kill: marks the shard dead immediately; subsequent
+  /// jobs route around it (degraded N-1 mode). Requires failover.enabled.
+  void kill_shard(int shard);
 
   /// Cumulative wall time the shard tasks spent in each wave phase across
   /// all completed work (submit/add vs collect) — the phase split that
@@ -168,15 +196,30 @@ class AggregationService {
   void worker_loop();
   void job_runner_loop();
   /// Runs one job end to end (validation, range acquisition, shard fan-out,
-  /// accounting), writing the sum into `out`. Both reduce() overloads and
-  /// every submit path land here.
+  /// failover recovery, accounting), writing the sum into `out`. Both
+  /// reduce() overloads and every submit path land here.
   void run_job(const JobView& job, std::span<float> out, JobReport& report);
   std::future<JobReport> enqueue_job(std::function<JobReport()> fn);
-  void run_shard_chunks(Shard& shard, const SlotRange& range,
+  /// One fan-out/join pass: a task per shard with chunks, stats merged into
+  /// `report.per_shard`. Returns one exception slot per shard (null =
+  /// succeeded or inactive). `pass` salts the per-task loss streams so a
+  /// retry pass draws fresh, deterministic schedules.
+  std::vector<std::exception_ptr> run_pass(
+      const std::vector<std::vector<std::size_t>>& parts,
+      const std::vector<SlotRange>& ranges,
+      std::span<const std::span<const float>> workers, std::span<float> out,
+      const JobParams& params, std::uint64_t job_id, std::uint64_t pass,
+      JobReport& report);
+  void run_shard_chunks(int shard_idx, Shard& shard, const SlotRange& range,
                         const std::vector<std::size_t>& chunks,
                         std::span<const std::span<const float>> workers,
                         std::span<float> result, const JobParams& params,
                         util::Rng& rng, switchml::SessionStats& stats);
+  /// Claims a one-shot kill fault for (shard, phase, wave); true when the
+  /// caller should die now (throw ShardDeadError).
+  bool fire_kill_fault(int shard, FaultPhase phase, std::size_t wave);
+  /// Persistent straggler injection: extra wall time per wave for `shard`.
+  double slowdown_ms(int shard) const;
   /// Draws the per-packet loss schedule (identical order to the
   /// per-packet protocol) and queues every delivered copy into `scratch`;
   /// returns false when the packet exhausts its retransmit budget.
@@ -190,7 +233,7 @@ class AggregationService {
   /// per-packet order, then drains the wave's slots through one compiled
   /// read_and_reset_batch call under a single shard-mutex hold. Throws
   /// exactly where (and with the register state) the per-slot loop would.
-  void collect_wave(Shard& shard, const SlotRange& range,
+  void collect_wave(int shard_idx, Shard& shard, const SlotRange& range,
                     const std::vector<std::size_t>& chunks, std::size_t base,
                     std::size_t wave_end, std::span<float> result,
                     const JobParams& params, util::Rng& rng,
@@ -233,10 +276,30 @@ class AggregationService {
   std::atomic<std::uint64_t> add_phase_ns_{0};
   std::atomic<std::uint64_t> collect_phase_ns_{0};
 
-  // Cumulative accounting.
+  // Shard liveness + one-shot fault claiming.
+  ShardHealth health_;
+  std::mutex fault_mu_;
+  std::vector<bool> fault_fired_;  ///< parallel to opts_.failover.faults
+
+  // Cumulative accounting. The tenant map uses std::less<> so the
+  // zero-copy JobView path (string_view tenants) looks up without
+  // materializing a temporary std::string.
+  struct TenantAccount {
+    switchml::SessionStats stats;
+    SloAccumulator slo;
+  };
+  /// Find-or-create a tenant's books; heterogeneous lookup (a string key
+  /// materializes only for a brand-new tenant). Caller holds stats_mu_.
+  TenantAccount& tenant_account_locked(std::string_view tenant);
   mutable std::mutex stats_mu_;
-  std::map<std::string, switchml::SessionStats> tenant_stats_;
+  std::map<std::string, TenantAccount, std::less<>> tenant_stats_;
+  /// Job-level failover events (shard deaths, re-routed chunks, retry
+  /// passes). Fabric events, not any one shard's traffic — kept here so
+  /// total_stats() and the per-tenant sums agree on the failover counters
+  /// while Shard::stats stays pure per-shard protocol traffic.
+  switchml::SessionStats fabric_stats_;
   std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
   std::uint64_t next_job_id_ = 0;
 };
 
@@ -245,7 +308,9 @@ class AggregationService {
 /// dedicated net::Link at `gbps`, shards drain concurrently (net::EventSim
 /// ordering), and the job completes when the slowest shard drains. This is
 /// the paper's emulation argument at rack scale: the switches run at line
-/// rate, so aggregate capacity grows with the shard count.
+/// rate, so aggregate capacity grows with the shard count. Degenerate
+/// inputs (empty `per_shard`, all-zero packet counts, non-positive rate or
+/// packet size) model no traffic and return 0 rather than NaN/inf.
 double modeled_shard_parallel_seconds(
     const std::vector<switchml::SessionStats>& per_shard,
     std::size_t bytes_per_packet, double gbps, double latency_us);

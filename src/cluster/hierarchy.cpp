@@ -39,6 +39,39 @@ HierarchicalAggregator::HierarchicalAggregator(HierarchyOptions opts)
   }
   spine_ = std::make_unique<pisa::FpisaSwitch>(
       spine_opts.switch_config, tree_program_options(spine_opts));
+  leaf_alive_.assign(static_cast<std::size_t>(opts_.leaves), true);
+}
+
+bool HierarchicalAggregator::leaf_alive(int i) const {
+  if (i < 0 || i >= opts_.leaves) {
+    throw std::invalid_argument("hierarchy: leaf_alive: unknown leaf");
+  }
+  return leaf_alive_[static_cast<std::size_t>(i)];
+}
+
+int HierarchicalAggregator::alive_leaves() const {
+  int n = 0;
+  for (const bool a : leaf_alive_) n += a ? 1 : 0;
+  return n;
+}
+
+void HierarchicalAggregator::kill_leaf(int i) {
+  if (i < 0 || i >= opts_.leaves) {
+    throw std::invalid_argument("hierarchy: kill_leaf: unknown leaf");
+  }
+  if (!leaf_alive_[static_cast<std::size_t>(i)]) return;
+  // Dead leaves' workers send straight to the spine with bitmap ids above
+  // the leaf-partial ids [0, leaves); the spine's bitmap is 32 bits wide.
+  const int dead_workers =
+      (opts_.leaves - alive_leaves() + 1) * opts_.workers_per_leaf;
+  if (opts_.leaves + dead_workers > 32) {
+    throw std::invalid_argument(
+        "hierarchy: kill_leaf: spine bitmap cannot fit the leaf's workers");
+  }
+  if (alive_leaves() == 1) {
+    throw std::invalid_argument("hierarchy: cannot kill the last leaf");
+  }
+  leaf_alive_[static_cast<std::size_t>(i)] = false;
 }
 
 std::size_t HierarchicalAggregator::packet_bytes() const {
@@ -101,13 +134,107 @@ void HierarchicalAggregator::reduce_into(
   HierarchyTiming timing{};
   std::vector<std::uint32_t> vals(lanes);
 
+  // Dead-leaf collapse: a killed ToR's workers bypass it and feed the spine
+  // directly. Their spine bitmap ids sit above the leaf-partial ids
+  // [0, leaves): dead leaf j's worker k sends as `dead_base[j] + k`.
+  // Capacity was checked at kill_leaf time.
+  std::vector<int> dead_base(nl, -1);
+  int next_direct_id = opts_.leaves;
+  int spine_arrivals_per_chunk = 0;
+  for (int j = 0; j < opts_.leaves; ++j) {
+    if (leaf_alive_[static_cast<std::size_t>(j)]) {
+      ++spine_arrivals_per_chunk;  // one partial per live ToR
+    } else {
+      dead_base[static_cast<std::size_t>(j)] = next_direct_id;
+      next_direct_id += wpl;
+      spine_arrivals_per_chunk += wpl;  // every worker sends directly
+    }
+  }
+
+  // One spine arrival has cleared the shared pipeline: completes the chunk
+  // once every expected flow (live partials + direct senders) is in.
+  const auto spine_arrival = [this, &sim, &spine_down, &spine_seen, &timing,
+                              &spine_pipe,
+                              spine_arrivals_per_chunk](std::size_t c) {
+    const double processed = spine_pipe.send(sim.now(), packet_bytes());
+    sim.at(processed, [this, &sim, &spine_down, &spine_seen, &timing, c,
+                       spine_arrivals_per_chunk] {
+      if (++spine_seen[c] < spine_arrivals_per_chunk) return;
+      // Chunk complete at the spine: multicast the result back down
+      // (spine->ToR serialization + the ToR->host hop latency).
+      for (std::size_t d = 0; d < spine_down.size(); ++d) {
+        const double delivered =
+            spine_down[d].send(sim.now(), packet_bytes()) +
+            opts_.link_latency_us * 1e-6;
+        ++timing.packets;
+        timing.done_s = std::max(timing.done_s, delivered);
+      }
+    });
+  };
+
   for (std::size_t base = 0; base < chunks; base += opts_.slots) {
     const std::size_t wave_end = std::min(base + opts_.slots, chunks);
-    // Leaf phase: every host streams its packet to its ToR.
+    // Leaf phase: every host streams its packet to its ToR (or, when its
+    // ToR is dead, straight into the spine fan-in).
     for (std::size_t c = base; c < wave_end; ++c) {
       const auto slot = static_cast<std::uint16_t>(c - base);
       for (int j = 0; j < opts_.leaves; ++j) {
+        const bool alive = leaf_alive_[static_cast<std::size_t>(j)];
         double leaf_ready = 0.0;
+        for (int k = 0; k < wpl; ++k) {
+          const int w = j * wpl + k;
+          if (alive) {
+            for (std::size_t l = 0; l < lanes; ++l) {
+              const std::size_t i = c * lanes + l;
+              vals[l] = i < n ? core::fp32_bits(
+                                    workers[static_cast<std::size_t>(w)][i])
+                              : 0;
+            }
+            (void)leaves_[static_cast<std::size_t>(j)]->add(
+                slot, static_cast<std::uint8_t>(k), vals);
+            const double at_tor = worker_up[static_cast<std::size_t>(w)].send(
+                0.0, packet_bytes());
+            leaf_ready = std::max(
+                leaf_ready, leaf_pipe[static_cast<std::size_t>(j)].send(
+                                at_tor, packet_bytes()));
+          } else {
+            // Collapse: the worker's uplink terminates at the spine; its
+            // payload is packed in the functional spine phase below.
+            const double at_spine =
+                worker_up[static_cast<std::size_t>(w)].send(0.0,
+                                                            packet_bytes());
+            sim.at(at_spine, [&spine_arrival, c] { spine_arrival(c); });
+          }
+          ++timing.packets;
+        }
+        if (!alive) continue;
+        // ToR forwards its partial to the spine once the last contributing
+        // host packet has arrived.
+        sim.at(leaf_ready,
+               [this, &sim, &tor_up, &timing, &spine_arrival, c, j] {
+          const double at_spine =
+              tor_up[static_cast<std::size_t>(j)].send(sim.now(),
+                                                       packet_bytes());
+          ++timing.packets;
+          timing.leaf_done_s = std::max(timing.leaf_done_s, sim.now());
+          sim.at(at_spine, [&spine_arrival, c] { spine_arrival(c); });
+        });
+      }
+    }
+    // Spine phase (functional): combine live-leaf partials and dead
+    // leaves' direct worker packets, collect results. Arrival order at the
+    // spine register is leaf order, with a dead leaf's workers standing in
+    // ToR-worker order where its partial would have been.
+    for (std::size_t c = base; c < wave_end; ++c) {
+      const auto slot = static_cast<std::uint16_t>(c - base);
+      for (int j = 0; j < opts_.leaves; ++j) {
+        if (leaf_alive_[static_cast<std::size_t>(j)]) {
+          const pisa::FpisaResult partial =
+              leaves_[static_cast<std::size_t>(j)]->read_and_reset(slot);
+          (void)spine_->add(slot, static_cast<std::uint8_t>(j),
+                            partial.values);
+          continue;
+        }
         for (int k = 0; k < wpl; ++k) {
           const int w = j * wpl + k;
           for (std::size_t l = 0; l < lanes; ++l) {
@@ -116,54 +243,12 @@ void HierarchicalAggregator::reduce_into(
                                   workers[static_cast<std::size_t>(w)][i])
                             : 0;
           }
-          (void)leaves_[static_cast<std::size_t>(j)]->add(
-              slot, static_cast<std::uint8_t>(k), vals);
-          const double at_tor =
-              worker_up[static_cast<std::size_t>(w)].send(0.0, packet_bytes());
-          leaf_ready = std::max(
-              leaf_ready, leaf_pipe[static_cast<std::size_t>(j)].send(
-                              at_tor, packet_bytes()));
-          ++timing.packets;
+          (void)spine_->add(
+              slot,
+              static_cast<std::uint8_t>(dead_base[static_cast<std::size_t>(j)] +
+                                        k),
+              vals);
         }
-        // ToR forwards its partial to the spine once the last contributing
-        // host packet has arrived.
-        sim.at(leaf_ready, [this, &sim, &tor_up, &spine_down, &spine_seen,
-                            &timing, &spine_pipe, c, j] {
-          const double at_spine =
-              tor_up[static_cast<std::size_t>(j)].send(sim.now(),
-                                                       packet_bytes());
-          ++timing.packets;
-          timing.leaf_done_s = std::max(timing.leaf_done_s, sim.now());
-          sim.at(at_spine, [this, &sim, &spine_down, &spine_seen, &timing,
-                            &spine_pipe, c] {
-            // The partial still has to clear the spine's shared pipeline.
-            const double processed =
-                spine_pipe.send(sim.now(), packet_bytes());
-            sim.at(processed,
-                   [this, &sim, &spine_down, &spine_seen, &timing, c] {
-              if (++spine_seen[c] < opts_.leaves) return;
-              // Chunk complete at the spine: multicast the result back down
-              // (spine->ToR serialization + the ToR->host hop latency).
-              for (std::size_t d = 0; d < spine_down.size(); ++d) {
-                const double delivered =
-                    spine_down[d].send(sim.now(), packet_bytes()) +
-                    opts_.link_latency_us * 1e-6;
-                ++timing.packets;
-                timing.done_s = std::max(timing.done_s, delivered);
-              }
-            });
-          });
-        });
-      }
-    }
-    // Spine phase (functional): combine leaf partials, collect results.
-    for (std::size_t c = base; c < wave_end; ++c) {
-      const auto slot = static_cast<std::uint16_t>(c - base);
-      for (int j = 0; j < opts_.leaves; ++j) {
-        const pisa::FpisaResult partial =
-            leaves_[static_cast<std::size_t>(j)]->read_and_reset(slot);
-        (void)spine_->add(slot, static_cast<std::uint8_t>(j),
-                          partial.values);
       }
       const pisa::FpisaResult combined = spine_->read_and_reset(slot);
       for (std::size_t l = 0; l < lanes; ++l) {

@@ -73,6 +73,17 @@ class HierarchicalAggregator {
   /// Timing of the most recent reduce().
   const HierarchyTiming& timing() const { return timing_; }
 
+  /// Failover: declares ToR leaf `i` dead. Its rack's workers are collapsed
+  /// into the spine fan-in — they send straight to the spine with their own
+  /// bitmap ids (assigned above the leaf-partial ids), skipping the dead
+  /// ToR's partial aggregation. Functionally the sum is unchanged for any
+  /// grouping-insensitive input; timing-wise the spine pipeline absorbs
+  /// `workers_per_leaf` flows where it used to see one. Throws when the
+  /// spine's 32-bit worker bitmap cannot fit the extra direct senders.
+  void kill_leaf(int i);
+  bool leaf_alive(int i) const;
+  int alive_leaves() const;
+
   pisa::FpisaSwitch& leaf(int i) { return *leaves_[static_cast<std::size_t>(i)]; }
   pisa::FpisaSwitch& spine() { return *spine_; }
 
@@ -82,6 +93,7 @@ class HierarchicalAggregator {
   HierarchyOptions opts_;
   std::vector<std::unique_ptr<pisa::FpisaSwitch>> leaves_;
   std::unique_ptr<pisa::FpisaSwitch> spine_;
+  std::vector<bool> leaf_alive_;
   HierarchyTiming timing_{};
 };
 

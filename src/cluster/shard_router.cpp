@@ -56,6 +56,41 @@ std::vector<std::vector<std::size_t>> ShardRouter::partition(
   return out;
 }
 
+std::vector<std::vector<std::size_t>> ShardRouter::reroute(
+    std::span<const std::size_t> chunks, int dead_shard,
+    std::span<const int> alive) const {
+  if (alive.empty()) {
+    throw std::invalid_argument("reroute: no surviving shards");
+  }
+  std::vector<std::vector<std::size_t>> out(
+      static_cast<std::size_t>(num_shards_));
+  for (const std::size_t c : chunks) {
+    // Mix the dead shard's id into the hash so the failover placement of a
+    // chunk is decorrelated from its primary placement (and from other
+    // shards' failovers), while staying a pure function of (chunk, salt,
+    // dead_shard).
+    std::uint64_t state = static_cast<std::uint64_t>(c) ^ salt_ ^
+                          ((static_cast<std::uint64_t>(dead_shard) + 1) *
+                           0x9e3779b97f4a7c15ULL);
+    const std::size_t pick = static_cast<std::size_t>(
+        util::splitmix64(state) % static_cast<std::uint64_t>(alive.size()));
+    const int target = alive[pick];
+    assert(target != dead_shard && target >= 0 && target < num_shards_);
+    out[static_cast<std::size_t>(target)].push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> ShardRouter::reroute(
+    std::span<const std::size_t> chunks, int dead_shard) const {
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    if (s != dead_shard) alive.push_back(s);
+  }
+  return reroute(chunks, dead_shard, alive);
+}
+
 SlotRangeAllocator::SlotRangeAllocator(std::size_t total_slots)
     : total_(total_slots) {
   if (total_slots == 0) throw std::invalid_argument("need at least one slot");

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace fpisa::cluster {
@@ -33,6 +34,21 @@ class ShardRouter {
   /// Every chunk in [0, total_chunks) appears in exactly one list.
   std::vector<std::vector<std::size_t>> partition(
       std::size_t total_chunks) const;
+
+  /// Failover placement: deterministically re-homes `chunks` (a dead
+  /// shard's chunk set, ascending) onto the surviving shards in `alive`
+  /// (ascending ids, must exclude `dead_shard`). Salt-stable — the target
+  /// of a chunk depends only on (chunk, salt, dead_shard, alive set), never
+  /// on call order or timing, so a job's retry pass and a later job routing
+  /// around the same corpse agree on placement. Always hash-spread (even
+  /// under kRange) so the survivors absorb the load evenly. Returns one
+  /// ascending list per shard (num_shards() entries; non-survivors empty).
+  std::vector<std::vector<std::size_t>> reroute(
+      std::span<const std::size_t> chunks, int dead_shard,
+      std::span<const int> alive) const;
+  /// Convenience: every shard except `dead_shard` survives.
+  std::vector<std::vector<std::size_t>> reroute(
+      std::span<const std::size_t> chunks, int dead_shard) const;
 
  private:
   int num_shards_;

@@ -1,0 +1,53 @@
+// Per-tenant SLO accounting for aggregation fabrics: job outcome counts
+// (completed / failed / completed-only-via-failover) plus p50/p99 job wall
+// time from a small deterministic reservoir. The cluster service keeps one
+// accumulator per tenant; collective::Communicator keeps the same shape
+// for every backend so frameworks read one SLO surface regardless of
+// fabric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace fpisa::cluster {
+
+/// Snapshot handed to callers; percentiles are computed at snapshot time.
+struct TenantSlo {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  /// Completed jobs that needed at least one failover retry pass.
+  std::uint64_t jobs_failed_over = 0;
+  double p50_wall_s = 0.0;  ///< over completed jobs' wall times
+  double p99_wall_s = 0.0;
+};
+
+/// Mutable accumulator behind a per-tenant SLO entry. Not internally
+/// synchronized — the owner (service / communicator) provides locking.
+class SloAccumulator {
+ public:
+  void record(double wall_s, bool completed, bool failed_over) {
+    if (!completed) {
+      ++slo_.jobs_failed;
+      return;
+    }
+    ++slo_.jobs_completed;
+    if (failed_over) ++slo_.jobs_failed_over;
+    wall_.add(wall_s);
+  }
+
+  TenantSlo snapshot() const {
+    TenantSlo s = slo_;
+    const std::vector<double> sorted = wall_.sorted_samples();
+    s.p50_wall_s = util::sorted_percentile(sorted, 0.50);
+    s.p99_wall_s = util::sorted_percentile(sorted, 0.99);
+    return s;
+  }
+
+ private:
+  TenantSlo slo_;
+  util::Reservoir wall_;
+};
+
+}  // namespace fpisa::cluster

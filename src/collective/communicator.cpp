@@ -43,14 +43,42 @@ ReduceStats Communicator::run_and_finish(
   if (!substrate_is_thread_safe()) lock.lock();
 
   const auto t0 = std::chrono::steady_clock::now();
-  ReduceStats stats = run(workers, out, tenant);
+  ReduceStats stats;
+  try {
+    stats = run(workers, out, tenant);
+  } catch (...) {
+    record_slo(tenant, elapsed_s(t0, std::chrono::steady_clock::now()),
+               /*completed=*/false, /*failed_over=*/false);
+    throw;
+  }
   if (op == ReduceOp::kMean) {
     // Identical float op to the legacy trainer's host-side averaging.
     const float inv_w = 1.0f / static_cast<float>(workers.size());
     for (auto& v : out) v *= inv_w;
   }
   stats.wall_s = elapsed_s(t0, std::chrono::steady_clock::now());
+  record_slo(tenant, stats.wall_s, /*completed=*/true,
+             stats.network.failover_retries > 0);
   return stats;
+}
+
+void Communicator::record_slo(std::string_view tenant, double wall_s,
+                              bool completed, bool failed_over) {
+  if (substrate_keeps_slo()) return;  // tenant_slo() reads the substrate's
+  const std::string_view key = tenant.empty() ? "default" : tenant;
+  std::lock_guard<std::mutex> lk(slo_mu_);
+  auto it = slo_.find(key);
+  if (it == slo_.end()) {
+    it = slo_.emplace(std::string(key), cluster::SloAccumulator{}).first;
+  }
+  it->second.record(wall_s, completed, failed_over);
+}
+
+TenantSlo Communicator::tenant_slo(std::string_view tenant) const {
+  const std::string_view key = tenant.empty() ? "default" : tenant;
+  std::lock_guard<std::mutex> lk(slo_mu_);
+  const auto it = slo_.find(key);
+  return it == slo_.end() ? TenantSlo{} : it->second.snapshot();
 }
 
 ReduceStats Communicator::allreduce(const WorkerViews& workers,
@@ -163,6 +191,10 @@ ReduceStats report_to_stats(const cluster::JobReport& report) {
 }
 
 }  // namespace
+
+TenantSlo ClusterCommunicator::tenant_slo(std::string_view tenant) const {
+  return service_.tenant_slo(tenant.empty() ? kDefaultTenant : tenant);
+}
 
 ReduceStats ClusterCommunicator::run(
     std::span<const std::span<const float>> workers, std::span<float> out,

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -26,10 +27,15 @@
 
 #include "cluster/aggregation_service.h"
 #include "cluster/hierarchy.h"
+#include "cluster/slo.h"
 #include "switchml/aggregator.h"
 #include "switchml/session.h"
 
 namespace fpisa::collective {
+
+/// Per-tenant SLO snapshot, uniform across backends (jobs completed /
+/// failed / completed-only-via-failover, p50/p99 job wall time).
+using TenantSlo = cluster::TenantSlo;
 
 /// Zero-copy view of W equal-length worker gradient vectors: a span of
 /// spans. Constructible straight from span-of-spans, or adapted from the
@@ -115,6 +121,12 @@ class Communicator {
   /// for backends without a packet protocol).
   virtual switchml::SessionStats total_stats() const = 0;
 
+  /// Per-tenant SLO snapshot. The base class accounts every job that runs
+  /// through it (any backend); substrate-native multi-tenant backends (the
+  /// cluster service) override this to report the substrate's own books,
+  /// which also cover jobs submitted around the communicator.
+  virtual TenantSlo tenant_slo(std::string_view tenant = {}) const;
+
  protected:
   /// Backend hook: sum `workers` into `out` and report the job's stats.
   virtual ReduceStats run(std::span<const std::span<const float>> workers,
@@ -125,6 +137,12 @@ class Communicator {
   /// their run() calls serialized by the base class, so allreduce — and
   /// wait()ing deferred JobHandles — is safe from multiple threads.
   virtual bool substrate_is_thread_safe() const { return false; }
+
+  /// Backends whose substrate keeps its own per-tenant SLO books (the
+  /// cluster service) override to true: the base class then skips its own
+  /// bookkeeping entirely — a shadow copy here could never be read (the
+  /// backend overrides tenant_slo()) and would miss substrate-side jobs.
+  virtual bool substrate_keeps_slo() const { return false; }
 
   /// Shared driver: validation + (serialized) run() + ReduceOp::kMean
   /// scaling + wall clock. allreduce and the default submit both land here.
@@ -137,9 +155,16 @@ class Communicator {
   static JobHandle wrap(std::future<ReduceStats> fut) {
     return JobHandle(std::move(fut));
   }
+  /// SLO bookkeeping shared by every backend (run_and_finish calls it on
+  /// both outcomes). Empty tenant keys under "default", matching the
+  /// cluster backend's naming.
+  void record_slo(std::string_view tenant, double wall_s, bool completed,
+                  bool failed_over);
 
  private:
   std::mutex run_mu_;  ///< serializes run() for single-substrate backends
+  mutable std::mutex slo_mu_;
+  std::map<std::string, cluster::SloAccumulator, std::less<>> slo_;
 };
 
 /// Persistent per-tenant handle: a Communicator bound to one tenant name,
@@ -241,6 +266,8 @@ class ClusterCommunicator final : public Communicator {
   switchml::SessionStats total_stats() const override {
     return service_.total_stats();
   }
+  /// Substrate-native books: covers submit()ed jobs and failover retries.
+  TenantSlo tenant_slo(std::string_view tenant = {}) const override;
   JobHandle submit(const WorkerViews& workers, std::span<float> out,
                    ReduceOp op = ReduceOp::kSum,
                    std::string_view tenant = {}) override;
@@ -250,6 +277,7 @@ class ClusterCommunicator final : public Communicator {
   ReduceStats run(std::span<const std::span<const float>> workers,
                   std::span<float> out, std::string_view tenant) override;
   bool substrate_is_thread_safe() const override { return true; }
+  bool substrate_keeps_slo() const override { return true; }
 
  private:
   cluster::AggregationService service_;

@@ -48,6 +48,10 @@ struct SessionStats {
   std::uint64_t retransmissions = 0;
   std::uint64_t duplicates_absorbed = 0;  ///< dedup hits at the switch
   std::uint64_t slot_reuses = 0;
+  // Failover accounting (cluster fabric; zero on single-switch sessions).
+  std::uint64_t shard_failures = 0;   ///< shards declared dead serving this
+  std::uint64_t chunks_rerouted = 0;  ///< chunks re-homed onto survivors
+  std::uint64_t failover_retries = 0; ///< clean retry passes run
 
   /// Centralized merge (cluster/shard/tenant accounting all use this).
   SessionStats& operator+=(const SessionStats& o) {
@@ -56,6 +60,9 @@ struct SessionStats {
     retransmissions += o.retransmissions;
     duplicates_absorbed += o.duplicates_absorbed;
     slot_reuses += o.slot_reuses;
+    shard_failures += o.shard_failures;
+    chunks_rerouted += o.chunks_rerouted;
+    failover_retries += o.failover_retries;
     return *this;
   }
 };

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/rng.h"
+
 namespace fpisa::util {
 
 /// Welford-style running mean/variance plus min/max.
@@ -87,6 +89,15 @@ class Log2Histogram {
   std::vector<std::uint64_t> counts_;
 };
 
+/// Nearest-rank percentile over an ascending-sorted sample; q in [0, 1].
+/// The single rounding convention behind Percentiles and Reservoir.
+inline double sorted_percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
 /// Exact percentile over a stored sample set (fine for experiment sizes).
 class Percentiles {
  public:
@@ -95,15 +106,55 @@ class Percentiles {
 
   /// q in [0,1]; nearest-rank.
   double percentile(double q) {
-    if (xs_.empty()) return 0.0;
     std::sort(xs_.begin(), xs_.end());
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(xs_.size() - 1) + 0.5);
-    return xs_[std::min(idx, xs_.size() - 1)];
+    return sorted_percentile(xs_, q);
   }
   double median() { return percentile(0.5); }
 
  private:
+  std::vector<double> xs_;
+};
+
+/// Fixed-capacity uniform sample over an unbounded stream (Vitter's
+/// algorithm R) with a deterministic replacement stream, so percentile
+/// summaries (per-tenant job wall times in the cluster service's SLO
+/// accounting) stay cheap and reproducible no matter how many jobs run.
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity = 128,
+                     std::uint64_t seed = 0x510eedULL)
+      : cap_(capacity ? capacity : 1), rng_seed_(seed) {}
+
+  void add(double x) {
+    ++n_;
+    if (xs_.size() < cap_) {
+      xs_.push_back(x);
+      return;
+    }
+    const std::uint64_t j = splitmix64(rng_seed_) % n_;
+    if (j < cap_) xs_[static_cast<std::size_t>(j)] = x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  std::size_t sample_size() const { return xs_.size(); }
+
+  /// Ascending copy of the current sample — callers reading several
+  /// percentiles sort once and use sorted_percentile directly.
+  std::vector<double> sorted_samples() const {
+    std::vector<double> sorted(xs_);
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+
+  /// Nearest-rank percentile over the sampled set; q in [0, 1].
+  double percentile(double q) const {
+    return sorted_percentile(sorted_samples(), q);
+  }
+
+ private:
+  std::size_t cap_;
+  std::uint64_t rng_seed_;
+  std::uint64_t n_ = 0;
   std::vector<double> xs_;
 };
 

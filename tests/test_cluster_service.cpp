@@ -423,6 +423,37 @@ TEST(ClusterService, ViewReduceIsBitExactVsOwningReduceWithoutCopies) {
   }
 }
 
+TEST(ClusterService, ModeledSecondsGuardsDegenerateInputs) {
+  // Satellite regression: empty shard lists, all-zero packet counts or a
+  // non-positive line rate model no traffic — the answer is 0 seconds,
+  // never NaN/inf/garbage.
+  EXPECT_EQ(modeled_shard_parallel_seconds({}, 64, 100.0, 1.0), 0.0);
+  const std::vector<switchml::SessionStats> idle(3);  // zero-packet shards
+  EXPECT_EQ(modeled_shard_parallel_seconds(idle, 64, 100.0, 1.0), 0.0);
+  switchml::SessionStats busy{};
+  busy.packets_sent = 1000;
+  const std::vector<switchml::SessionStats> mixed{busy, {}, {}};
+  EXPECT_EQ(modeled_shard_parallel_seconds(mixed, 64, 0.0, 1.0), 0.0);
+  EXPECT_EQ(modeled_shard_parallel_seconds(mixed, 0, 100.0, 1.0), 0.0);
+  const double t = modeled_shard_parallel_seconds(mixed, 64, 100.0, 1.0);
+  EXPECT_GT(t, 0.0);
+  EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(ClusterService, TenantLookupIsHeterogeneous) {
+  // Satellite: string_view / literal lookups must hit the tenant books
+  // without materializing a temporary std::string (std::less<> map).
+  ClusterOptions opts;
+  opts.num_shards = 2;
+  AggregationService service(opts);
+  (void)service.reduce({"alice", make_workers(2, 16, 321)});
+  const std::string_view sv = "alice";
+  EXPECT_GT(service.tenant_stats(sv).packets_sent, 0u);
+  EXPECT_EQ(service.tenant_slo(sv).jobs_completed, 1u);
+  EXPECT_EQ(service.tenant_stats("nobody").packets_sent, 0u);
+  EXPECT_EQ(service.tenant_slo("nobody").jobs_completed, 0u);
+}
+
 // --- hierarchy -------------------------------------------------------------
 
 TEST(Hierarchy, BitIdenticalToSingleSwitchWithFourLeaves) {

@@ -303,6 +303,70 @@ TEST(Collective, AllBackendsAgreeOnExactInputsThroughOneInterface) {
   }
 }
 
+TEST(Collective, TenantSloIsUniformAcrossBackends) {
+  // Every backend answers the same SLO surface: job outcome counts and
+  // p50/p99 job wall time, keyed by tenant ("default" when unnamed).
+  const auto workers = make_workers(4, 64, 910);
+  CommunicatorOptions tree_opts;
+  tree_opts.backend = Backend::kTree;
+  tree_opts.hierarchy.leaves = 2;
+  tree_opts.hierarchy.workers_per_leaf = 2;
+  for (const auto& opts : {CommunicatorOptions{}, tree_opts}) {
+    const auto comm = make_communicator(opts);
+    std::vector<float> out(64);
+    (void)comm->allreduce(WorkerViews(workers), out, ReduceOp::kSum, "team");
+    (void)comm->allreduce(WorkerViews(workers), out, ReduceOp::kSum, "team");
+    (void)comm->allreduce(WorkerViews(workers), out);  // "default"
+    const TenantSlo slo = comm->tenant_slo("team");
+    EXPECT_EQ(slo.jobs_completed, 2u) << comm->name();
+    EXPECT_EQ(slo.jobs_failed, 0u) << comm->name();
+    EXPECT_EQ(slo.jobs_failed_over, 0u) << comm->name();
+    EXPECT_GE(slo.p99_wall_s, slo.p50_wall_s) << comm->name();
+    EXPECT_EQ(comm->tenant_slo().jobs_completed, 1u) << comm->name();
+    EXPECT_EQ(comm->tenant_slo("nobody").jobs_completed, 0u) << comm->name();
+  }
+}
+
+TEST(CollectiveCluster, FailoverSurfacesThroughCommunicator) {
+  // A shard killed mid-wave behind the unified API: the job completes with
+  // bits identical to the healthy fabric's, and the re-route is visible in
+  // ReduceStats.network and in the per-tenant SLO snapshot.
+  const auto workers = make_workers(4, 150, 911);
+  cluster::ClusterOptions copts;
+  copts.num_shards = 3;
+  copts.slots_per_shard = 16;
+  copts.slots_per_job = 8;
+  copts.failover.enabled = true;
+
+  ClusterCommunicator healthy(copts);
+  std::vector<float> want(150);
+  (void)healthy.allreduce(WorkerViews(workers), want);
+
+  copts.failover.faults = {cluster::ShardFault{
+      1, cluster::FaultKind::kKill, cluster::FaultPhase::kMidAdd, 0, 0.0}};
+  ClusterCommunicator comm(copts);
+  std::vector<float> out(150);
+  const ReduceStats stats =
+      comm.allreduce(WorkerViews(workers), out, ReduceOp::kSum, "tenant");
+
+  expect_bits_eq(out, want, "failover through communicator");
+  EXPECT_EQ(stats.network.shard_failures, 1u);
+  EXPECT_EQ(stats.network.failover_retries, 1u);
+  EXPECT_GT(stats.network.chunks_rerouted, 0u);
+  EXPECT_EQ(comm.total_stats().packets_sent, stats.network.packets_sent);
+
+  const TenantSlo slo = comm.tenant_slo("tenant");
+  EXPECT_EQ(slo.jobs_completed, 1u);
+  EXPECT_EQ(slo.jobs_failed_over, 1u);
+  EXPECT_FALSE(comm.service().health().alive(1));
+
+  // The substrate-native books also cover jobs submitted asynchronously.
+  std::vector<float> out2(150);
+  comm.submit(WorkerViews(workers), out2, ReduceOp::kSum, "tenant").wait();
+  expect_bits_eq(out2, want, "degraded submit through communicator");
+  EXPECT_EQ(comm.tenant_slo("tenant").jobs_completed, 2u);
+}
+
 TEST(Collective, ValidatesShapes) {
   const auto comm = make_communicator({});
   std::vector<float> out(4);
