@@ -18,6 +18,7 @@
 // (collective::ClusterCommunicator / TreeCommunicator): gradients enter as
 // zero-copy views and the result lands in a caller-owned buffer, exactly
 // as a framework integration would run it.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -25,6 +26,7 @@
 #include "cluster/hierarchy.h"
 #include "collective/communicator.h"
 #include "pisa/fpisa_program.h"
+#include "telemetry/metrics.h"
 #include "util/bench_json.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -184,6 +186,39 @@ int main() {
               "%.0f%% of the healthy 4-shard fabric (expect ~N-1/N)\n",
               degraded_rate / 1e6, 100.0 * degraded_rate / rate_at_4);
 
+  // Telemetry overhead: the same 4-shard job with the registry kill switch
+  // off vs on (every inc/observe collapses to a relaxed load + branch when
+  // off). Acceptance: the instrumented run within 2% of the dark one —
+  // wall times are noisy at ms scale, so take the best of a few reps and
+  // warn rather than fail, like the other wall-clock targets.
+  constexpr int kTelemetryReps = 5;
+  const auto best_wall_ms = [&] {
+    double best = 1e300;
+    for (int i = 0; i < kTelemetryReps; ++i) {
+      const RunResult r =
+          run_once(4, kLanes, kValues, workers, kGbps, kLatencyUs);
+      best = std::min(best, r.wall_ms);
+    }
+    return best;
+  };
+  telemetry::set_enabled(false);
+  const double wall_off_ms = best_wall_ms();
+  telemetry::set_enabled(true);
+  const double wall_on_ms = best_wall_ms();
+  const double rate_off = static_cast<double>(kValues) / (wall_off_ms * 1e-3);
+  const double rate_on = static_cast<double>(kValues) / (wall_on_ms * 1e-3);
+  const double overhead_pct = 100.0 * (wall_on_ms - wall_off_ms) / wall_off_ms;
+  json.set("wall_values_per_s_shards_4_telemetry_off", rate_off);
+  json.set("wall_values_per_s_shards_4_telemetry_on", rate_on);
+  json.set("telemetry_overhead_pct", overhead_pct);
+  std::printf("telemetry overhead, 4 shards (best of %d): off %.2f ms, on "
+              "%.2f ms = %+.2f%% (acceptance target: <= 2%%)\n",
+              kTelemetryReps, wall_off_ms, wall_on_ms, overhead_pct);
+  if (overhead_pct > 2.0) {
+    std::printf("warning: telemetry overhead above the 2%% target on this "
+                "machine\n");
+  }
+
   // Continuity row: the pre-batching 2-lane geometry on one shard.
   const RunResult legacy =
       run_once(1, kLegacyLanes, kValues, workers, kGbps, kLatencyUs);
@@ -246,6 +281,10 @@ int main() {
       return 1;
     }
   }
+
+  // Embed the registry's end-of-run state so BENCH json carries the
+  // fabric's metric samples (packets, ops taxonomy, phase histograms).
+  json.set_raw("telemetry", telemetry::snapshot().json());
 
   if (!json.write()) std::printf("warning: could not write BENCH json\n");
   return 0;

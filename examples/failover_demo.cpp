@@ -8,14 +8,24 @@
 // around the corpse at partition time (degraded N-1 mode). The same story
 // then plays out one level up: a ToR leaf of the aggregation tree dies and
 // its rack's workers collapse into the spine fan-in.
+// Observability hooks (exercised by the CI telemetry smoke job):
+//   --trace <path>     record the failover job as a span tree, print it,
+//                      and write Chrome trace_event JSON to <path>
+//   --metrics <prefix> write two Prometheus text scrapes of the metrics
+//                      registry: <prefix>.1.prom after the failover job
+//                      and <prefix>.2.prom at exit (two scrapes so counter
+//                      monotonicity can be linted)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "collective/communicator.h"
 #include "core/packed.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -42,11 +52,33 @@ bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
   return true;
 }
 
+bool write_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << body;
+  return static_cast<bool>(f);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fpisa;
   using namespace fpisa::collective;
+
+  std::string trace_path, metrics_prefix;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_prefix = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace <file.json>] [--metrics <prefix>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   std::printf("=== shard failover on the rack fabric ===\n\n");
   const auto workers = make_workers(4, 4096, 42);
@@ -66,13 +98,35 @@ int main() {
   opts.failover.faults = {cluster::ShardFault{
       2, cluster::FaultKind::kKill, cluster::FaultPhase::kMidAdd, 0, 0.0}};
   ClusterCommunicator comm(opts);
+  telemetry::Trace trace;
+  if (!trace_path.empty()) comm.set_trace(&trace);
   std::vector<float> out(4096);
   const ReduceStats stats =
       comm.allreduce(WorkerViews(workers), out, ReduceOp::kSum, "ml");
+  if (!trace_path.empty()) comm.set_trace(nullptr);
 
   std::printf("shard 2 killed mid-add-wave; job completed anyway.\n");
   std::printf("result bit-identical to the no-failure run: %s\n\n",
               bits_equal(out, want) ? "YES" : "NO (bug!)");
+
+  if (!trace_path.empty()) {
+    std::printf("--- span tree of the failover job ---\n%s\n",
+                trace.tree().c_str());
+    if (write_file(trace_path, trace.chrome_trace_json())) {
+      std::printf("chrome trace written to %s (open in chrome://tracing "
+                  "or Perfetto)\n\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_prefix.empty() &&
+      !write_file(metrics_prefix + ".1.prom",
+                  telemetry::snapshot().prometheus_text())) {
+    std::fprintf(stderr, "error: cannot write %s.1.prom\n",
+                 metrics_prefix.c_str());
+    return 1;
+  }
 
   util::Table t({"Metric", "Value"});
   t.add_row({"shard failures", std::to_string(stats.network.shard_failures)});
@@ -134,5 +188,18 @@ int main() {
   std::printf("tree completion time %.3f ms (healthy %.3f ms)\n",
               tree_comm.tree().timing().done_s * 1e3,
               tree_healthy.tree().timing().done_s * 1e3);
+
+  // Second scrape at exit: more jobs have run since the first one, so the
+  // two files let a lint check counter monotonicity across scrapes.
+  if (!metrics_prefix.empty()) {
+    if (!write_file(metrics_prefix + ".2.prom",
+                    telemetry::snapshot().prometheus_text())) {
+      std::fprintf(stderr, "error: cannot write %s.2.prom\n",
+                   metrics_prefix.c_str());
+      return 1;
+    }
+    std::printf("prometheus scrapes written to %s.{1,2}.prom\n",
+                metrics_prefix.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Lint the telemetry artifacts the failover demo emits.
+
+Usage:
+    lint_telemetry.py <trace.json> <scrape1.prom> <scrape2.prom>
+
+Checks, stdlib only (this runs in CI right after the demo):
+
+  trace.json — parses as Chrome trace_event JSON; every event is a
+  complete ("X") event with sane ts/dur; the span tree covers the whole
+  cluster job (submit -> partition -> shard waves -> merge) plus the
+  injected failover episode.
+
+  *.prom — every line is a well-formed Prometheus text-format sample or
+  comment; one # TYPE per metric name, declared before its first sample;
+  no duplicate (name, labels) series; histogram `le` buckets are
+  cumulative, end in +Inf, and agree with _count.
+
+  across the two scrapes — counters never move backwards (scrape 2 was
+  taken after more jobs ran, so *_total series must be monotone).
+"""
+
+import json
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?'
+    r'\s+(?P<value>[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|\d*\.\d+(?:[eE][-+]?\d+)?|Inf|NaN))$'
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+REQUIRED_SPANS = {
+    "allreduce", "job", "submit", "partition", "acquire_slots",
+    "pass", "shard", "add_wave", "collect_wave", "failover", "merge",
+}
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def lint_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        err(f"{path}: no traceEvents array")
+        return
+    names = set()
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                err(f"{path}: event {i} missing '{key}'")
+        if ev.get("ph") != "X":
+            err(f"{path}: event {i} ph={ev.get('ph')!r}, want complete 'X'")
+        if ev.get("dur", 0) < 0:
+            err(f"{path}: event {i} ({ev.get('name')}) has negative dur")
+        if ev.get("ts", 0) < 0:
+            err(f"{path}: event {i} ({ev.get('name')}) has negative ts")
+        names.add(ev.get("name"))
+    missing = REQUIRED_SPANS - names
+    if missing:
+        err(f"{path}: span tree missing {sorted(missing)}")
+    print(f"  {path}: {len(events)} events, "
+          f"{len(REQUIRED_SPANS)} required span names present")
+
+
+def parse_prom(path):
+    """Return {series_key: value} and lint the file structurally."""
+    series = {}
+    typed = {}          # name -> kind
+    first_sample = {}   # name -> line no of first sample
+    buckets = {}        # (name, labels-without-le) -> [(le, value)]
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                m = re.match(
+                    r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) '
+                    r'(counter|gauge|histogram)$', line)
+                if m:
+                    name, kind = m.group(1), m.group(2)
+                    if name in typed:
+                        err(f"{path}:{lineno}: duplicate # TYPE for {name}")
+                    if name in first_sample:
+                        err(f"{path}:{lineno}: # TYPE for {name} "
+                            f"after its first sample "
+                            f"(line {first_sample[name]})")
+                    typed[name] = kind
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                err(f"{path}:{lineno}: unparseable sample: {line!r}")
+                continue
+            name = m.group("name")
+            labels_raw = m.group("labels") or ""
+            value = float(m.group("value").replace("Inf", "inf"))
+            labels = dict(LABEL_RE.findall(labels_raw))
+            stripped = LABEL_RE.sub("", labels_raw).replace(",", "").strip()
+            if stripped:
+                err(f"{path}:{lineno}: malformed labels: {labels_raw!r}")
+            base = re.sub(r'_(bucket|sum|count)$', '', name)
+            if base not in typed and name not in typed:
+                err(f"{path}:{lineno}: sample {name} has no # TYPE")
+            first_sample.setdefault(name, lineno)
+            key = (name, tuple(sorted(labels.items())))
+            if key in series:
+                err(f"{path}:{lineno}: duplicate series {key}")
+            series[key] = value
+            if name.endswith("_bucket") and "le" in labels:
+                bkey = (base, tuple(sorted(
+                    (k, v) for k, v in labels.items() if k != "le")))
+                le = float(labels["le"].replace("+Inf", "inf"))
+                buckets.setdefault(bkey, []).append((le, value))
+    for (base, lbls), entries in buckets.items():
+        entries.sort(key=lambda e: e[0])
+        if entries[-1][0] != float("inf"):
+            err(f"{path}: histogram {base}{dict(lbls)} lacks a +Inf bucket")
+        values = [v for _, v in entries]
+        if values != sorted(values):
+            err(f"{path}: histogram {base}{dict(lbls)} buckets not cumulative")
+        count_key = (base + "_count", lbls)
+        if count_key in series and series[count_key] != entries[-1][1]:
+            err(f"{path}: {base}_count{dict(lbls)} != +Inf bucket")
+    print(f"  {path}: {len(series)} series, {len(typed)} metric names")
+    return series
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__)
+        return 2
+    trace_path, prom1, prom2 = sys.argv[1:4]
+    lint_trace(trace_path)
+    s1 = parse_prom(prom1)
+    s2 = parse_prom(prom2)
+    checked = 0
+    for key, v1 in s1.items():
+        name = key[0]
+        if not (name.endswith("_total") or name.endswith("_count")
+                or name.endswith("_bucket")):
+            continue
+        if key in s2:
+            checked += 1
+            if s2[key] < v1:
+                err(f"counter {key} moved backwards across scrapes: "
+                    f"{v1} -> {s2[key]}")
+    print(f"  monotonicity: {checked} counter series compared across scrapes")
+    if errors:
+        print(f"\nFAIL: {len(errors)} problem(s)")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print("OK: telemetry artifacts are clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,7 @@ AggregationService::AggregationService(ClusterOptions opts)
   for (int s = 0; s < opts_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(opts_));
   }
+  init_metrics();
   const int threads =
       opts_.worker_threads > 0 ? opts_.worker_threads : opts_.num_shards;
   pool_.reserve(static_cast<std::size_t>(threads));
@@ -74,6 +75,47 @@ AggregationService::AggregationService(ClusterOptions opts)
   for (int t = 0; t < job_threads; ++t) {
     job_pool_.emplace_back([this] { job_runner_loop(); });
   }
+}
+
+void AggregationService::init_metrics() {
+  // One registration pass at construction; the hot path only ever touches
+  // the returned handles. Instance labels keep concurrently-built services
+  // (tests spin up dozens) from aliasing each other's series.
+  static std::atomic<std::uint64_t> next_id{0};
+  svc_id_ = std::to_string(next_id.fetch_add(1, std::memory_order_relaxed));
+  auto& reg = telemetry::registry();
+  const auto bounds = telemetry::MetricsRegistry::time_buckets();
+  m_shard_phase_.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string shard = std::to_string(s);
+    m_shard_phase_[s][0] = &reg.histogram(
+        "cluster_shard_phase_seconds",
+        {{"svc", svc_id_}, {"shard", shard}, {"phase", "add"}}, bounds);
+    m_shard_phase_[s][1] = &reg.histogram(
+        "cluster_shard_phase_seconds",
+        {{"svc", svc_id_}, {"shard", shard}, {"phase", "collect"}}, bounds);
+  }
+  m_queue_depth_ = &reg.gauge("cluster_job_queue_depth", {{"svc", svc_id_}});
+  m_shard_deaths_ = &reg.counter("cluster_failover_shard_deaths_total",
+                                 {{"svc", svc_id_}});
+  m_rerouted_ = &reg.counter("cluster_failover_chunks_rerouted_total",
+                             {{"svc", svc_id_}});
+  m_retries_ =
+      &reg.counter("cluster_failover_retries_total", {{"svc", svc_id_}});
+  m_jobs_[0] = &reg.counter("cluster_jobs_total",
+                            {{"svc", svc_id_}, {"outcome", "completed"}});
+  m_jobs_[1] = &reg.counter("cluster_jobs_total",
+                            {{"svc", svc_id_}, {"outcome", "failed"}});
+  m_job_wall_ =
+      &reg.histogram("cluster_job_wall_seconds", {{"svc", svc_id_}}, bounds);
+}
+
+void AggregationService::attach_trace(telemetry::Trace* trace,
+                                      telemetry::Trace::SpanId parent) {
+  // Parent first, then the trace pointer with release ordering: a job that
+  // acquires the pointer is guaranteed to see the matching parent.
+  trace_parent_.store(parent, std::memory_order_relaxed);
+  trace_.store(trace, std::memory_order_release);
 }
 
 AggregationService::~AggregationService() {
@@ -117,6 +159,7 @@ void AggregationService::job_runner_loop() {
       if (job_tasks_.empty()) return;  // stopping and drained
       task = std::move(job_tasks_.front());
       job_tasks_.pop_front();
+      m_queue_depth_->set(static_cast<double>(job_tasks_.size()));
     }
     task();  // exceptions land in the task's future
   }
@@ -129,6 +172,7 @@ std::future<JobReport> AggregationService::enqueue_job(
   {
     std::lock_guard<std::mutex> lk(job_mu_);
     job_tasks_.push_back(std::move(task));
+    m_queue_depth_->set(static_cast<double>(job_tasks_.size()));
   }
   job_cv_.notify_one();
   return fut;
@@ -264,7 +308,11 @@ void AggregationService::run_shard_chunks(
     int shard_idx, Shard& shard, const SlotRange& range,
     const std::vector<std::size_t>& chunks,
     std::span<const std::span<const float>> workers, std::span<float> result,
-    const JobParams& params, util::Rng& rng, switchml::SessionStats& stats) {
+    const JobParams& params, util::Rng& rng, switchml::SessionStats& stats,
+    telemetry::Trace* trace, telemetry::Trace::SpanId parent) {
+  telemetry::ScopedSpan shard_span(trace, "shard", parent);
+  shard_span.annotate("shard", std::to_string(shard_idx));
+  shard_span.annotate("chunks", std::to_string(chunks.size()));
   if (fire_kill_fault(shard_idx, FaultPhase::kBeforeJob, 0)) {
     throw ShardDeadError(shard_idx,
                          "cluster: shard killed before job (injected)");
@@ -335,8 +383,17 @@ void AggregationService::run_shard_chunks(
     }
     flush_wave(shard, scratch);
     const auto t_collect = Clock::now();
-    add_phase_ns_.fetch_add(elapsed_ns(t_submit, t_collect),
-                            std::memory_order_relaxed);
+    // One clock reading feeds both instruments: the histogram observation
+    // and the retroactive span share t_submit/t_collect exactly, so traced
+    // wave wall-times agree with phase_breakdown() to the nanosecond.
+    m_shard_phase_[static_cast<std::size_t>(shard_idx)][0]->observe(
+        static_cast<double>(elapsed_ns(t_submit, t_collect)) * 1e-9);
+    if (trace) {
+      const auto add_span =
+          trace->begin_at("add_wave", shard_span.id(), t_submit);
+      trace->annotate(add_span, "wave", std::to_string(wave_index));
+      trace->end_at(add_span, t_collect);
+    }
 
     if (fire_kill_fault(shard_idx, FaultPhase::kMidCollect, wave_index)) {
       // Die halfway through the collect: the first half of the wave's
@@ -361,11 +418,20 @@ void AggregationService::run_shard_chunks(
     // in the per-packet protocol's exact order (reads don't mutate; resets
     // only touch this job's private slots, so coarser locking is
     // externally invisible).
+    const auto note_collect = [&](Clock::time_point t_done) {
+      m_shard_phase_[static_cast<std::size_t>(shard_idx)][1]->observe(
+          static_cast<double>(elapsed_ns(t_collect, t_done)) * 1e-9);
+      if (trace) {
+        const auto collect_span =
+            trace->begin_at("collect_wave", shard_span.id(), t_collect);
+        trace->annotate(collect_span, "wave", std::to_string(wave_index));
+        trace->end_at(collect_span, t_done);
+      }
+    };
     if (opts_.batched_collect) {
       collect_wave(shard_idx, shard, range, chunks, base, wave_end, result,
                    params, rng, stats, scratch);
-      collect_phase_ns_.fetch_add(elapsed_ns(t_collect, Clock::now()),
-                                  std::memory_order_relaxed);
+      note_collect(Clock::now());
       continue;
     }
     {
@@ -417,8 +483,7 @@ void AggregationService::run_shard_chunks(
         }
       }
     }
-    collect_phase_ns_.fetch_add(elapsed_ns(t_collect, Clock::now()),
-                                std::memory_order_relaxed);
+    note_collect(Clock::now());
   }
 }
 
@@ -446,7 +511,8 @@ std::vector<std::exception_ptr> AggregationService::run_pass(
     const std::vector<SlotRange>& ranges,
     std::span<const std::span<const float>> workers, std::span<float> out,
     const JobParams& params, std::uint64_t job_id, std::uint64_t pass,
-    JobReport& report) {
+    JobReport& report, telemetry::Trace* trace,
+    telemetry::Trace::SpanId pass_span) {
   // Fan one task per active shard out to the pool and wait for all of them
   // (even on failure, so no task outlives this frame's state).
   struct Join {
@@ -461,13 +527,15 @@ std::vector<std::exception_ptr> AggregationService::run_pass(
       if (parts[s].empty()) continue;
       ++join.pending;
       tasks_.push_back([this, s, &parts, &ranges, workers, out, &report,
-                        &join, &errors, params, job_id, pass] {
+                        &join, &errors, params, job_id, pass, trace,
+                        pass_span] {
         util::Rng rng(
             task_seed(opts_.loss_seed, job_id, static_cast<int>(s), pass));
         switchml::SessionStats stats{};
         try {
           run_shard_chunks(static_cast<int>(s), *shards_[s], ranges[s],
-                           parts[s], workers, out, params, rng, stats);
+                           parts[s], workers, out, params, rng, stats, trace,
+                           pass_span);
         } catch (...) {
           errors[s] = std::current_exception();
         }
@@ -509,6 +577,18 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     throw std::invalid_argument("cluster: out span length mismatch");
   }
 
+  // Tracing is opt-in per service: acquire pairs with attach_trace's
+  // release, so the parent id is coherent with the pointer. Validation
+  // rejects above are untraced — a rejected job never started.
+  telemetry::Trace* const trace = trace_.load(std::memory_order_acquire);
+  const telemetry::Trace::SpanId job_span =
+      trace ? trace->begin("job",
+                           trace_parent_.load(std::memory_order_relaxed))
+            : telemetry::Trace::kNone;
+  if (trace) trace->annotate(job_span, "tenant", std::string(job.tenant));
+  const telemetry::Trace::SpanId submit_span =
+      trace ? trace->begin("submit", job_span) : telemetry::Trace::kNone;
+
   // High-water accounting for the bounded-concurrency guarantee.
   const std::uint64_t running =
       running_jobs_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -529,12 +609,21 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     std::lock_guard<std::mutex> lk(stats_mu_);
     report.job_id = next_job_id_++;
   }
-  if (n == 0) return;
+  if (trace) {
+    trace->annotate(job_span, "job_id", std::to_string(report.job_id));
+    trace->end(submit_span);
+  }
+  if (n == 0) {
+    if (trace) trace->end(job_span);
+    return;
+  }
   const auto job_t0 = std::chrono::steady_clock::now();
 
   const bool fo = opts_.failover.enabled;
   const auto lanes = static_cast<std::size_t>(opts_.lanes);
   const std::size_t chunks = (n + lanes - 1) / lanes;
+  const telemetry::Trace::SpanId part_span =
+      trace ? trace->begin("partition", job_span) : telemetry::Trace::kNone;
   auto parts = router_.partition(chunks);
 
   // Job-level failover accounting: lives on the job total (and tenant
@@ -550,11 +639,19 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
   if (fo) {
     const std::vector<int> alive = health_.alive_shards();
     if (alive.empty()) {
-      std::lock_guard<std::mutex> lk(stats_mu_);
-      ++jobs_failed_;
-      // The tenant's SLO book must agree with the service-level counter.
-      tenant_account_locked(job.tenant)
-          .slo.record(0.0, /*completed=*/false, /*failed_over=*/false);
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++jobs_failed_;
+        // The tenant's SLO book must agree with the service-level counter.
+        tenant_account_locked(job.tenant)
+            .slo.record(0.0, /*completed=*/false, /*failed_over=*/false);
+      }
+      m_jobs_[1]->inc();
+      if (trace) {
+        trace->annotate(job_span, "outcome", "failed");
+        trace->end(part_span);
+        trace->end(job_span);
+      }
       throw std::runtime_error("cluster: no alive shards");
     }
     std::fill(alive_mask.begin(), alive_mask.end(), 0);
@@ -573,6 +670,7 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     }
     for (auto& p : parts) std::sort(p.begin(), p.end());
   }
+  if (trace) trace->end(part_span);
 
   // Acquire one slot range per ACTIVE shard, in ascending shard order (the
   // same order for every job: no circular wait between tenants). A retry
@@ -594,18 +692,30 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
           }
         }
       };
-  acquire_ranges(parts);
+  {
+    telemetry::ScopedSpan acq(trace, "acquire_slots", job_span);
+    acquire_ranges(parts);
+  }
 
   const JobParams params{
       job.loss_rate >= 0.0 ? job.loss_rate : opts_.loss_rate,
       job.max_retransmits >= 0 ? job.max_retransmits : opts_.max_retransmits};
   const std::span<const std::span<const float>> workers = job.workers;
 
+  const auto begin_pass = [&](int pass_no) {
+    if (!trace) return telemetry::Trace::kNone;
+    const auto id = trace->begin("pass", job_span);
+    trace->annotate(id, "pass", std::to_string(pass_no));
+    return id;
+  };
+
   std::exception_ptr error;
   bool failed = false;
   int reroutes = 0;
-  auto errors =
-      run_pass(parts, ranges, workers, out, params, report.job_id, 0, report);
+  telemetry::Trace::SpanId pass_span = begin_pass(0);
+  auto errors = run_pass(parts, ranges, workers, out, params, report.job_id,
+                         0, report, trace, pass_span);
+  if (trace) trace->end(pass_span);
   for (;;) {
     // Classify this pass's outcome: shard deaths are failover candidates,
     // anything else fails the job as before.
@@ -655,6 +765,17 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     // cleanly. Chunk sums are order-free across shards — every chunk is
     // one private slot fed in worker order — so the retried values are
     // bit-identical to a no-failure run.
+    telemetry::Trace::SpanId fo_span = telemetry::Trace::kNone;
+    if (trace) {
+      fo_span = trace->begin("failover", job_span);
+      std::string dead;
+      for (const int d : dead_now) {
+        if (!dead.empty()) dead += ",";
+        dead += std::to_string(d);
+      }
+      trace->annotate(fo_span, "dead_shards", dead);
+      trace->annotate(fo_span, "retry", std::to_string(reroutes + 1));
+    }
     std::vector<std::vector<std::size_t>> retry_parts(shards_.size());
     for (const int d : dead_now) {
       const auto ds = static_cast<std::size_t>(d);
@@ -680,11 +801,15 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     }
     alloc_cv_.notify_all();
     acquire_ranges(retry_parts);
+    if (trace) trace->end(fo_span);
     ++failover_delta.failover_retries;
     ++reroutes;
     parts = std::move(retry_parts);
+    pass_span = begin_pass(reroutes);
     errors = run_pass(parts, ranges, workers, out, params, report.job_id,
-                      static_cast<std::uint64_t>(reroutes), report);
+                      static_cast<std::uint64_t>(reroutes), report, trace,
+                      pass_span);
+    if (trace) trace->end(pass_span);
   }
 
   if (failed) {
@@ -707,6 +832,8 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
       static_cast<double>(
           elapsed_ns(job_t0, std::chrono::steady_clock::now())) *
       1e-9;
+  const telemetry::Trace::SpanId merge_span =
+      trace ? trace->begin("merge", job_span) : telemetry::Trace::kNone;
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -724,6 +851,23 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     } else {
       ++jobs_completed_;
     }
+  }
+  // Registry: job outcome, wall time and fabric-level failover events.
+  m_jobs_[failed ? 1 : 0]->inc();
+  m_job_wall_->observe(wall_s);
+  if (failover_delta.shard_failures != 0) {
+    m_shard_deaths_->inc(failover_delta.shard_failures);
+  }
+  if (failover_delta.chunks_rerouted != 0) {
+    m_rerouted_->inc(failover_delta.chunks_rerouted);
+  }
+  if (failover_delta.failover_retries != 0) {
+    m_retries_->inc(failover_delta.failover_retries);
+  }
+  if (trace) {
+    trace->end(merge_span);
+    trace->annotate(job_span, "outcome", failed ? "failed" : "completed");
+    trace->end(job_span);
   }
   if (failed) std::rethrow_exception(error);
 }
@@ -771,8 +915,17 @@ AggregationService::TenantAccount& AggregationService::tenant_account_locked(
 }
 
 switchml::SessionStats AggregationService::shard_stats(int shard) const {
+  // Lock order stats_mu_ -> shard.mu is safe: no path takes them reversed.
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   std::lock_guard<std::mutex> lk(stats_mu_);
-  return shards_[static_cast<std::size_t>(shard)]->stats;
+  switchml::SessionStats out = sh.stats;
+  {
+    // The shard switch's kernel op counters (§5.2.1 taxonomy) are owned by
+    // the switch itself — fold them in so per-shard books carry them.
+    std::lock_guard<std::mutex> swlk(sh.mu);
+    out.ops = sh.sw.op_counters();
+  }
+  return out;
 }
 
 switchml::SessionStats AggregationService::tenant_stats(
@@ -792,7 +945,11 @@ TenantSlo AggregationService::tenant_slo(std::string_view tenant) const {
 switchml::SessionStats AggregationService::total_stats() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   switchml::SessionStats total = fabric_stats_;
-  for (const auto& s : shards_) total += s->stats;
+  for (const auto& s : shards_) {
+    total += s->stats;
+    std::lock_guard<std::mutex> swlk(s->mu);
+    total.ops += s->sw.op_counters();
+  }
   return total;
 }
 
@@ -816,13 +973,14 @@ std::uint64_t AggregationService::jobs_failed() const {
 
 AggregationService::PhaseBreakdown AggregationService::phase_breakdown()
     const {
+  // A view over the registry: each shard's phase histogram carries the sum
+  // of its wave observations, so the histogram _sum IS the cumulative
+  // phase wall time (and what the traced wave spans add up to).
   PhaseBreakdown p;
-  p.add_s = static_cast<double>(
-                add_phase_ns_.load(std::memory_order_relaxed)) *
-            1e-9;
-  p.collect_s = static_cast<double>(
-                    collect_phase_ns_.load(std::memory_order_relaxed)) *
-                1e-9;
+  for (const auto& h : m_shard_phase_) {
+    p.add_s += h[0]->sum();
+    p.collect_s += h[1]->sum();
+  }
   return p;
 }
 

@@ -7,6 +7,7 @@
 // on a tenant-private SlotRange so concurrent jobs never collide.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -28,6 +29,8 @@
 #include "cluster/slo.h"
 #include "pisa/fpisa_program.h"
 #include "switchml/session.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace fpisa::cluster {
 
@@ -146,12 +149,27 @@ class AggregationService {
 
   /// Cumulative wall time the shard tasks spent in each wave phase across
   /// all completed work (submit/add vs collect) — the phase split that
-  /// bench_cluster_throughput reports.
+  /// bench_cluster_throughput reports. Since the telemetry layer landed,
+  /// this is a VIEW over the registry's per-shard phase histograms
+  /// (cluster_shard_phase_seconds{svc,shard,phase}); it advances only
+  /// while telemetry::enabled() — the same condition under which any of
+  /// the stack's timing instruments record.
   struct PhaseBreakdown {
     double add_s = 0;
     double collect_s = 0;
   };
   PhaseBreakdown phase_breakdown() const;
+
+  /// Opt-in span tracing: while attached, every job records its life as a
+  /// nested span tree (job → submit → partition → acquire_slots → pass →
+  /// per-shard add/collect waves → merge, plus failover passes) into
+  /// `trace`, rooted under `parent`. The wave spans reuse the exact clock
+  /// readings that feed the phase histograms, so traced wall times agree
+  /// with phase_breakdown() to the nanosecond. Pass nullptr to detach.
+  /// The caller owns the trace and must keep it alive while attached (and
+  /// must not detach while jobs are in flight).
+  void attach_trace(telemetry::Trace* trace,
+                    telemetry::Trace::SpanId parent = telemetry::Trace::kNone);
 
   /// Job-runner sizing and high-water mark: how many reduce loops ever ran
   /// at once (submitted + synchronous). With submit() alone this can never
@@ -209,12 +227,15 @@ class AggregationService {
       const std::vector<SlotRange>& ranges,
       std::span<const std::span<const float>> workers, std::span<float> out,
       const JobParams& params, std::uint64_t job_id, std::uint64_t pass,
-      JobReport& report);
+      JobReport& report, telemetry::Trace* trace,
+      telemetry::Trace::SpanId pass_span);
   void run_shard_chunks(int shard_idx, Shard& shard, const SlotRange& range,
                         const std::vector<std::size_t>& chunks,
                         std::span<const std::span<const float>> workers,
                         std::span<float> result, const JobParams& params,
-                        util::Rng& rng, switchml::SessionStats& stats);
+                        util::Rng& rng, switchml::SessionStats& stats,
+                        telemetry::Trace* trace,
+                        telemetry::Trace::SpanId parent);
   /// Claims a one-shot kill fault for (shard, phase, wave); true when the
   /// caller should die now (throw ShardDeadError).
   bool fire_kill_fault(int shard, FaultPhase phase, std::size_t wave);
@@ -272,9 +293,21 @@ class AggregationService {
   std::mutex alloc_mu_;
   std::condition_variable alloc_cv_;
 
-  // Wave-phase wall-time accounting (relaxed: totals only, no ordering).
-  std::atomic<std::uint64_t> add_phase_ns_{0};
-  std::atomic<std::uint64_t> collect_phase_ns_{0};
+  // Telemetry: stable registry handles (resolved once at construction) and
+  // the optional attached trace. Wave phase time lives ONLY in the
+  // registry's per-shard histograms — phase_breakdown() sums them back.
+  void init_metrics();
+  std::string svc_id_;  ///< "svc" label value for this service instance
+  std::vector<std::array<telemetry::Histogram*, 2>>
+      m_shard_phase_;  ///< [shard][0]=add, [1]=collect
+  telemetry::Gauge* m_queue_depth_ = nullptr;    ///< job-runner queue
+  telemetry::Counter* m_shard_deaths_ = nullptr;
+  telemetry::Counter* m_rerouted_ = nullptr;
+  telemetry::Counter* m_retries_ = nullptr;
+  telemetry::Counter* m_jobs_[2] = {};  ///< [0]=completed, [1]=failed
+  telemetry::Histogram* m_job_wall_ = nullptr;
+  std::atomic<telemetry::Trace*> trace_{nullptr};
+  std::atomic<std::size_t> trace_parent_{telemetry::Trace::kNone};
 
   // Shard liveness + one-shot fault claiming.
   ShardHealth health_;

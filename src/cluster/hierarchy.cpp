@@ -1,7 +1,9 @@
 #include "cluster/hierarchy.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <string>
 
 #include "core/packed.h"
 
@@ -40,6 +42,28 @@ HierarchicalAggregator::HierarchicalAggregator(HierarchyOptions opts)
   spine_ = std::make_unique<pisa::FpisaSwitch>(
       spine_opts.switch_config, tree_program_options(spine_opts));
   leaf_alive_.assign(static_cast<std::size_t>(opts_.leaves), true);
+  init_metrics();
+}
+
+void HierarchicalAggregator::init_metrics() {
+  static std::atomic<std::uint64_t> next_id{0};
+  const std::string tree =
+      std::to_string(next_id.fetch_add(1, std::memory_order_relaxed));
+  auto& reg = telemetry::registry();
+  const auto bounds = telemetry::MetricsRegistry::time_buckets();
+  m_reduces_ = &reg.counter("tree_reduces_total", {{"tree", tree}});
+  m_packets_ = &reg.counter("tree_packets_total", {{"tree", tree}});
+  m_wire_bytes_ = &reg.counter("tree_wire_bytes_total", {{"tree", tree}});
+  m_alive_leaves_ = &reg.gauge("tree_alive_leaves", {{"tree", tree}});
+  m_level_[0] = &reg.histogram("tree_level_seconds",
+                               {{"tree", tree}, {"level", "leaf"}}, bounds);
+  m_level_[1] = &reg.histogram("tree_level_seconds",
+                               {{"tree", tree}, {"level", "spine"}}, bounds);
+  m_alive_leaves_->set(static_cast<double>(opts_.leaves));
+}
+
+telemetry::PhaseBreakdown HierarchicalAggregator::phase_breakdown() const {
+  return {m_level_[0]->sum(), m_level_[1]->sum()};
 }
 
 bool HierarchicalAggregator::leaf_alive(int i) const {
@@ -72,6 +96,7 @@ void HierarchicalAggregator::kill_leaf(int i) {
     throw std::invalid_argument("hierarchy: cannot kill the last leaf");
   }
   leaf_alive_[static_cast<std::size_t>(i)] = false;
+  m_alive_leaves_->set(static_cast<double>(alive_leaves()));
 }
 
 std::size_t HierarchicalAggregator::packet_bytes() const {
@@ -260,6 +285,15 @@ void HierarchicalAggregator::reduce_into(
   sim.run();
   timing.wire_bytes = timing.packets * packet_bytes();
   timing_ = timing;
+
+  // Registry: per-level fan-in time for THIS reduce (modeled seconds —
+  // leaf level is the host->ToR fan-in until the last partial is handed
+  // up; spine level is everything after) plus traffic deltas.
+  m_reduces_->inc();
+  m_packets_->inc(timing.packets);
+  m_wire_bytes_->inc(timing.wire_bytes);
+  m_level_[0]->observe(timing.leaf_done_s);
+  m_level_[1]->observe(std::max(0.0, timing.done_s - timing.leaf_done_s));
 }
 
 HierarchyTiming flat_baseline_timing(const HierarchyOptions& opts,

@@ -13,6 +13,7 @@
 
 #include "net/event_sim.h"
 #include "pisa/fpisa_program.h"
+#include "telemetry/metrics.h"
 
 namespace fpisa::cluster {
 
@@ -73,6 +74,14 @@ class HierarchicalAggregator {
   /// Timing of the most recent reduce().
   const HierarchyTiming& timing() const { return timing_; }
 
+  /// Per-level fan-in timing mapped onto the stack's uniform phase split:
+  /// the leaf level (host -> ToR fan-in, partials handed up) is the add
+  /// phase; the spine level (partial combine + result return) the collect
+  /// phase. Cumulative across reduces, summed from the registry's
+  /// tree_level_seconds{tree,level} histograms — it advances only while
+  /// telemetry::enabled(), like every timing instrument in the stack.
+  telemetry::PhaseBreakdown phase_breakdown() const;
+
   /// Failover: declares ToR leaf `i` dead. Its rack's workers are collapsed
   /// into the spine fan-in — they send straight to the spine with their own
   /// bitmap ids (assigned above the leaf-partial ids), skipping the dead
@@ -90,11 +99,22 @@ class HierarchicalAggregator {
   std::size_t packet_bytes() const;
 
  private:
+  void init_metrics();
+
   HierarchyOptions opts_;
   std::vector<std::unique_ptr<pisa::FpisaSwitch>> leaves_;
   std::unique_ptr<pisa::FpisaSwitch> spine_;
   std::vector<bool> leaf_alive_;
   HierarchyTiming timing_{};
+
+  // Telemetry handles ("tree" instance label), resolved once at
+  // construction: modeled per-level fan-in time per reduce, packet/byte
+  // accounting deltas, and a live-leaf gauge.
+  telemetry::Counter* m_reduces_ = nullptr;
+  telemetry::Counter* m_packets_ = nullptr;
+  telemetry::Counter* m_wire_bytes_ = nullptr;
+  telemetry::Gauge* m_alive_leaves_ = nullptr;
+  telemetry::Histogram* m_level_[2] = {};  ///< [0]=leaf, [1]=spine
 };
 
 /// Timing of the same reduction through ONE flat switch with every worker

@@ -1,5 +1,6 @@
 #include "collective/communicator.h"
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
@@ -30,10 +31,48 @@ void Communicator::validate(std::span<const std::span<const float>> workers,
   }
 }
 
+void Communicator::ensure_metrics() const {
+  std::call_once(metrics_once_, [this] {
+    static std::atomic<std::uint64_t> next_id{0};
+    comm_id_ = std::to_string(next_id.fetch_add(1, std::memory_order_relaxed));
+    auto& reg = telemetry::registry();
+    const telemetry::Labels labels{{"comm", comm_id_},
+                                   {"backend", std::string(name())}};
+    m_jobs_ = &reg.counter("collective_allreduces_total", labels);
+    m_wall_ = &reg.histogram("collective_allreduce_seconds", labels,
+                             telemetry::MetricsRegistry::time_buckets());
+  });
+}
+
+telemetry::Snapshot Communicator::metrics() const {
+  ensure_metrics();
+  return telemetry::snapshot().with_label("comm", comm_id_);
+}
+
+telemetry::PhaseBreakdown Communicator::phase_breakdown() const {
+  // Backends without an internal phase split: the whole job wall counts as
+  // the add (aggregation) phase — the histogram sum is cumulative wall.
+  ensure_metrics();
+  return {m_wall_->sum(), 0.0};
+}
+
+void Communicator::set_trace(telemetry::Trace* trace,
+                             telemetry::Trace::SpanId parent) {
+  trace_parent_.store(parent, std::memory_order_relaxed);
+  trace_.store(trace, std::memory_order_release);
+}
+
 ReduceStats Communicator::run_and_finish(
     std::span<const std::span<const float>> workers, std::span<float> out,
     ReduceOp op, std::string_view tenant) {
   validate(workers, out);
+  ensure_metrics();
+
+  telemetry::Trace* const tr = trace_.load(std::memory_order_acquire);
+  telemetry::ScopedSpan span(tr, "allreduce",
+                             trace_parent_.load(std::memory_order_relaxed));
+  span.annotate("backend", std::string(name()));
+  if (!tenant.empty()) span.annotate("tenant", std::string(tenant));
 
   // Single-substrate backends (one session / one aggregator / one tree)
   // are not internally synchronized; serialize their jobs so concurrent
@@ -57,6 +96,8 @@ ReduceStats Communicator::run_and_finish(
     for (auto& v : out) v *= inv_w;
   }
   stats.wall_s = elapsed_s(t0, std::chrono::steady_clock::now());
+  m_jobs_->inc();
+  m_wall_->observe(stats.wall_s);
   record_slo(tenant, stats.wall_s, /*completed=*/true,
              stats.network.failover_retries > 0);
   return stats;
@@ -145,9 +186,26 @@ ReduceStats HostCommunicator::run(
 
 void SwitchCommunicator::ensure_session(int num_workers) {
   if (session_ && opts_.num_workers == num_workers) return;
+  if (session_) {
+    // Retire the old session's phase split so phase_breakdown() survives
+    // recreation the same way total_ does for the packet counters.
+    const telemetry::PhaseBreakdown p = session_->phase_breakdown();
+    phase_base_.add_s += p.add_s;
+    phase_base_.collect_s += p.collect_s;
+  }
   opts_.num_workers = num_workers;
   session_ =
       std::make_unique<switchml::AggregationSession>(config_, opts_);
+}
+
+telemetry::PhaseBreakdown SwitchCommunicator::phase_breakdown() const {
+  telemetry::PhaseBreakdown p = phase_base_;
+  if (session_) {
+    const telemetry::PhaseBreakdown cur = session_->phase_breakdown();
+    p.add_s += cur.add_s;
+    p.collect_s += cur.collect_s;
+  }
+  return p;
 }
 
 switchml::AggregationSession& SwitchCommunicator::session() {
@@ -163,15 +221,11 @@ ReduceStats SwitchCommunicator::run(
   session_->reduce_into(workers, out);
   ReduceStats stats;
   stats.job_id = next_job_id_++;
-  // This job's protocol traffic: the session's cumulative delta.
-  const switchml::SessionStats& after = session_->stats();
-  stats.network.packets_sent = after.packets_sent - before.packets_sent;
-  stats.network.packets_lost = after.packets_lost - before.packets_lost;
-  stats.network.retransmissions =
-      after.retransmissions - before.retransmissions;
-  stats.network.duplicates_absorbed =
-      after.duplicates_absorbed - before.duplicates_absorbed;
-  stats.network.slot_reuses = after.slot_reuses - before.slot_reuses;
+  // This job's protocol traffic: the session's cumulative delta. The
+  // centralized operator-= covers every field — including the per-MAU
+  // kernel op counters, which a hand-rolled field list used to drop.
+  stats.network = session_->stats();
+  stats.network -= before;
   total_ += stats.network;  // survives session recreation, unlike stats()
   return stats;
 }
@@ -194,6 +248,18 @@ ReduceStats report_to_stats(const cluster::JobReport& report) {
 
 TenantSlo ClusterCommunicator::tenant_slo(std::string_view tenant) const {
   return service_.tenant_slo(tenant.empty() ? kDefaultTenant : tenant);
+}
+
+telemetry::PhaseBreakdown ClusterCommunicator::phase_breakdown() const {
+  const cluster::AggregationService::PhaseBreakdown p =
+      service_.phase_breakdown();
+  return {p.add_s, p.collect_s};
+}
+
+void ClusterCommunicator::set_trace(telemetry::Trace* trace,
+                                    telemetry::Trace::SpanId parent) {
+  Communicator::set_trace(trace, parent);
+  service_.attach_trace(trace, parent);
 }
 
 ReduceStats ClusterCommunicator::run(

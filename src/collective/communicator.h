@@ -16,6 +16,7 @@
 // adapters.
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <map>
 #include <memory>
@@ -30,6 +31,8 @@
 #include "cluster/slo.h"
 #include "switchml/aggregator.h"
 #include "switchml/session.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace fpisa::collective {
 
@@ -127,6 +130,35 @@ class Communicator {
   /// which also cover jobs submitted around the communicator.
   virtual TenantSlo tenant_slo(std::string_view tenant = {}) const;
 
+  // --- uniform observability surface (identical across all backends) ---
+
+  /// This communicator's slice of the process-wide registry: every sample
+  /// carrying this instance's "comm" label (collective_allreduces_total,
+  /// collective_allreduce_seconds; substrate series keep their own
+  /// sw=/sess=/svc=/tree= instance labels and are read via
+  /// telemetry::snapshot() directly).
+  telemetry::Snapshot metrics() const;
+
+  /// Add/collect phase wall-time split, cumulative across jobs — the same
+  /// currency cluster::AggregationService::phase_breakdown() has exposed
+  /// since PR 3, now uniform across backends. Backends without an internal
+  /// phase split (host) attribute the whole job wall to the add phase.
+  /// Advances only while telemetry::enabled().
+  virtual telemetry::PhaseBreakdown phase_breakdown() const;
+
+  /// Opt-in span tracing: every subsequent allreduce/submit records an
+  /// "allreduce" span (annotated backend/tenant) under `parent`. The
+  /// cluster backend additionally attaches the trace to its service, so
+  /// jobs unfold into the full submit → partition → shard waves → merge
+  /// tree. Caller owns the trace; pass nullptr to detach (not while jobs
+  /// are in flight).
+  virtual void set_trace(telemetry::Trace* trace,
+                         telemetry::Trace::SpanId parent =
+                             telemetry::Trace::kNone);
+  telemetry::Trace* trace() const {
+    return trace_.load(std::memory_order_acquire);
+  }
+
  protected:
   /// Backend hook: sum `workers` into `out` and report the job's stats.
   virtual ReduceStats run(std::span<const std::span<const float>> workers,
@@ -162,9 +194,20 @@ class Communicator {
                   bool failed_over);
 
  private:
+  /// Lazy one-shot registration (name() is virtual, so this cannot run in
+  /// the base constructor). Safe to call concurrently and from const paths.
+  void ensure_metrics() const;
+
   std::mutex run_mu_;  ///< serializes run() for single-substrate backends
   mutable std::mutex slo_mu_;
   std::map<std::string, cluster::SloAccumulator, std::less<>> slo_;
+
+  mutable std::once_flag metrics_once_;
+  mutable std::string comm_id_;  ///< "comm" instance label value
+  mutable telemetry::Counter* m_jobs_ = nullptr;
+  mutable telemetry::Histogram* m_wall_ = nullptr;
+  std::atomic<telemetry::Trace*> trace_{nullptr};
+  std::atomic<telemetry::Trace::SpanId> trace_parent_{telemetry::Trace::kNone};
 };
 
 /// Persistent per-tenant handle: a Communicator bound to one tenant name,
@@ -238,6 +281,8 @@ class SwitchCommunicator final : public Communicator {
 
   std::string_view name() const override { return "switch"; }
   switchml::SessionStats total_stats() const override { return total_; }
+  /// Session phase split, accumulated across session recreations.
+  telemetry::PhaseBreakdown phase_breakdown() const override;
   /// The underlying session (created on first use).
   switchml::AggregationSession& session();
 
@@ -251,6 +296,7 @@ class SwitchCommunicator final : public Communicator {
   switchml::SessionOptions opts_;
   std::unique_ptr<switchml::AggregationSession> session_;
   switchml::SessionStats total_{};  ///< survives session recreation
+  telemetry::PhaseBreakdown phase_base_{};  ///< retired sessions' phases
   std::uint64_t next_job_id_ = 0;
 };
 
@@ -268,6 +314,14 @@ class ClusterCommunicator final : public Communicator {
   }
   /// Substrate-native books: covers submit()ed jobs and failover retries.
   TenantSlo tenant_slo(std::string_view tenant = {}) const override;
+  /// View over the service's per-shard phase histograms (the legacy
+  /// service_.phase_breakdown(), re-shaped into the uniform currency).
+  telemetry::PhaseBreakdown phase_breakdown() const override;
+  /// Also attaches the trace to the service, so every job records the full
+  /// submit → partition → shard waves → merge (+failover) span tree.
+  void set_trace(telemetry::Trace* trace,
+                 telemetry::Trace::SpanId parent =
+                     telemetry::Trace::kNone) override;
   JobHandle submit(const WorkerViews& workers, std::span<float> out,
                    ReduceOp op = ReduceOp::kSum,
                    std::string_view tenant = {}) override;
@@ -292,6 +346,10 @@ class TreeCommunicator final : public Communicator {
 
   std::string_view name() const override { return "tree"; }
   switchml::SessionStats total_stats() const override { return total_; }
+  /// Per-level fan-in split: leaf level → add, spine level → collect.
+  telemetry::PhaseBreakdown phase_breakdown() const override {
+    return tree_.phase_breakdown();
+  }
   cluster::HierarchicalAggregator& tree() { return tree_; }
 
  protected:

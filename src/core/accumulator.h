@@ -77,6 +77,18 @@ struct OpCounters {
     zero_inputs += o.zero_inputs;
     return *this;
   }
+  /// Delta against an earlier snapshot of the same monotone counters (how
+  /// per-reduce attribution is carved out of a long-lived accumulator).
+  OpCounters& operator-=(const OpCounters& o) {
+    adds -= o.adds;
+    rounded_adds -= o.rounded_adds;
+    overwrites -= o.overwrites;
+    lshift_overflows -= o.lshift_overflows;
+    saturations -= o.saturations;
+    nonfinite_inputs -= o.nonfinite_inputs;
+    zero_inputs -= o.zero_inputs;
+    return *this;
+  }
 };
 
 /// Raw register state, exposed so the PISA switch program can be checked

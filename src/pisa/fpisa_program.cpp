@@ -1,6 +1,7 @@
 #include "pisa/fpisa_program.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <string>
@@ -534,6 +535,90 @@ std::vector<LogicalTableDesc> fpisa_resource_descriptors(
   return d;
 }
 
+// --- observability ---------------------------------------------------------
+
+void FpisaSwitch::init_metrics() {
+  static std::atomic<int> next_id{0};
+  const std::string id = std::to_string(next_id.fetch_add(1));
+  auto& reg = telemetry::registry();
+  m_packets_ = &reg.counter("fpisa_switch_packets_total", {{"sw", id}});
+  m_dedup_ = &reg.counter("fpisa_switch_dedup_hits_total", {{"sw", id}});
+  m_occupancy_ = &reg.gauge("fpisa_switch_occupied_slots", {{"sw", id}});
+  static constexpr const char* kOps[7] = {
+      "adds",        "rounded_adds",     "overwrites", "lshift_overflows",
+      "saturations", "nonfinite_inputs", "zero_inputs"};
+  for (int i = 0; i < 7; ++i) {
+    m_ops_[i] =
+        &reg.counter("fpisa_switch_ops_total", {{"sw", id}, {"op", kOps[i]}});
+  }
+}
+
+void FpisaSwitch::flush_metrics(std::size_t packets) {
+  if (!telemetry::enabled()) return;
+  m_packets_->inc(packets);
+  if (dedup_hits_ != dedup_flushed_) {
+    m_dedup_->inc(dedup_hits_ - dedup_flushed_);
+    dedup_flushed_ = dedup_hits_;
+  }
+  const std::uint64_t deltas[7] = {
+      ops_.adds - ops_flushed_.adds,
+      ops_.rounded_adds - ops_flushed_.rounded_adds,
+      ops_.overwrites - ops_flushed_.overwrites,
+      ops_.lshift_overflows - ops_flushed_.lshift_overflows,
+      ops_.saturations - ops_flushed_.saturations,
+      ops_.nonfinite_inputs - ops_flushed_.nonfinite_inputs,
+      ops_.zero_inputs - ops_flushed_.zero_inputs};
+  for (int i = 0; i < 7; ++i) {
+    if (deltas[i]) m_ops_[i]->inc(deltas[i]);
+  }
+  ops_flushed_ = ops_;
+  m_occupancy_->set(static_cast<double>(occupied_));
+}
+
+void FpisaSwitch::classify_add_lane(int lane, std::size_t slot,
+                                    std::uint32_t u) {
+  // Mirrors apply_add_lane / the interpreted MAU0-4 step for step, but
+  // only reads state; the branch taken IS the classification.
+  ops_.adds++;
+  const std::uint32_t e_raw = (u >> 23) & 0xFFu;
+  if (e_raw == 0xFFu) ops_.nonfinite_inputs++;
+  if ((u & 0x7FFFFFFFu) == 0) ops_.zero_inputs++;
+
+  std::uint32_t man32 = u & 0x7FFFFFu;
+  const std::uint32_t exp_eff = e_raw == 0 ? 1u : e_raw;
+  if (e_raw != 0) man32 |= 1u << 23;
+  if (u >> 31) man32 = ~man32 + 1u;
+  const std::int64_t m =
+      static_cast<std::int64_t>(static_cast<std::int32_t>(man32));
+  const std::uint64_t old_e = sim_.reg(2 * lane).read(slot);
+  const std::int64_t old_m = sim_.reg(2 * lane + 1).read_signed(slot);
+  int d = static_cast<int>(exp_eff) - static_cast<int>(old_e);
+  d = std::min(d, 32);
+  d = std::max(d, -32);
+
+  std::int64_t nm;
+  if (d <= 0) {
+    if (core::detail::asr_inexact(m, -d)) ops_.rounded_adds++;
+    nm = old_m + (m >> -d);
+  } else if (opts_.variant == core::Variant::kFull) {
+    if (core::detail::asr_inexact(old_m, d)) ops_.rounded_adds++;
+    nm = (old_m >> d) + m;
+  } else if (d <= headroom_fp32()) {
+    nm = old_m + (m << d);
+    if (nm != static_cast<std::int64_t>(static_cast<std::int32_t>(nm))) {
+      ops_.lshift_overflows++;
+    }
+    return;  // lshift overflow is its own bucket, not a saturation
+  } else {
+    if (old_m != 0) ops_.overwrites++;
+    return;  // overwrite cannot wrap
+  }
+  // Register adds wrap at 32 bits (hardware semantics); count the wrap.
+  if (nm != static_cast<std::int64_t>(static_cast<std::int32_t>(nm))) {
+    ops_.saturations++;
+  }
+}
+
 FpisaResult FpisaSwitch::roundtrip(FpisaOp op, std::uint16_t slot,
                                    std::uint8_t worker,
                                    std::span<const std::uint32_t> values) {
@@ -546,11 +631,28 @@ void FpisaSwitch::roundtrip_into(FpisaOp op, std::uint16_t slot,
                                  std::uint8_t worker,
                                  std::span<const std::uint32_t> values,
                                  FpisaResult& out) {
+  // Accounting happens against the pre-packet register state, so the
+  // interpreted path classifies exactly like the compiled batch path.
+  const int lanes = opts_.lanes;
+  RegisterArray& bitmap_reg = sim_.reg(2 * lanes);
+  if (op == FpisaOp::kAdd) {
+    const std::uint64_t wbit = std::uint64_t{1} << worker;
+    const std::uint64_t old_bm = bitmap_reg.read(slot);
+    if (old_bm & wbit) {
+      dedup_hits_++;
+    } else {
+      if (old_bm == 0) occupied_++;
+      for (int l = 0; l < lanes; ++l) classify_add_lane(l, slot, values[l]);
+    }
+  } else if (op == FpisaOp::kReset) {
+    if (bitmap_reg.read(slot) != 0) occupied_--;
+  }
   make_fpisa_packet_into(scratch_pkt_, op, slot, worker, values,
                          opts_.convert_endianness);
   sim_.process(scratch_pkt_);
   parse_fpisa_result_into(scratch_pkt_, opts_.lanes, out,
                           opts_.convert_endianness);
+  flush_metrics(1);
 }
 
 FpisaResult FpisaSwitch::add(std::uint16_t slot, std::uint8_t worker,
@@ -589,6 +691,7 @@ void FpisaSwitch::read_and_reset_into(std::uint16_t slot, FpisaResult& out) {
 
 void FpisaSwitch::apply_add_lane(int lane, std::size_t slot,
                                  std::uint32_t u) {
+  classify_add_lane(lane, slot, u);  // reads pre-update state only
   RegisterArray& exp_reg = sim_.reg(2 * lane);
   RegisterArray& man_reg = sim_.reg(2 * lane + 1);
 
@@ -646,7 +749,11 @@ void FpisaSwitch::add_batch(std::span<const std::uint16_t> slots,
     const std::uint64_t wbit = std::uint64_t{1} << workers[p];
     const std::uint64_t old_bm = bitmap.read(slot);
     bitmap.write(slot, old_bm | wbit);
-    if (old_bm & wbit) continue;  // duplicate: absorbed, no state change
+    if (old_bm & wbit) {  // duplicate: absorbed, no state change
+      dedup_hits_++;
+      continue;
+    }
+    if (old_bm == 0) occupied_++;
 
     count.write(slot, count.read(slot) + 1);  // completion counter
     const std::uint32_t* lane_vals =
@@ -654,6 +761,7 @@ void FpisaSwitch::add_batch(std::span<const std::uint16_t> slots,
     for (int l = 0; l < lanes; ++l) apply_add_lane(l, slot, lane_vals[l]);
   }
   sim_.account_packets(slots.size());
+  flush_metrics(slots.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -736,11 +844,13 @@ void FpisaSwitch::collect_batch(std::uint16_t slot0, std::size_t n,
       out_counts[k] = static_cast<std::uint16_t>(count.read(slot));
     }
     if (reset) {
+      if (bitmap.read(slot) != 0) occupied_--;
       bitmap.write(slot, 0);
       count.write(slot, 0);
     }
   }
   sim_.account_packets(n);
+  flush_metrics(n);
 }
 
 void FpisaSwitch::read_batch(std::uint16_t slot0, std::size_t n,

@@ -28,6 +28,7 @@
 #include "core/accumulator.h"
 #include "pisa/pipeline.h"
 #include "pisa/resources.h"
+#include "telemetry/metrics.h"
 
 namespace fpisa::pisa {
 
@@ -79,12 +80,22 @@ std::vector<LogicalTableDesc> fpisa_resource_descriptors(
     const SwitchConfig& config, const FpisaProgramOptions& opts);
 
 /// Convenience wrapper: a switch running the FPISA aggregation program.
+///
+/// Observability: the switch keeps host-visible per-MAU operation counters
+/// (the §5.2.1 add / rounded-add / overwrite / left-shift taxonomy, counted
+/// identically by the interpreted and compiled-batch paths), dedup-hit and
+/// packet counts, and a live occupied-slot figure. All of it is mirrored
+/// into the process telemetry registry under labels {sw=<instance id>}.
+/// The switch is not thread-safe (callers already serialize access — the
+/// cluster holds a per-shard mutex), so the members are plain integers.
 class FpisaSwitch {
  public:
   FpisaSwitch(SwitchConfig config, FpisaProgramOptions opts)
       : opts_(opts),
         sim_(config, build_fpisa_program(config, opts)),
-        zeros_(static_cast<std::size_t>(opts.lanes), 0) {}
+        zeros_(static_cast<std::size_t>(opts.lanes), 0) {
+    init_metrics();
+  }
 
   /// Sends one add packet carrying `values` (one per lane, FP32 bits);
   /// returns the post-add aggregate the switch emits.
@@ -135,6 +146,15 @@ class FpisaSwitch {
   const FpisaProgramOptions& options() const { return opts_; }
   SwitchSim& sim() { return sim_; }
 
+  /// Per-MAU operation counts (§5.2.1 taxonomy) for every lane-add this
+  /// switch executed, batched or interpreted. Duplicates (absorbed by the
+  /// dedup bitmap) are excluded — they caused no register operation.
+  const core::OpCounters& op_counters() const { return ops_; }
+  /// Add packets absorbed by the dedup bitmap (retransmissions).
+  std::uint64_t dedup_hits() const { return dedup_hits_; }
+  /// Slots whose dedup bitmap is currently nonzero (in-flight aggregates).
+  std::int64_t occupied_slots() const { return occupied_; }
+
  private:
   FpisaResult roundtrip(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
                         std::span<const std::uint32_t> values);
@@ -147,11 +167,28 @@ class FpisaSwitch {
                      std::span<std::uint32_t> out_values,
                      std::span<std::uint32_t> out_bitmaps,
                      std::span<std::uint16_t> out_counts);
+  /// Read-only classification of one lane add against the current register
+  /// state — the single source of §5.2.1 accounting for both the compiled
+  /// and the interpreted ingress.
+  void classify_add_lane(int lane, std::size_t slot, std::uint32_t value_bits);
+  void init_metrics();
+  /// Pushes (packets, dedup, op-count deltas, occupancy) to the registry.
+  void flush_metrics(std::size_t packets);
 
   FpisaProgramOptions opts_;
   SwitchSim sim_;
   Packet scratch_pkt_;                  ///< reused by the *_into paths
   std::vector<std::uint32_t> zeros_;    ///< read/reset payload template
+
+  core::OpCounters ops_{};
+  std::uint64_t dedup_hits_ = 0;
+  std::int64_t occupied_ = 0;
+  core::OpCounters ops_flushed_{};      ///< registry high-water marks
+  std::uint64_t dedup_flushed_ = 0;
+  telemetry::Counter* m_packets_ = nullptr;
+  telemetry::Counter* m_dedup_ = nullptr;
+  telemetry::Gauge* m_occupancy_ = nullptr;
+  telemetry::Counter* m_ops_[7] = {};
 };
 
 }  // namespace fpisa::pisa

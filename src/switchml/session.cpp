@@ -1,12 +1,24 @@
 #include "switchml/session.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "core/packed.h"
 
 namespace fpisa::switchml {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+}  // namespace
 
 AggregationSession::AggregationSession(pisa::SwitchConfig config,
                                        SessionOptions opts)
@@ -24,6 +36,41 @@ AggregationSession::AggregationSession(pisa::SwitchConfig config,
       loss_rng_(opts.loss_seed),
       lane_buf_(static_cast<std::size_t>(opts.lanes), 0) {
   assert(opts_.num_workers <= 32 && "bitmap is 32 bits wide");
+  init_metrics();
+}
+
+void AggregationSession::init_metrics() {
+  static std::atomic<int> next_id{0};
+  const std::string id = std::to_string(next_id.fetch_add(1));
+  auto& reg = telemetry::registry();
+  m_waves_ = &reg.counter("switchml_session_waves_total", {{"sess", id}});
+  m_retrans_ =
+      &reg.counter("switchml_session_retransmissions_total", {{"sess", id}});
+  m_lost_ =
+      &reg.counter("switchml_session_packets_lost_total", {{"sess", id}});
+  m_phase_[0] = &reg.histogram("switchml_session_phase_seconds",
+                               {{"sess", id}, {"phase", "add"}},
+                               telemetry::MetricsRegistry::time_buckets());
+  m_phase_[1] = &reg.histogram("switchml_session_phase_seconds",
+                               {{"sess", id}, {"phase", "collect"}},
+                               telemetry::MetricsRegistry::time_buckets());
+}
+
+void AggregationSession::note_wave(std::uint64_t add_ns,
+                                   std::uint64_t collect_ns) {
+  add_ns_ += add_ns;
+  collect_ns_ += collect_ns;
+  if (!telemetry::enabled()) return;
+  m_waves_->inc();
+  m_phase_[0]->observe(static_cast<double>(add_ns) / 1e9);
+  m_phase_[1]->observe(static_cast<double>(collect_ns) / 1e9);
+  if (stats_.retransmissions != stats_flushed_.retransmissions) {
+    m_retrans_->inc(stats_.retransmissions - stats_flushed_.retransmissions);
+  }
+  if (stats_.packets_lost != stats_flushed_.packets_lost) {
+    m_lost_->inc(stats_.packets_lost - stats_flushed_.packets_lost);
+  }
+  stats_flushed_ = stats_;
 }
 
 bool AggregationSession::send_add(std::uint16_t slot, std::uint8_t worker,
@@ -192,6 +239,7 @@ void AggregationSession::reduce_into(
 
   for (std::size_t base = 0; base < chunks; base += opts_.slots) {
     const std::size_t wave_end = std::min(base + opts_.slots, chunks);
+    const Clock::time_point t_wave = Clock::now();
     // All workers stream their packets for this wave of chunks. The
     // batched path encodes the whole wave into reused buffers and applies
     // it in one add_batch call; the per-packet path drives the simulator
@@ -221,6 +269,7 @@ void AggregationSession::reduce_into(
       }
     }
     flush_pending();
+    const Clock::time_point t_collect = Clock::now();
     // Collect + recycle every slot of the wave: an idempotent read
     // (retried until acknowledged), then a reset (extra resets re-clear an
     // already-empty slot, which is harmless once the value is captured).
@@ -228,6 +277,8 @@ void AggregationSession::reduce_into(
     // read_and_reset_batch call with the identical loss schedule.
     if (opts_.batched) {
       collect_wave(base, wave_end, n, result);
+      note_wave(ns_between(t_wave, t_collect),
+                ns_between(t_collect, Clock::now()));
       continue;
     }
     for (std::size_t c = base; c < wave_end; ++c) {
@@ -275,6 +326,8 @@ void AggregationSession::reduce_into(
         throw std::runtime_error("reset packet exceeded retransmits");
       }
     }
+    note_wave(ns_between(t_wave, t_collect),
+              ns_between(t_collect, Clock::now()));
   }
 }
 

@@ -25,7 +25,9 @@
 #include <span>
 #include <vector>
 
+#include "core/accumulator.h"
 #include "pisa/fpisa_program.h"
+#include "telemetry/metrics.h"
 #include "util/rng.h"
 
 namespace fpisa::switchml {
@@ -52,6 +54,12 @@ struct SessionStats {
   std::uint64_t shard_failures = 0;   ///< shards declared dead serving this
   std::uint64_t chunks_rerouted = 0;  ///< chunks re-homed onto survivors
   std::uint64_t failover_retries = 0; ///< clean retry passes run
+  /// Per-MAU kernel operation counts (§5.2.1 taxonomy), carried through
+  /// every merge so table-level accounting survives aggregation end to
+  /// end. Populated where a layer exclusively owns its switch (sessions,
+  /// cluster per-shard books); zero where attribution is ambiguous
+  /// (concurrent jobs sharing switches).
+  core::OpCounters ops{};
 
   /// Centralized merge (cluster/shard/tenant accounting all use this).
   SessionStats& operator+=(const SessionStats& o) {
@@ -63,6 +71,21 @@ struct SessionStats {
     shard_failures += o.shard_failures;
     chunks_rerouted += o.chunks_rerouted;
     failover_retries += o.failover_retries;
+    ops += o.ops;
+    return *this;
+  }
+  /// Delta against an earlier snapshot of the same cumulative stats (used
+  /// to attribute one reduce out of a long-lived session's running total).
+  SessionStats& operator-=(const SessionStats& o) {
+    packets_sent -= o.packets_sent;
+    packets_lost -= o.packets_lost;
+    retransmissions -= o.retransmissions;
+    duplicates_absorbed -= o.duplicates_absorbed;
+    slot_reuses -= o.slot_reuses;
+    shard_failures -= o.shard_failures;
+    chunks_rerouted -= o.chunks_rerouted;
+    failover_retries -= o.failover_retries;
+    ops -= o.ops;
     return *this;
   }
 };
@@ -102,8 +125,21 @@ class AggregationSession {
   /// forwards to reduce_into.
   std::vector<float> reduce(std::span<const std::vector<float>> workers);
 
-  const SessionStats& stats() const { return stats_; }
+  /// Cumulative protocol stats; `.ops` reflects the owned switch's kernel
+  /// operation counters at call time (the session has exclusive access).
+  const SessionStats& stats() const {
+    stats_.ops = switch_.op_counters();
+    return stats_;
+  }
   pisa::FpisaSwitch& fpisa_switch() { return switch_; }
+
+  /// Wall time split between the add (scatter) and collect (read+reset)
+  /// protocol phases across all reduces — the same currency the cluster
+  /// service exposes, here for the single-switch backend.
+  telemetry::PhaseBreakdown phase_breakdown() const {
+    return {static_cast<double>(add_ns_) / 1e9,
+            static_cast<double>(collect_ns_) / 1e9};
+  }
 
  private:
   /// Sends one worker's packet for a chunk; applies loss on both
@@ -123,10 +159,22 @@ class AggregationSession {
   void collect_wave(std::size_t base, std::size_t wave_end, std::size_t n,
                     std::span<float> result);
 
+  void init_metrics();
+  /// Accumulates one wave's timings and pushes stats deltas to the registry.
+  void note_wave(std::uint64_t add_ns, std::uint64_t collect_ns);
+
   SessionOptions opts_;
   pisa::FpisaSwitch switch_;
   util::Rng loss_rng_;
-  SessionStats stats_{};
+  mutable SessionStats stats_{};  ///< mutable: stats() refreshes .ops
+
+  std::uint64_t add_ns_ = 0;      ///< add-phase wall time across reduces
+  std::uint64_t collect_ns_ = 0;  ///< collect-phase wall time
+  SessionStats stats_flushed_{};  ///< registry high-water marks
+  telemetry::Counter* m_waves_ = nullptr;
+  telemetry::Counter* m_retrans_ = nullptr;
+  telemetry::Counter* m_lost_ = nullptr;
+  telemetry::Histogram* m_phase_[2] = {};  ///< [0]=add, [1]=collect
 
   // Reused across waves: zero steady-state allocation on the hot path.
   std::vector<std::uint16_t> pending_slots_;

@@ -1,0 +1,202 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fpisa::telemetry {
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string human_duration(std::int64_t ns) {
+  char buf[32];
+  if (ns < 0) {
+    return "(open)";
+  } else if (ns < 10'000) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.1fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int Trace::thread_index_locked(std::thread::id id) {
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int idx = static_cast<int>(tids_.size());
+  tids_.emplace(id, idx);
+  return idx;
+}
+
+Trace::SpanId Trace::begin(std::string name, SpanId parent) {
+  return begin_at(std::move(name), parent, Clock::now());
+}
+
+Trace::SpanId Trace::begin_at(std::string name, SpanId parent,
+                              Clock::time_point t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Span s;
+  s.name = std::move(name);
+  s.parent = parent;
+  s.seq = next_seq_++;
+  s.start_ns = rel_ns(t);
+  s.tid = thread_index_locked(std::this_thread::get_id());
+  spans_.push_back(std::move(s));
+  return spans_.size();  // 1-based
+}
+
+void Trace::end(SpanId id) { end_at(id, Clock::now()); }
+
+void Trace::end_at(SpanId id, Clock::time_point t) {
+  if (id == kNone) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id > spans_.size()) return;
+  Span& s = spans_[id - 1];
+  if (s.end_ns >= 0) return;  // already closed
+  s.end_ns = std::max(s.start_ns, rel_ns(t));
+}
+
+void Trace::annotate(SpanId id, std::string key, std::string value) {
+  if (id == kNone) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].args.emplace_back(std::move(key), std::move(value));
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_.size();
+}
+
+std::vector<Trace::SpanView> Trace::spans() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SpanView> out;
+  out.reserve(spans_.size());
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    SpanView v;
+    v.name = s.name;
+    v.id = i + 1;
+    v.parent = s.parent;
+    v.seq = s.seq;
+    v.start_ns = s.start_ns;
+    v.dur_ns = s.end_ns < 0 ? -1 : s.end_ns - s.start_ns;
+    v.tid = s.tid;
+    v.args = s.args;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+double Trace::total_seconds_of(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  double total = 0;
+  for (const Span& s : spans_) {
+    if (s.name == name && s.end_ns >= 0) {
+      total += static_cast<double>(s.end_ns - s.start_ns) / 1e9;
+    }
+  }
+  return total;
+}
+
+std::string Trace::tree() const {
+  const std::vector<SpanView> all = spans();
+  // children in open order under each parent (0 = roots)
+  std::vector<std::vector<std::size_t>> children(all.size() + 1);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const SpanId p = all[i].parent <= all.size() ? all[i].parent : kNone;
+    children[p].push_back(i);
+  }
+  std::string out;
+  // iterative DFS to keep arbitrarily deep failover-retry trees safe
+  std::vector<std::pair<std::size_t, int>> stack;  // (span index, depth)
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [i, depth] = stack.back();
+    stack.pop_back();
+    const SpanView& s = all[i];
+    out += std::string(static_cast<std::size_t>(depth) * 2, ' ');
+    out += s.name;
+    out += "  ";
+    out += human_duration(s.dur_ns);
+    if (!s.args.empty()) {
+      out += "  [";
+      for (std::size_t a = 0; a < s.args.size(); ++a) {
+        if (a) out += " ";
+        out += s.args[a].first + "=" + s.args[a].second;
+      }
+      out += "]";
+    }
+    out += "\n";
+    for (auto it = children[s.id].rbegin(); it != children[s.id].rend();
+         ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return out;
+}
+
+std::string Trace::chrome_trace_json() const {
+  const std::vector<SpanView> all = spans();
+  // Open spans render with the latest timestamp seen anywhere in the
+  // trace, so a crashed job still produces a loadable file.
+  std::int64_t latest_ns = 0;
+  for (const SpanView& s : all) {
+    latest_ns = std::max(latest_ns, s.start_ns);
+    if (s.dur_ns >= 0) latest_ns = std::max(latest_ns, s.start_ns + s.dur_ns);
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanView& s : all) {
+    if (!first) out += ",";
+    first = false;
+    const std::int64_t dur_ns =
+        s.dur_ns >= 0 ? s.dur_ns : std::max<std::int64_t>(0, latest_ns - s.start_ns);
+    char num[64];
+    out += "{\"ph\":\"X\",\"name\":\"" + escape_json(s.name) + "\"";
+    std::snprintf(num, sizeof num, ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(dur_ns) / 1e3);
+    out += num;
+    out += ",\"pid\":1,\"tid\":" + std::to_string(s.tid);
+    out += ",\"cat\":\"fpisa\",\"args\":{";
+    out += "\"span_id\":" + std::to_string(s.id) +
+           ",\"parent\":" + std::to_string(s.parent);
+    for (const auto& [k, v] : s.args) {
+      out += ",\"" + escape_json(k) + "\":\"" + escape_json(v) + "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace fpisa::telemetry

@@ -1,5 +1,7 @@
 #include "util/bench_json.h"
 
+#include "util/build_info.h"
+
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -41,20 +43,36 @@ std::string number(double v) {
 }  // namespace
 
 void BenchJson::set(const std::string& key, double value) {
-  entries_.push_back({key, true, value, {}});
+  entries_.push_back({key, Entry::Kind::kNumber, value, {}});
 }
 
 void BenchJson::set(const std::string& key, const std::string& value) {
-  entries_.push_back({key, false, 0.0, value});
+  entries_.push_back({key, Entry::Kind::kText, 0.0, value});
+}
+
+void BenchJson::set_raw(const std::string& key, std::string json) {
+  entries_.push_back({key, Entry::Kind::kRaw, 0.0, std::move(json)});
 }
 
 std::string BenchJson::render() const {
-  std::string out = "{\n  \"bench\": \"" + escape(name_) + "\",\n  \"metrics\": {";
+  const BuildInfo& b = build_info();
+  std::string out = "{\n  \"bench\": \"" + escape(name_) + "\",\n";
+  out += "  \"build\": {\n";
+  out += "    \"git\": \"" + escape(std::string(b.git_describe)) + "\",\n";
+  out += "    \"compiler\": \"" + escape(std::string(b.compiler)) + "\",\n";
+  out += "    \"build_type\": \"" + escape(std::string(b.build_type)) + "\",\n";
+  out += "    \"avx2\": " + std::string(b.avx2 ? "true" : "false") + ",\n";
+  out += "    \"sanitizer\": \"" + escape(std::string(b.sanitizer)) + "\"\n";
+  out += "  },\n  \"metrics\": {";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
     out += i ? ",\n    " : "\n    ";
     out += "\"" + escape(e.key) + "\": ";
-    out += e.is_number ? number(e.number) : "\"" + escape(e.text) + "\"";
+    switch (e.kind) {
+      case Entry::Kind::kNumber: out += number(e.number); break;
+      case Entry::Kind::kText: out += "\"" + escape(e.text) + "\""; break;
+      case Entry::Kind::kRaw: out += e.text; break;
+    }
   }
   out += entries_.empty() ? "}\n}\n" : "\n  }\n}\n";
   return out;

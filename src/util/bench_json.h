@@ -10,7 +10,9 @@
 namespace fpisa::util {
 
 /// Collects key -> metric pairs (insertion order preserved) and serializes
-/// them as one flat JSON object: {"bench": <name>, "metrics": {...}}.
+/// them as one JSON object: {"bench": <name>, "build": {...}, "metrics":
+/// {...}}. The "build" object carries util::build_info() (git describe,
+/// compiler, AVX2 on/off, sanitizer mode) on every file automatically.
 class BenchJson {
  public:
   explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
@@ -20,6 +22,9 @@ class BenchJson {
   void set(const std::string& key, const char* value) {
     set(key, std::string(value));
   }
+  /// Embeds `json` verbatim as the value (caller guarantees it is valid
+  /// JSON) — how benches attach a telemetry::Snapshot::json() dump.
+  void set_raw(const std::string& key, std::string json);
 
   const std::string& name() const { return name_; }
   std::string render() const;
@@ -30,7 +35,7 @@ class BenchJson {
  private:
   struct Entry {
     std::string key;
-    bool is_number = false;
+    enum class Kind { kNumber, kText, kRaw } kind = Kind::kNumber;
     double number = 0.0;
     std::string text;
   };

@@ -1,0 +1,35 @@
+#include "util/build_info.h"
+
+// CMake passes these as per-source compile definitions on this file only,
+// so a new git revision re-compiles one TU instead of the whole tree.
+#ifndef FPISA_BUILD_GIT_DESCRIBE
+#define FPISA_BUILD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef FPISA_BUILD_COMPILER
+#define FPISA_BUILD_COMPILER "unknown"
+#endif
+#ifndef FPISA_BUILD_TYPE
+#define FPISA_BUILD_TYPE "unknown"
+#endif
+#ifndef FPISA_BUILD_SANITIZER
+#define FPISA_BUILD_SANITIZER "none"
+#endif
+
+namespace fpisa::util {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      FPISA_BUILD_GIT_DESCRIBE,
+      FPISA_BUILD_COMPILER,
+      FPISA_BUILD_TYPE,
+      FPISA_BUILD_SANITIZER,
+#ifdef FPISA_HAVE_AVX2
+      true,
+#else
+      false,
+#endif
+  };
+  return info;
+}
+
+}  // namespace fpisa::util

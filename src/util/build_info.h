@@ -1,0 +1,23 @@
+// Build provenance: git revision, compiler, and the configuration knobs
+// (AVX2 backend, sanitizer mode, build type) that shape a binary's
+// performance. util::BenchJson stamps every BENCH_*.json with this so the
+// bench trajectory is attributable to a configuration, not just a date.
+#pragma once
+
+#include <string_view>
+
+namespace fpisa::util {
+
+struct BuildInfo {
+  std::string_view git_describe;  ///< `git describe --always --dirty`
+  std::string_view compiler;      ///< e.g. "GNU 13.2.0"
+  std::string_view build_type;    ///< e.g. "Release"
+  std::string_view sanitizer;     ///< "none", "address", or "thread"
+  bool avx2 = false;              ///< FPISA_ENABLE_AVX2 at configure time
+};
+
+/// The configuration this binary was built with (values baked in by CMake;
+/// "unknown" fields when built outside the CMake tree).
+const BuildInfo& build_info();
+
+}  // namespace fpisa::util

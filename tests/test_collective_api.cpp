@@ -43,6 +43,11 @@ void expect_stats_eq(const switchml::SessionStats& got,
   EXPECT_EQ(got.retransmissions, want.retransmissions) << what;
   EXPECT_EQ(got.duplicates_absorbed, want.duplicates_absorbed) << what;
   EXPECT_EQ(got.slot_reuses, want.slot_reuses) << what;
+  // The kernel op taxonomy rides along with every stats merge/delta.
+  EXPECT_EQ(got.ops.adds, want.ops.adds) << what;
+  EXPECT_EQ(got.ops.rounded_adds, want.ops.rounded_adds) << what;
+  EXPECT_EQ(got.ops.saturations, want.ops.saturations) << what;
+  EXPECT_EQ(got.ops.nonfinite_inputs, want.ops.nonfinite_inputs) << what;
 }
 
 // --- host backend ----------------------------------------------------------

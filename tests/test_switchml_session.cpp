@@ -224,6 +224,28 @@ TEST(SessionStatsMerge, OperatorPlusEqualsSumsEveryField) {
   EXPECT_EQ(a.slot_reuses, before.slot_reuses);
 }
 
+TEST(SessionStatsMerge, OpCountersRideAlongThroughMergeAndDelta) {
+  SessionStats a{};
+  a.packets_sent = 10;
+  a.ops.adds = 7;
+  a.ops.rounded_adds = 2;
+  SessionStats b{};
+  b.packets_sent = 5;
+  b.ops.adds = 3;
+  b.ops.nonfinite_inputs = 1;
+  a += b;
+  EXPECT_EQ(a.ops.adds, 10u);
+  EXPECT_EQ(a.ops.rounded_adds, 2u);
+  EXPECT_EQ(a.ops.nonfinite_inputs, 1u);
+  // operator-= recovers the pre-merge snapshot exactly (this is how a
+  // long-lived session attributes a single reduce out of its running
+  // total; a hand-rolled field list here once silently dropped ops).
+  a -= b;
+  EXPECT_EQ(a.packets_sent, 10u);
+  EXPECT_EQ(a.ops.adds, 7u);
+  EXPECT_EQ(a.ops.nonfinite_inputs, 0u);
+}
+
 TEST(CollectSchedule, LosslessScheduleClearsEverySlotWithTwoPacketsEach) {
   util::Rng rng(300);
   SessionStats stats{};

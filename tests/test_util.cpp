@@ -93,6 +93,83 @@ TEST(Percentiles, MedianAndTails) {
   EXPECT_NEAR(p.percentile(0.0), 1.0, 1e-12);
 }
 
+TEST(Percentiles, EmptyReturnsZeroForEveryQuantile) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.median(), 0.0);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 0.0);
+}
+
+TEST(Percentiles, SingleSampleAnswersEveryQuantile) {
+  Percentiles p;
+  p.add(7.5);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(p.median(), 7.5);
+  EXPECT_DOUBLE_EQ(p.percentile(0.99), 7.5);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 7.5);
+}
+
+TEST(Percentiles, NearestRankRounding) {
+  // idx = floor(q*(n-1) + 0.5): nearest rank, ties round up.
+  Percentiles p;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) p.add(v);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);   // idx 0
+  EXPECT_DOUBLE_EQ(p.percentile(0.5), 3.0);   // idx 2.0 exactly
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 4.0);   // idx 3, clamped in range
+  Percentiles two;
+  two.add(10.0);
+  two.add(20.0);
+  EXPECT_DOUBLE_EQ(two.median(), 20.0);  // idx 0.5+0.5 = 1: upper of the pair
+}
+
+TEST(Reservoir, EmptyAndCountVsSampleSize) {
+  Reservoir r(4);
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.sample_size(), 0u);
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), 0.0);
+  for (int i = 0; i < 100; ++i) r.add(i);
+  // count() keeps the full stream length; the sample stays capped.
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.sample_size(), 4u);
+}
+
+TEST(Reservoir, CapacityOneAlwaysHoldsOneStreamElement) {
+  Reservoir r(1);
+  for (int i = 0; i < 50; ++i) r.add(10.0 * i);
+  EXPECT_EQ(r.sample_size(), 1u);
+  const double kept = r.percentile(0.5);
+  // Whatever survived, it came from the stream.
+  EXPECT_GE(kept, 0.0);
+  EXPECT_LE(kept, 490.0);
+  EXPECT_DOUBLE_EQ(std::fmod(kept, 10.0), 0.0);
+}
+
+TEST(Reservoir, ZeroCapacityIsClampedToOne) {
+  Reservoir r(0);
+  r.add(3.0);
+  r.add(4.0);
+  EXPECT_EQ(r.count(), 2u);
+  EXPECT_EQ(r.sample_size(), 1u);
+}
+
+TEST(Reservoir, SameSeedSameStreamSameSample) {
+  Reservoir a(8, 77);
+  Reservoir b(8, 77);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(i * 0.5);
+    b.add(i * 0.5);
+  }
+  EXPECT_EQ(a.sorted_samples(), b.sorted_samples());
+}
+
+TEST(Reservoir, UnderCapacityKeepsEverySample) {
+  Reservoir r(128);
+  for (int i = 1; i <= 10; ++i) r.add(i);
+  EXPECT_EQ(r.sample_size(), 10u);
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 10.0);
+}
+
 TEST(Table, RendersAlignedCells) {
   Table t({"A", "Bee"});
   t.add_row({"1", "22"});
