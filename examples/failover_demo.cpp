@@ -15,15 +15,22 @@
 //                      registry: <prefix>.1.prom after the failover job
 //                      and <prefix>.2.prom at exit (two scrapes so counter
 //                      monotonicity can be linted)
+//   --fault-mix <spec> layer Byzantine wire faults on top of the shard
+//                      kill (corrupt=0.2,stale=0.3,... — see
+//                      fault::parse_fault_mix) and print the fault
+//                      telemetry counters after the job
+//   --seed <n>         fault RNG stream seed for --fault-mix (default 1)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "collective/communicator.h"
 #include "core/packed.h"
+#include "fault/fault.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/rng.h"
@@ -65,17 +72,42 @@ int main(int argc, char** argv) {
   using namespace fpisa;
   using namespace fpisa::collective;
 
-  std::string trace_path, metrics_prefix;
+  std::string trace_path, metrics_prefix, fault_mix;
+  std::uint64_t fault_seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_prefix = argv[++i];
+    } else if (arg == "--fault-mix" && i + 1 < argc) {
+      fault_mix = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trace <file.json>] [--metrics <prefix>]\n",
+                   "usage: %s [--trace <file.json>] [--metrics <prefix>] "
+                   "[--fault-mix k=v,...] [--seed <n>]\n",
                    argv[0]);
+      return 2;
+    }
+  }
+
+  fault::FaultOptions fault_opts;
+  double fault_loss = 0.0;
+  if (!fault_mix.empty()) {
+    fault_opts.seed = fault_seed;
+    if (!fault::parse_fault_mix(fault_mix, fault_opts, &fault_loss)) {
+      std::fprintf(stderr, "error: bad --fault-mix spec '%s'\n",
+                   fault_mix.c_str());
+      return 2;
+    }
+    if (fault_opts.dead_worker >= 0) {
+      // Keep this demo's story about SHARD death; worker death belongs to
+      // example_chaos_demo, which builds the right survivor reference.
+      std::fprintf(stderr,
+                   "error: dead= is not supported here; use "
+                   "example_chaos_demo for worker-death scenarios\n");
       return 2;
     }
   }
@@ -94,9 +126,19 @@ int main(int argc, char** argv) {
   std::vector<float> want(4096);
   (void)healthy.allreduce(WorkerViews(workers), want, ReduceOp::kSum, "ml");
 
-  // Same job, but shard 2 dies halfway through an add wave.
+  // Same job, but shard 2 dies halfway through an add wave — optionally
+  // with a Byzantine wire-fault mix layered on top. Either way the result
+  // must stay bit-identical to the clean reference: wire faults are
+  // detected and retransmitted, never absorbed.
   opts.failover.faults = {cluster::ShardFault{
       2, cluster::FaultKind::kKill, cluster::FaultPhase::kMidAdd, 0, 0.0}};
+  if (!fault_mix.empty()) {
+    opts.fault = fault_opts;
+    opts.loss_rate = fault_loss;
+    std::printf("byzantine wire faults on (seed %llu): %s\n",
+                static_cast<unsigned long long>(fault_seed),
+                fault_mix.c_str());
+  }
   ClusterCommunicator comm(opts);
   telemetry::Trace trace;
   if (!trace_path.empty()) comm.set_trace(&trace);
@@ -138,6 +180,30 @@ int main(int argc, char** argv) {
   t.add_row({"alive shards",
              std::to_string(comm.service().health().num_alive()) + " / 4"});
   std::printf("%s\n", t.render().c_str());
+
+  if (!fault_mix.empty()) {
+    // Fault recovery books: the per-job stats plus the registry's view of
+    // the switch-side guard (PR-wide counters, not per-job deltas).
+    const telemetry::Snapshot snap = telemetry::snapshot();
+    const fault::FaultCounters& fc = stats.network.faults;
+    util::Table ft({"Fault telemetry", "Value"});
+    ft.add_row({"corrupt copies rejected",
+                std::to_string(fc.corrupt_rejected)});
+    ft.add_row({"stale duplicates rejected",
+                std::to_string(fc.stale_dups_rejected)});
+    ft.add_row({"epoch bumps", std::to_string(fc.epoch_bumps)});
+    ft.add_row({"waves replayed", std::to_string(fc.waves_replayed)});
+    ft.add_row({"fpisa_switch_corrupt_rejected_total",
+                std::to_string(snap.counter_total(
+                    "fpisa_switch_corrupt_rejected_total"))});
+    ft.add_row({"fpisa_switch_stale_dups_rejected_total",
+                std::to_string(snap.counter_total(
+                    "fpisa_switch_stale_dups_rejected_total"))});
+    ft.add_row({"cluster_fault_waves_replayed_total",
+                std::to_string(snap.counter_total(
+                    "cluster_fault_waves_replayed_total"))});
+    std::printf("%s\n", ft.render().c_str());
+  }
 
   // The degraded steady state: later jobs route around the corpse up
   // front — re-routed chunks, but no failure and no retry pass.

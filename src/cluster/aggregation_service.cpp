@@ -1,9 +1,11 @@
 #include "cluster/aggregation_service.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
@@ -57,6 +59,18 @@ AggregationService::AggregationService(ClusterOptions opts)
       throw std::invalid_argument("cluster: fault targets unknown shard");
     }
   }
+  // The guarded ingress protocol (epoch stamps, checksums, wave replay) is
+  // built on the batched wave datapath; the per-slot reference path stays a
+  // faithful baseline of the ORIGINAL protocol instead of growing guard
+  // branches.
+  if (opts_.fault.enabled && !opts_.batched_collect) {
+    throw std::invalid_argument(
+        "cluster: fault injection requires batched_collect");
+  }
+  if (opts_.fault.enabled && opts_.fault.dead_worker >= 32) {
+    throw std::invalid_argument(
+        "cluster: fault.dead_worker exceeds the 32-bit worker bitmap");
+  }
   shards_.reserve(static_cast<std::size_t>(opts_.num_shards));
   for (int s = 0; s < opts_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(opts_));
@@ -106,6 +120,14 @@ void AggregationService::init_metrics() {
                             {{"svc", svc_id_}, {"outcome", "completed"}});
   m_jobs_[1] = &reg.counter("cluster_jobs_total",
                             {{"svc", svc_id_}, {"outcome", "failed"}});
+  // Fault-recovery events (wire-level rejections live on the switches'
+  // own fpisa_switch_* counters; these are the fabric-level recoveries).
+  m_fault_[0] =
+      &reg.counter("cluster_fault_epoch_bumps_total", {{"svc", svc_id_}});
+  m_fault_[1] = &reg.counter("cluster_fault_workers_declared_dead_total",
+                             {{"svc", svc_id_}});
+  m_fault_[2] =
+      &reg.counter("cluster_fault_waves_replayed_total", {{"svc", svc_id_}});
   m_job_wall_ =
       &reg.histogram("cluster_job_wall_seconds", {{"svc", svc_id_}}, bounds);
 }
@@ -248,6 +270,173 @@ void AggregationService::flush_wave(Shard& shard, WaveScratch& scratch) {
   scratch.values.clear();
 }
 
+bool AggregationService::queue_add_guarded(
+    std::uint16_t slot, std::uint8_t worker,
+    std::span<const std::uint32_t> values, std::uint32_t stamp,
+    const JobParams& params, util::Rng& rng, switchml::SessionStats& stats,
+    fault::FaultEngine& engine) {
+  // Same loss schedule as queue_add, drawn from the same rng stream in the
+  // same order; the difference is that every delivered copy routes through
+  // the fault engine. A corrupted delivery is queued (the switch will
+  // reject and count it) but does NOT count as delivered: no ack is drawn
+  // and the retransmit loop keeps going, exactly as a worker timing out on
+  // the missing ack would behave.
+  bool delivered_before = false;
+  for (int attempt = 0; attempt <= params.max_retransmits; ++attempt) {
+    if (attempt > 0) ++stats.retransmissions;
+    ++stats.packets_sent;
+
+    if (rng.next_double() < params.loss_rate) {
+      ++stats.packets_lost;
+      continue;  // request lost: retransmit after "timeout"
+    }
+    if (!engine.deliver(slot, worker, stamp, values)) continue;  // corrupted
+    if (delivered_before) ++stats.duplicates_absorbed;
+    delivered_before = true;
+
+    if (rng.next_double() < params.loss_rate) {
+      ++stats.packets_lost;
+      continue;  // ack lost: worker retransmits; switch-side bitmap dedups
+    }
+    return true;
+  }
+  return false;
+}
+
+void AggregationService::flush_wave_guarded(Shard& shard,
+                                            switchml::SessionStats& stats,
+                                            fault::FaultEngine& engine) {
+  engine.shuffle_pending();
+  if (engine.pending() != 0) {
+    pisa::FpisaSwitch::GuardStats guard;
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      shard.sw.add_batch_guarded(engine.slots(), engine.workers(),
+                                 engine.stamps(), engine.checksums(),
+                                 engine.values(), guard);
+    }
+    stats.faults.corrupt_rejected += guard.corrupt_rejected;
+    stats.faults.stale_dups_rejected += guard.stale_rejected;
+  }
+  engine.clear_pending();
+}
+
+void AggregationService::resync_shard_stamps(Shard& shard,
+                                             const SlotRange& range,
+                                             WaveScratch& scratch) {
+  std::lock_guard<std::mutex> lk(shard.mu);
+  scratch.stamps.resize(range.size());
+  for (std::size_t k = 0; k < range.size(); ++k) {
+    scratch.stamps[k] =
+        shard.sw.slot_stamp(static_cast<std::uint16_t>(range.lo + k));
+  }
+  scratch.mirror_generation = shard.sw.generation();
+}
+
+void AggregationService::recover_shard_wave(
+    int shard_idx, Shard& shard, const SlotRange& range,
+    const std::vector<std::size_t>& chunks,
+    std::span<const std::span<const float>> workers, std::size_t base,
+    std::size_t wave_end, std::size_t wave_index,
+    switchml::SessionStats& stats, fault::FaultEngine& engine,
+    std::uint32_t dead_mask, WaveScratch& scratch) {
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t n = workers.empty() ? 0 : workers.front().size();
+  const std::size_t wave_n = wave_end - base;
+  const int nw = static_cast<int>(workers.size());
+
+  // State loss: while the switch generation disagrees with the mirror,
+  // everything this wave added (including whatever the engine injected) is
+  // gone. Re-encode the wave from the host-held gradients with fresh
+  // stamps and apply it through one reliable guarded batch — the dedup
+  // bitmap absorbs any packets that DID survive, so replay is idempotent.
+  int replays = 0;
+  for (;;) {
+    bool mismatch;
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      mismatch = shard.sw.generation() != scratch.mirror_generation;
+    }
+    if (!mismatch) break;
+    if (replays++ >= opts_.fault.max_wave_replays) {
+      // Composes with shard failover: a switch that cannot hold state long
+      // enough to replay one wave is as dead as one that drops every
+      // packet.
+      throw ShardDeadError(
+          shard_idx, "cluster: switch state loss exceeded wave-replay budget");
+    }
+    resync_shard_stamps(shard, range, scratch);
+    ++stats.faults.epoch_bumps;
+    scratch.slots.clear();
+    scratch.workers.clear();
+    scratch.values.clear();
+    scratch.replay_stamps.clear();
+    scratch.replay_checksums.clear();
+    for (std::size_t k = base; k < wave_end; ++k) {
+      const std::size_t c = chunks[k];
+      const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
+      for (int w = 0; w < nw; ++w) {
+        if (dead_mask & (1u << static_cast<unsigned>(w))) continue;
+        if (engine.worker_silent(w, wave_index)) continue;
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const std::size_t i = c * lanes + l;
+          scratch.lane_buf[l] =
+              i < n
+                  ? core::fp32_bits(workers[static_cast<std::size_t>(w)][i])
+                  : 0;
+        }
+        const std::uint32_t stamp = scratch.stamps[k - base];
+        scratch.slots.push_back(slot);
+        scratch.workers.push_back(static_cast<std::uint8_t>(w));
+        scratch.values.insert(scratch.values.end(), scratch.lane_buf.begin(),
+                              scratch.lane_buf.end());
+        scratch.replay_stamps.push_back(stamp);
+        scratch.replay_checksums.push_back(pisa::fpisa_checksum(
+            slot, static_cast<std::uint8_t>(w), stamp, scratch.lane_buf));
+      }
+    }
+    if (!scratch.slots.empty()) {
+      pisa::FpisaSwitch::GuardStats guard;
+      std::lock_guard<std::mutex> lk(shard.mu);
+      shard.sw.add_batch_guarded(scratch.slots, scratch.workers,
+                                 scratch.replay_stamps,
+                                 scratch.replay_checksums, scratch.values,
+                                 guard);
+      stats.faults.corrupt_rejected += guard.corrupt_rejected;
+      stats.faults.stale_dups_rejected += guard.stale_rejected;
+    }
+    scratch.slots.clear();
+    scratch.workers.clear();
+    scratch.values.clear();
+    ++stats.faults.waves_replayed;
+  }
+
+  // Wave deadline: a worker whose dedup bit is set in NO slot of the wave
+  // contributed nothing — its data is never coming (a merely unlucky
+  // worker reaches at least one slot; total per-worker loss is what the
+  // retransmit budget already bounds). Declare the lowest such worker dead.
+  std::uint32_t expected = 0;
+  for (int w = 0; w < nw; ++w) {
+    if (!(dead_mask & (1u << static_cast<unsigned>(w)))) {
+      expected |= 1u << static_cast<unsigned>(w);
+    }
+  }
+  scratch.bitmaps.assign(wave_n, 0);
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.sw.read_batch(static_cast<std::uint16_t>(range.lo), wave_n,
+                        {scratch.wave_values.data(), wave_n * lanes},
+                        scratch.bitmaps);
+  }
+  std::uint32_t missing = expected;
+  for (std::size_t k = 0; k < wave_n; ++k) {
+    missing &= expected & ~scratch.bitmaps[k];
+  }
+  if (missing != 0) {
+    throw fault::WorkerDeadError(std::countr_zero(missing), wave_index);
+  }
+}
+
 void AggregationService::collect_wave(
     int shard_idx, Shard& shard, const SlotRange& range,
     const std::vector<std::size_t>& chunks, std::size_t base,
@@ -309,6 +498,7 @@ void AggregationService::run_shard_chunks(
     const std::vector<std::size_t>& chunks,
     std::span<const std::span<const float>> workers, std::span<float> result,
     const JobParams& params, util::Rng& rng, switchml::SessionStats& stats,
+    fault::FaultEngine* engine, std::uint32_t dead_mask,
     telemetry::Trace* trace, telemetry::Trace::SpanId parent) {
   telemetry::ScopedSpan shard_span(trace, "shard", parent);
   shard_span.annotate("shard", std::to_string(shard_idx));
@@ -333,11 +523,15 @@ void AggregationService::run_shard_chunks(
   WaveScratch scratch;
   scratch.lane_buf.assign(lanes, 0);
   scratch.wave_values.assign(wave * lanes, 0);
+  // Guarded protocol: seed the host-side stamp mirror from the switch so
+  // every add this task sends carries the epoch the slot currently expects.
+  if (engine != nullptr) resync_shard_stamps(shard, range, scratch);
   using Clock = std::chrono::steady_clock;
 
   std::size_t wave_index = 0;
   for (std::size_t base = 0; base < chunks.size(); base += wave, ++wave_index) {
     const std::size_t wave_end = std::min(base + wave, chunks.size());
+    if (engine != nullptr) engine->begin_wave(wave_index);
     if (straggle_ms > 0.0) {
       // Injected straggler: the shard still answers, just late.
       std::this_thread::sleep_for(
@@ -356,13 +550,21 @@ void AggregationService::run_shard_chunks(
         // Deliver what the switch already received before dying, so the
         // corpse's registers hold exactly the partial state a real
         // mid-wave death would leave.
-        flush_wave(shard, scratch);
+        if (engine != nullptr) {
+          flush_wave_guarded(shard, stats, *engine);
+        } else {
+          flush_wave(shard, scratch);
+        }
         throw ShardDeadError(shard_idx,
                              "cluster: shard killed mid-add (injected)");
       }
       const std::size_t c = chunks[k];
       const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
       for (int w = 0; w < nw; ++w) {
+        if (dead_mask & (1u << static_cast<unsigned>(w))) continue;
+        if (engine != nullptr && engine->worker_silent(w, wave_index)) {
+          continue;  // injected death: this worker's packets never arrive
+        }
         for (std::size_t l = 0; l < lanes; ++l) {
           const std::size_t i = c * lanes + l;
           scratch.lane_buf[l] =
@@ -370,18 +572,32 @@ void AggregationService::run_shard_chunks(
                   ? core::fp32_bits(workers[static_cast<std::size_t>(w)][i])
                   : 0;
         }
-        if (!queue_add(slot, static_cast<std::uint8_t>(w), scratch.lane_buf,
-                       params, rng, stats, scratch)) {
+        const bool ok =
+            engine != nullptr
+                ? queue_add_guarded(slot, static_cast<std::uint8_t>(w),
+                                    scratch.lane_buf, scratch.stamps[k - base],
+                                    params, rng, stats, *engine)
+                : queue_add(slot, static_cast<std::uint8_t>(w),
+                            scratch.lane_buf, params, rng, stats, scratch);
+        if (!ok) {
           // Deliver what the switch already received, so failure leaves
           // the same register state the per-packet protocol would.
-          flush_wave(shard, scratch);
+          if (engine != nullptr) {
+            flush_wave_guarded(shard, stats, *engine);
+          } else {
+            flush_wave(shard, scratch);
+          }
           throw ShardDeadError(
               shard_idx,
               "cluster: aggregation packet exceeded max_retransmits");
         }
       }
     }
-    flush_wave(shard, scratch);
+    if (engine != nullptr) {
+      flush_wave_guarded(shard, stats, *engine);
+    } else {
+      flush_wave(shard, scratch);
+    }
     const auto t_collect = Clock::now();
     // One clock reading feeds both instruments: the histogram observation
     // and the retroactive span share t_submit/t_collect exactly, so traced
@@ -393,6 +609,20 @@ void AggregationService::run_shard_chunks(
           trace->begin_at("add_wave", shard_span.id(), t_submit);
       trace->annotate(add_span, "wave", std::to_string(wave_index));
       trace->end_at(add_span, t_collect);
+    }
+
+    if (engine != nullptr) {
+      // Injected whole-switch state loss lands after the wave's adds (the
+      // moment it hurts most), then recovery: replay the wave while the
+      // generation disagrees with the mirror, and probe the wave's dedup
+      // bitmaps for a worker that reached no slot at all.
+      if (engine->should_wipe(wave_index)) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        shard.sw.wipe_state();
+      }
+      recover_shard_wave(shard_idx, shard, range, chunks, workers, base,
+                         wave_end, wave_index, stats, *engine, dead_mask,
+                         scratch);
     }
 
     if (fire_kill_fault(shard_idx, FaultPhase::kMidCollect, wave_index)) {
@@ -431,6 +661,16 @@ void AggregationService::run_shard_chunks(
     if (opts_.batched_collect) {
       collect_wave(shard_idx, shard, range, chunks, base, wave_end, result,
                    params, rng, stats, scratch);
+      if (engine != nullptr) {
+        // The collect reset every wave slot, bumping its epoch on the
+        // switch — advance the mirror in lockstep so the next wave's adds
+        // carry the fresh stamp (and any still-buffered ghost from THIS
+        // wave is now provably stale).
+        for (std::size_t k = 0; k < wave_end - base; ++k) {
+          scratch.stamps[k] = (scratch.stamps[k] & 0xFFFF0000u) |
+                              ((scratch.stamps[k] + 1u) & 0xFFFFu);
+        }
+      }
       note_collect(Clock::now());
       continue;
     }
@@ -511,7 +751,7 @@ std::vector<std::exception_ptr> AggregationService::run_pass(
     const std::vector<SlotRange>& ranges,
     std::span<const std::span<const float>> workers, std::span<float> out,
     const JobParams& params, std::uint64_t job_id, std::uint64_t pass,
-    JobReport& report, telemetry::Trace* trace,
+    std::uint32_t dead_mask, JobReport& report, telemetry::Trace* trace,
     telemetry::Trace::SpanId pass_span) {
   // Fan one task per active shard out to the pool and wait for all of them
   // (even on failure, so no task outlives this frame's state).
@@ -527,15 +767,24 @@ std::vector<std::exception_ptr> AggregationService::run_pass(
       if (parts[s].empty()) continue;
       ++join.pending;
       tasks_.push_back([this, s, &parts, &ranges, workers, out, &report,
-                        &join, &errors, params, job_id, pass, trace,
-                        pass_span] {
+                        &join, &errors, params, job_id, pass, dead_mask,
+                        trace, pass_span] {
         util::Rng rng(
             task_seed(opts_.loss_seed, job_id, static_cast<int>(s), pass));
+        // One deterministic fault stream per (job, shard, pass), exactly
+        // like the loss stream: replaying a job replays its faults.
+        std::unique_ptr<fault::FaultEngine> engine;
+        if (opts_.fault.enabled) {
+          engine = std::make_unique<fault::FaultEngine>(
+              opts_.fault,
+              task_seed(opts_.fault.seed, job_id, static_cast<int>(s), pass),
+              opts_.lanes);
+        }
         switchml::SessionStats stats{};
         try {
           run_shard_chunks(static_cast<int>(s), *shards_[s], ranges[s],
-                           parts[s], workers, out, params, rng, stats, trace,
-                           pass_span);
+                           parts[s], workers, out, params, rng, stats,
+                           engine.get(), dead_mask, trace, pass_span);
         } catch (...) {
           errors[s] = std::current_exception();
         }
@@ -712,16 +961,27 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
   std::exception_ptr error;
   bool failed = false;
   int reroutes = 0;
+  // Worker-death recovery state: the mask of workers declared dead so far
+  // (threaded into every pass so shard tasks skip them), and a distinct
+  // pass counter so every replay draws a fresh, deterministic fault/loss
+  // stream (for failover-only jobs it equals `reroutes`, preserving the
+  // pre-fault seed sequence exactly).
+  std::uint32_t dead_mask = 0;
+  int worker_replays = 0;
+  std::uint64_t pass_no = 0;
   telemetry::Trace::SpanId pass_span = begin_pass(0);
   auto errors = run_pass(parts, ranges, workers, out, params, report.job_id,
-                         0, report, trace, pass_span);
+                         0, dead_mask, report, trace, pass_span);
   if (trace) trace->end(pass_span);
   for (;;) {
     // Classify this pass's outcome: shard deaths are failover candidates,
-    // anything else fails the job as before.
+    // a dead WORKER is a job-level event handled by policy below, anything
+    // else fails the job as before.
     std::exception_ptr fatal;
     std::vector<int> dead_now;
     bool any_error = false;
+    std::exception_ptr worker_dead_err;
+    int dead_worker = -1;
     for (std::size_t s = 0; s < errors.size(); ++s) {
       if (!errors[s]) {
         if (!parts[s].empty()) health_.record_success(static_cast<int>(s));
@@ -730,6 +990,13 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
       any_error = true;
       try {
         std::rethrow_exception(errors[s]);
+      } catch (const fault::WorkerDeadError& e) {
+        // The shard answered every probe — the WORKER's data is what's
+        // never coming. Leave shard health alone.
+        if (!worker_dead_err) {
+          worker_dead_err = errors[s];
+          dead_worker = e.worker();
+        }
       } catch (const ShardDeadError&) {
         const bool dead = health_.record_failure(static_cast<int>(s));
         if (fo && dead) {
@@ -743,6 +1010,71 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
       }
     }
     if (!any_error) break;  // pass completed cleanly
+    if (worker_dead_err && !fatal) {
+      // Worker death outranks shard retries: shards with fewer waves
+      // finished before the death wave WITH the dead worker's data, so
+      // patching per shard cannot excise it — under kDegrade the whole job
+      // replays over the survivors (against a freshly computed partition,
+      // so it composes with any shard deaths recorded above).
+      ++failover_delta.faults.workers_declared_dead;
+      failover_delta.dead_workers |= 1u << static_cast<unsigned>(dead_worker);
+      dead_mask |= 1u << static_cast<unsigned>(dead_worker);
+      const bool degrade = opts_.fault.dead_worker_policy ==
+                           fault::DeadWorkerPolicy::kDegrade;
+      if (!degrade ||
+          std::popcount(dead_mask) >=
+              static_cast<int>(job.workers.size()) ||
+          ++worker_replays > static_cast<int>(job.workers.size())) {
+        error = worker_dead_err;
+        failed = true;
+        break;
+      }
+      auto replay_parts = router_.partition(chunks);
+      if (fo) {
+        const std::vector<int> alive = health_.alive_shards();
+        if (alive.empty()) {
+          error = worker_dead_err;
+          failed = true;
+          break;
+        }
+        std::vector<char> alive2(shards_.size(), 0);
+        for (const int a : alive) alive2[static_cast<std::size_t>(a)] = 1;
+        for (std::size_t s = 0; s < replay_parts.size(); ++s) {
+          if (replay_parts[s].empty() || alive2[s]) continue;
+          const auto re =
+              router_.reroute(replay_parts[s], static_cast<int>(s), alive);
+          replay_parts[s].clear();
+          for (std::size_t t = 0; t < re.size(); ++t) {
+            replay_parts[t].insert(replay_parts[t].end(), re[t].begin(),
+                                   re[t].end());
+          }
+        }
+        for (auto& p : replay_parts) std::sort(p.begin(), p.end());
+      }
+      // Scrub everything the aborted attempt touched (the resets bump the
+      // slot epochs, so any straggler packet of that attempt is provably
+      // stale), swap the held ranges for the replay layout, and rerun.
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (!ranges[s].empty()) scrub_range(*shards_[s], ranges[s]);
+      }
+      ++failover_delta.faults.epoch_bumps;
+      {
+        std::lock_guard<std::mutex> lk(alloc_mu_);
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+          if (!ranges[s].empty()) shards_[s]->slots.release(ranges[s]);
+          ranges[s] = SlotRange{};
+        }
+      }
+      alloc_cv_.notify_all();
+      acquire_ranges(replay_parts);
+      parts = std::move(replay_parts);
+      ++pass_no;
+      pass_span = begin_pass(static_cast<int>(pass_no));
+      errors = run_pass(parts, ranges, workers, out, params, report.job_id,
+                        pass_no, dead_mask, report, trace, pass_span);
+      if (trace) trace->end(pass_span);
+      continue;
+    }
     if (!fo || fatal || dead_now.empty() ||
         reroutes >= opts_.failover.max_reroutes_per_job) {
       for (const std::exception_ptr& e : errors) {
@@ -804,11 +1136,11 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     if (trace) trace->end(fo_span);
     ++failover_delta.failover_retries;
     ++reroutes;
+    ++pass_no;
     parts = std::move(retry_parts);
-    pass_span = begin_pass(reroutes);
+    pass_span = begin_pass(static_cast<int>(pass_no));
     errors = run_pass(parts, ranges, workers, out, params, report.job_id,
-                      static_cast<std::uint64_t>(reroutes), report, trace,
-                      pass_span);
+                      pass_no, dead_mask, report, trace, pass_span);
     if (trace) trace->end(pass_span);
   }
 
@@ -863,6 +1195,15 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
   }
   if (failover_delta.failover_retries != 0) {
     m_retries_->inc(failover_delta.failover_retries);
+  }
+  if (report.stats.faults.epoch_bumps != 0) {
+    m_fault_[0]->inc(report.stats.faults.epoch_bumps);
+  }
+  if (report.stats.faults.workers_declared_dead != 0) {
+    m_fault_[1]->inc(report.stats.faults.workers_declared_dead);
+  }
+  if (report.stats.faults.waves_replayed != 0) {
+    m_fault_[2]->inc(report.stats.faults.waves_replayed);
   }
   if (trace) {
     trace->end(merge_span);

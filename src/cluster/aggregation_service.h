@@ -27,6 +27,7 @@
 #include "cluster/shard_health.h"
 #include "cluster/shard_router.h"
 #include "cluster/slo.h"
+#include "fault/fault.h"
 #include "pisa/fpisa_program.h"
 #include "switchml/session.h"
 #include "telemetry/metrics.h"
@@ -63,6 +64,17 @@ struct ClusterOptions {
   /// no-failure run. Jobs arriving after a death route around the corpse at
   /// partition time. Also carries kill/slowdown fault injection for tests.
   FailoverOptions failover;
+  /// Byzantine-wire fault injection + the guarded recovery protocol, one
+  /// deterministic engine per (job, shard, pass). A switch wipe hits every
+  /// shard whose local wave count reaches wipe_wave and is recovered by
+  /// wave replay from the host-held gradients (replay exhaustion composes
+  /// with shard failover as a ShardDeadError); a dead worker is detected at
+  /// the wave deadline and — under kDegrade — recovered by replaying the
+  /// WHOLE job over the survivors (shard-local wave indexing means shards
+  /// with fewer waves finish before the death wave, so per-wave patching
+  /// cannot excise the dead worker's earlier contributions). Requires
+  /// batched_collect.
+  fault::FaultOptions fault;
   pisa::SwitchConfig switch_config;  ///< applied to every shard
 };
 
@@ -209,6 +221,14 @@ class AggregationService {
     /// FpisaResult round trips through the packet sim.
     std::vector<std::uint32_t> wave_values;
     pisa::FpisaResult result_buf;
+    /// Guarded-protocol state (fault injection only): the host-side mirror
+    /// of the range's slot stamps, bitmap scratch for the wave completeness
+    /// probe, and stamp/checksum columns for wave replay after state loss.
+    std::vector<std::uint32_t> stamps;
+    std::vector<std::uint32_t> bitmaps;
+    std::vector<std::uint32_t> replay_stamps;
+    std::vector<std::uint16_t> replay_checksums;
+    std::uint16_t mirror_generation = 0;
   };
 
   void worker_loop();
@@ -227,13 +247,14 @@ class AggregationService {
       const std::vector<SlotRange>& ranges,
       std::span<const std::span<const float>> workers, std::span<float> out,
       const JobParams& params, std::uint64_t job_id, std::uint64_t pass,
-      JobReport& report, telemetry::Trace* trace,
+      std::uint32_t dead_mask, JobReport& report, telemetry::Trace* trace,
       telemetry::Trace::SpanId pass_span);
   void run_shard_chunks(int shard_idx, Shard& shard, const SlotRange& range,
                         const std::vector<std::size_t>& chunks,
                         std::span<const std::span<const float>> workers,
                         std::span<float> result, const JobParams& params,
                         util::Rng& rng, switchml::SessionStats& stats,
+                        fault::FaultEngine* engine, std::uint32_t dead_mask,
                         telemetry::Trace* trace,
                         telemetry::Trace::SpanId parent);
   /// Claims a one-shot kill fault for (shard, phase, wave); true when the
@@ -250,6 +271,38 @@ class AggregationService {
                         switchml::SessionStats& stats, WaveScratch& scratch);
   /// Applies the queued wave under ONE shard-mutex hold.
   static void flush_wave(Shard& shard, WaveScratch& scratch);
+  /// Guarded twin of queue_add: every delivered copy routes through the
+  /// fault engine (corruption / duplication / stale capture) and carries
+  /// the slot's epoch stamp + payload checksum; a corrupted delivery does
+  /// not count as delivered, so the retransmit loop keeps going.
+  static bool queue_add_guarded(std::uint16_t slot, std::uint8_t worker,
+                                std::span<const std::uint32_t> values,
+                                std::uint32_t stamp, const JobParams& params,
+                                util::Rng& rng, switchml::SessionStats& stats,
+                                fault::FaultEngine& engine);
+  /// Applies the engine's pending (possibly reordered) wave through
+  /// add_batch_guarded under one shard-mutex hold; rejected packets fold
+  /// into stats.faults.
+  static void flush_wave_guarded(Shard& shard, switchml::SessionStats& stats,
+                                 fault::FaultEngine& engine);
+  /// Re-reads the range's slot stamps (and the switch generation) into the
+  /// scratch mirror, under the shard mutex.
+  static void resync_shard_stamps(Shard& shard, const SlotRange& range,
+                                  WaveScratch& scratch);
+  /// Post-wave recovery for the guarded protocol: replays the wave from
+  /// host-held gradients while the switch generation disagrees with the
+  /// mirror (state loss), then probes the wave's dedup bitmaps for a
+  /// worker that reached NO slot — thrown as WorkerDeadError. Replay
+  /// budget exhaustion becomes a ShardDeadError so it composes with shard
+  /// failover.
+  void recover_shard_wave(int shard_idx, Shard& shard, const SlotRange& range,
+                          const std::vector<std::size_t>& chunks,
+                          std::span<const std::span<const float>> workers,
+                          std::size_t base, std::size_t wave_end,
+                          std::size_t wave_index,
+                          switchml::SessionStats& stats,
+                          fault::FaultEngine& engine, std::uint32_t dead_mask,
+                          WaveScratch& scratch);
   /// Batched collect: draws the per-slot read/reset loss schedules in the
   /// per-packet order, then drains the wave's slots through one compiled
   /// read_and_reset_batch call under a single shard-mutex hold. Throws
@@ -305,6 +358,10 @@ class AggregationService {
   telemetry::Counter* m_rerouted_ = nullptr;
   telemetry::Counter* m_retries_ = nullptr;
   telemetry::Counter* m_jobs_[2] = {};  ///< [0]=completed, [1]=failed
+  /// Fault-recovery events: [0]=epoch_bumps, [1]=workers_declared_dead,
+  /// [2]=waves_replayed (cluster_fault_* counters; wire-level rejections
+  /// are counted by the switch's own fpisa_switch_* counters).
+  telemetry::Counter* m_fault_[3] = {};
   telemetry::Histogram* m_job_wall_ = nullptr;
   std::atomic<telemetry::Trace*> trace_{nullptr};
   std::atomic<std::size_t> trace_parent_{telemetry::Trace::kNone};

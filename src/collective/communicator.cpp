@@ -1,6 +1,7 @@
 #include "collective/communicator.h"
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <stdexcept>
 
@@ -10,6 +11,19 @@ namespace {
 double elapsed_s(std::chrono::steady_clock::time_point a,
                  std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+/// kMean divides by the job's SURVIVOR count: workers the backend declared
+/// dead (and degraded around) contributed nothing, so dividing by the full
+/// W would bias the mean toward zero. With no deaths this is exactly the
+/// legacy 1/W — bit-identical float op.
+float mean_scale(std::size_t num_workers, std::uint32_t dead_workers) {
+  const int dead = std::popcount(dead_workers);
+  const std::size_t survivors =
+      num_workers > static_cast<std::size_t>(dead)
+          ? num_workers - static_cast<std::size_t>(dead)
+          : num_workers;
+  return 1.0f / static_cast<float>(survivors);
 }
 
 }  // namespace
@@ -91,8 +105,9 @@ ReduceStats Communicator::run_and_finish(
     throw;
   }
   if (op == ReduceOp::kMean) {
-    // Identical float op to the legacy trainer's host-side averaging.
-    const float inv_w = 1.0f / static_cast<float>(workers.size());
+    // Identical float op to the legacy trainer's host-side averaging (the
+    // scale degrades to 1/survivors only when a worker was declared dead).
+    const float inv_w = mean_scale(workers.size(), stats.network.dead_workers);
     for (auto& v : out) v *= inv_w;
   }
   stats.wall_s = elapsed_s(t0, std::chrono::steady_clock::now());
@@ -176,9 +191,32 @@ HostCommunicator::HostCommunicator(HostAlgorithm algo,
 ReduceStats HostCommunicator::run(
     std::span<const std::span<const float>> workers, std::span<float> out,
     std::string_view /*tenant*/) {
-  agg_->reduce(workers, out);
   ReduceStats stats;
   stats.job_id = next_job_id_++;
+  // Host backends have no packet wave structure: the whole reduce is one
+  // "wave", so only a worker dead from wave 0 is ever missing. kDegrade
+  // drops the dead view and sums the survivors exactly; the wire-level
+  // knobs (corruption/reorder/dup/wipe) have nothing to act on here.
+  if (fault_.enabled && fault_.dead_worker >= 0 &&
+      static_cast<std::size_t>(fault_.dead_worker) < workers.size() &&
+      fault_.dead_worker_wave == 0) {
+    if (fault_.dead_worker_policy == fault::DeadWorkerPolicy::kAbort) {
+      throw fault::WorkerDeadError(fault_.dead_worker, 0);
+    }
+    std::vector<std::span<const float>> survivors;
+    survivors.reserve(workers.size() - 1);
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (static_cast<int>(w) != fault_.dead_worker) {
+        survivors.push_back(workers[w]);
+      }
+    }
+    agg_->reduce(survivors, out);
+    stats.network.dead_workers =
+        1u << static_cast<unsigned>(fault_.dead_worker);
+    ++stats.network.faults.workers_declared_dead;
+    return stats;
+  }
+  agg_->reduce(workers, out);
   return stats;  // host path: no packet protocol
 }
 
@@ -226,6 +264,11 @@ ReduceStats SwitchCommunicator::run(
   // kernel op counters, which a hand-rolled field list used to drop.
   stats.network = session_->stats();
   stats.network -= before;
+  // dead_workers is a monotone mask, not a count, so the delta would clear
+  // it on every job after the first death: the per-job view is the
+  // session's current mask (the injected schedule is static per session, so
+  // a worker dead in an earlier job is dead in this one too).
+  stats.network.dead_workers = session_->stats().dead_workers;
   total_ += stats.network;  // survives session recreation, unlike stats()
   return stats;
 }
@@ -288,7 +331,7 @@ JobHandle ClusterCommunicator::submit(const WorkerViews& workers,
       [inner = std::move(inner), out, op, w, t0]() mutable {
         const cluster::JobReport report = inner.get();
         if (op == ReduceOp::kMean && w > 0) {
-          const float inv_w = 1.0f / static_cast<float>(w);
+          const float inv_w = mean_scale(w, report.stats.dead_workers);
           for (auto& v : out) v *= inv_w;
         }
         ReduceStats stats = report_to_stats(report);
@@ -302,9 +345,29 @@ JobHandle ClusterCommunicator::submit(const WorkerViews& workers,
 ReduceStats TreeCommunicator::run(
     std::span<const std::span<const float>> workers, std::span<float> out,
     std::string_view /*tenant*/) {
-  tree_.reduce_into(workers, out);
   ReduceStats stats;
   stats.job_id = next_job_id_++;
+  if (fault_.enabled && fault_.dead_worker >= 0 &&
+      static_cast<std::size_t>(fault_.dead_worker) < workers.size() &&
+      fault_.dead_worker_wave == 0) {
+    if (fault_.dead_worker_policy == fault::DeadWorkerPolicy::kAbort) {
+      throw fault::WorkerDeadError(fault_.dead_worker, 0);
+    }
+    // The tree's shape is fixed (worker count must equal the hierarchy's
+    // leaves), so the dead leaf contributes zeros instead of being dropped.
+    const std::size_t n = workers.empty() ? 0 : workers.front().size();
+    std::vector<float> zeros(n, 0.0f);
+    std::vector<std::span<const float>> views(workers.begin(), workers.end());
+    views[static_cast<std::size_t>(fault_.dead_worker)] = zeros;
+    tree_.reduce_into(views, out);
+    stats.network.dead_workers =
+        1u << static_cast<unsigned>(fault_.dead_worker);
+    ++stats.network.faults.workers_declared_dead;
+    stats.network.packets_sent = tree_.timing().packets;
+    total_ += stats.network;
+    return stats;
+  }
+  tree_.reduce_into(workers, out);
   // The tree models its fabric with EventSim links rather than a lossy
   // packet protocol; surface the modeled packet count.
   stats.network.packets_sent = tree_.timing().packets;
@@ -316,17 +379,38 @@ ReduceStats TreeCommunicator::run(
 
 std::unique_ptr<Communicator> make_communicator(
     const CommunicatorOptions& opts) {
+  // One fault surface: when enabled it is copied into the wire backends'
+  // own options (so the substrate injects and recovers) and installed on
+  // the communicator (worker-death handling, survivor-aware kMean). When
+  // disabled, any fault options already present on session/cluster are
+  // left exactly as the caller set them.
   switch (opts.backend) {
-    case Backend::kHost:
-      return std::make_unique<HostCommunicator>(opts.host_algorithm,
-                                                opts.accumulator);
-    case Backend::kSwitch:
-      return std::make_unique<SwitchCommunicator>(opts.switch_config,
-                                                  opts.session);
-    case Backend::kCluster:
-      return std::make_unique<ClusterCommunicator>(opts.cluster);
-    case Backend::kTree:
-      return std::make_unique<TreeCommunicator>(opts.hierarchy);
+    case Backend::kHost: {
+      auto c = std::make_unique<HostCommunicator>(opts.host_algorithm,
+                                                  opts.accumulator);
+      c->set_fault_options(opts.fault);
+      return c;
+    }
+    case Backend::kSwitch: {
+      switchml::SessionOptions session = opts.session;
+      if (opts.fault.enabled) session.fault = opts.fault;
+      auto c = std::make_unique<SwitchCommunicator>(opts.switch_config,
+                                                    session);
+      c->set_fault_options(opts.fault);
+      return c;
+    }
+    case Backend::kCluster: {
+      cluster::ClusterOptions cl = opts.cluster;
+      if (opts.fault.enabled) cl.fault = opts.fault;
+      auto c = std::make_unique<ClusterCommunicator>(std::move(cl));
+      c->set_fault_options(opts.fault);
+      return c;
+    }
+    case Backend::kTree: {
+      auto c = std::make_unique<TreeCommunicator>(opts.hierarchy);
+      c->set_fault_options(opts.fault);
+      return c;
+    }
   }
   throw std::invalid_argument("collective: unknown backend");
 }

@@ -159,6 +159,18 @@ class Communicator {
     return trace_.load(std::memory_order_acquire);
   }
 
+  /// Unified fault surface: wire-level knobs (corruption / reorder /
+  /// duplicates / wipe) take effect on backends with a packet wire — the
+  /// factory copies them into the session/cluster options before
+  /// construction. Worker death applies to EVERY backend: the wire
+  /// backends detect it at the wave deadline; host/tree have no wire, so a
+  /// worker dead from wave 0 simply never contributes (kAbort throws
+  /// fault::WorkerDeadError, kDegrade reduces over the survivors and
+  /// reports the mask in ReduceStats::network.dead_workers). ReduceOp::kMean
+  /// always averages over the *survivors* of the job.
+  void set_fault_options(const fault::FaultOptions& fault) { fault_ = fault; }
+  const fault::FaultOptions& fault_options() const { return fault_; }
+
  protected:
   /// Backend hook: sum `workers` into `out` and report the job's stats.
   virtual ReduceStats run(std::span<const std::span<const float>> workers,
@@ -192,6 +204,8 @@ class Communicator {
   /// cluster backend's naming.
   void record_slo(std::string_view tenant, double wall_s, bool completed,
                   bool failed_over);
+
+  fault::FaultOptions fault_;  ///< see set_fault_options()
 
  private:
   /// Lazy one-shot registration (name() is virtual, so this cannot run in
@@ -378,6 +392,10 @@ struct CommunicatorOptions {
   cluster::ClusterOptions cluster;
   // kTree
   cluster::HierarchyOptions hierarchy;
+  /// One fault surface for every backend: when enabled, the factory copies
+  /// it into session.fault / cluster.fault (wire backends) and installs it
+  /// on the communicator (worker-death handling + survivor-aware kMean).
+  fault::FaultOptions fault;
 };
 
 std::unique_ptr<Communicator> make_communicator(

@@ -1,0 +1,189 @@
+#include "fault/fault.h"
+
+#include <utility>
+
+#include "pisa/fpisa_program.h"
+
+namespace fpisa::fault {
+
+FaultEngine::FaultEngine(const FaultOptions& opts, std::uint64_t stream_seed,
+                         int lanes)
+    : opts_(opts), rng_(stream_seed), lanes_(lanes) {}
+
+void FaultEngine::begin_wave(std::size_t wave) {
+  wave_ = wave;
+  // Ghosts captured before this wave land now, ahead of the wave's fresh
+  // traffic: by this point their slot has been reset (epoch bumped) and
+  // reused, so only the stamp distinguishes them from real contributions.
+  std::size_t kept = 0;
+  for (auto& g : ghosts_) {
+    if (g.captured_wave < wave) {
+      push(g.slot, g.worker, g.stamp, g.checksum, g.values);
+    } else {
+      ghosts_[kept++] = std::move(g);
+    }
+  }
+  ghosts_.resize(kept);
+}
+
+bool FaultEngine::deliver(std::uint16_t slot, std::uint8_t worker,
+                          std::uint32_t stamp,
+                          std::span<const std::uint32_t> values) {
+  // Checksum over the clean payload first: a bit flipped in flight is
+  // exactly what the switch-side guard is meant to catch.
+  const std::uint16_t cs = pisa::fpisa_checksum(slot, worker, stamp, values);
+  const bool corrupted = rng_.next_double() < opts_.corrupt_rate;
+  push(slot, worker, stamp, cs, values);
+  if (corrupted) {
+    const std::size_t lane = values.size() > 1
+                                 ? static_cast<std::size_t>(
+                                       rng_.uniform_int(
+                                           0, static_cast<int>(values.size()) -
+                                                  1))
+                                 : 0;
+    const int bit = rng_.uniform_int(0, 31);
+    values_[values_.size() - values.size() + lane] ^= (1u << bit);
+    return false;
+  }
+  if (rng_.next_double() < opts_.dup_rate) {
+    // Immediate duplicate in the same wave: the dedup bitmap absorbs it.
+    push(slot, worker, stamp, cs, values);
+  }
+  if (rng_.next_double() < opts_.stale_dup_rate) {
+    // Capture a ghost: this copy is "still in flight" and will land in a
+    // later wave, after round-robin slot reuse.
+    ghosts_.push_back(Ghost{slot, worker, stamp, cs,
+                            std::vector<std::uint32_t>(values.begin(),
+                                                       values.end()),
+                            wave_});
+  }
+  return true;
+}
+
+void FaultEngine::shuffle_pending() {
+  if (opts_.reorder_rate <= 0.0 || slots_.size() < 2) return;
+  // Adjacent swaps across DIFFERENT slots only. Per-slot relative order is
+  // invariant (a same-slot pair can never be directly swapped), so every
+  // slot's register sees the same arrival sequence and results stay
+  // bit-identical to the unshuffled batch.
+  for (std::size_t i = 0; i + 1 < slots_.size(); ++i) {
+    if (slots_[i] == slots_[i + 1]) continue;
+    if (rng_.next_double() >= opts_.reorder_rate) continue;
+    std::swap(slots_[i], slots_[i + 1]);
+    std::swap(workers_[i], workers_[i + 1]);
+    std::swap(stamps_[i], stamps_[i + 1]);
+    std::swap(checksums_[i], checksums_[i + 1]);
+    const std::size_t a = i * static_cast<std::size_t>(lanes_);
+    const std::size_t b = (i + 1) * static_cast<std::size_t>(lanes_);
+    for (int l = 0; l < lanes_; ++l) {
+      std::swap(values_[a + static_cast<std::size_t>(l)],
+                values_[b + static_cast<std::size_t>(l)]);
+    }
+  }
+}
+
+void FaultEngine::clear_pending() {
+  slots_.clear();
+  workers_.clear();
+  stamps_.clear();
+  checksums_.clear();
+  values_.clear();
+}
+
+void FaultEngine::push(std::uint16_t slot, std::uint8_t worker,
+                       std::uint32_t stamp, std::uint16_t checksum,
+                       std::span<const std::uint32_t> values) {
+  slots_.push_back(slot);
+  workers_.push_back(worker);
+  stamps_.push_back(stamp);
+  checksums_.push_back(checksum);
+  values_.insert(values_.end(), values.begin(), values.end());
+}
+
+ChaosMix draw_chaos_mix(std::uint64_t seed) {
+  // The mix-drawing stream is distinct from the engine stream (fault.seed)
+  // so adding a knob here never perturbs the injected schedules of other
+  // seeds' engines.
+  util::Rng rng(0xC4A05ULL ^ (seed * 0x9e3779b97f4a7c15ULL));
+  ChaosMix mix;
+  mix.cluster = (seed % 2) == 1;
+  mix.num_workers = 3 + static_cast<int>(rng.next_below(3));
+  mix.num_shards = 2 + static_cast<int>(rng.next_below(2));
+  mix.loss_rate = 0.3 * rng.next_double();
+  mix.fault.enabled = true;
+  mix.fault.seed = seed + 1;
+  // Rates are capped so retransmit exhaustion stays astronomically
+  // unlikely under the default 64-deep budget: every run is recoverable
+  // unless a kAbort worker death makes it unrecoverable by design.
+  mix.fault.corrupt_rate = 0.3 * rng.next_double();
+  mix.fault.reorder_rate = 0.5 * rng.next_double();
+  mix.fault.dup_rate = 0.3 * rng.next_double();
+  mix.fault.stale_dup_rate = 0.3 * rng.next_double();
+  if (rng.next_double() < 0.3) {
+    mix.fault.wipe_switch = true;
+    mix.fault.wipe_wave = rng.next_below(3);
+  }
+  if (rng.next_double() < 0.3) {
+    mix.fault.dead_worker = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(mix.num_workers)));
+    // Cluster shards index waves locally, so only wave 0 is guaranteed to
+    // exist on every shard; sessions can lose a worker mid-job.
+    mix.fault.dead_worker_wave = mix.cluster ? 0 : rng.next_below(2);
+    mix.fault.dead_worker_policy = rng.next_double() < 0.5
+                                       ? DeadWorkerPolicy::kAbort
+                                       : DeadWorkerPolicy::kDegrade;
+  }
+  return mix;
+}
+
+bool parse_fault_mix(const std::string& spec, FaultOptions& fault,
+                     double* loss_rate) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string kv = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    try {
+      fault.enabled = true;
+      if (key == "corrupt") {
+        fault.corrupt_rate = std::stod(val);
+      } else if (key == "reorder") {
+        fault.reorder_rate = std::stod(val);
+      } else if (key == "dup") {
+        fault.dup_rate = std::stod(val);
+      } else if (key == "stale") {
+        fault.stale_dup_rate = std::stod(val);
+      } else if (key == "loss") {
+        if (loss_rate != nullptr) *loss_rate = std::stod(val);
+      } else if (key == "wipe") {
+        fault.wipe_switch = true;
+        fault.wipe_wave = std::stoul(val);
+      } else if (key == "dead") {
+        fault.dead_worker = std::stoi(val);
+      } else if (key == "dead_wave") {
+        fault.dead_worker_wave = std::stoul(val);
+      } else if (key == "policy") {
+        if (val == "abort") {
+          fault.dead_worker_policy = DeadWorkerPolicy::kAbort;
+        } else if (val == "degrade") {
+          fault.dead_worker_policy = DeadWorkerPolicy::kDegrade;
+        } else {
+          return false;
+        }
+      } else {
+        return false;
+      }
+    } catch (const std::exception&) {
+      return false;  // std::stod / std::stoul rejected the value
+    }
+  }
+  return true;
+}
+
+}  // namespace fpisa::fault

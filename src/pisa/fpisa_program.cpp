@@ -88,20 +88,25 @@ PrimOp op2(OpCode op, FieldId dst, FieldId a, FieldId b) {
 
 Packet make_fpisa_packet(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
                          std::span<const std::uint32_t> values,
-                         bool little_endian_payload) {
+                         bool little_endian_payload, std::uint32_t stamp,
+                         std::uint16_t checksum) {
   Packet pkt;
-  make_fpisa_packet_into(pkt, op, slot, worker, values, little_endian_payload);
+  make_fpisa_packet_into(pkt, op, slot, worker, values, little_endian_payload,
+                         stamp, checksum);
   return pkt;
 }
 
 void make_fpisa_packet_into(Packet& pkt, FpisaOp op, std::uint16_t slot,
                             std::uint8_t worker,
                             std::span<const std::uint32_t> values,
-                            bool little_endian_payload) {
+                            bool little_endian_payload, std::uint32_t stamp,
+                            std::uint16_t checksum) {
   pkt.bytes.assign(kFpisaHeaderBytes + 4 * values.size(), 0);
   pkt.bytes[0] = static_cast<std::uint8_t>(op);
   write_be(&pkt.bytes[1], 2, slot);
   pkt.bytes[3] = worker;
+  write_be(&pkt.bytes[10], 4, stamp);
+  write_be(&pkt.bytes[14], 2, checksum);
   for (std::size_t i = 0; i < values.size(); ++i) {
     std::uint64_t v = values[i];
     // A host that skips htonl() leaves the value in little-endian order on
@@ -543,6 +548,10 @@ void FpisaSwitch::init_metrics() {
   auto& reg = telemetry::registry();
   m_packets_ = &reg.counter("fpisa_switch_packets_total", {{"sw", id}});
   m_dedup_ = &reg.counter("fpisa_switch_dedup_hits_total", {{"sw", id}});
+  m_corrupt_ =
+      &reg.counter("fpisa_switch_corrupt_rejected_total", {{"sw", id}});
+  m_stale_ =
+      &reg.counter("fpisa_switch_stale_dups_rejected_total", {{"sw", id}});
   m_occupancy_ = &reg.gauge("fpisa_switch_occupied_slots", {{"sw", id}});
   static constexpr const char* kOps[7] = {
       "adds",        "rounded_adds",     "overwrites", "lshift_overflows",
@@ -559,6 +568,14 @@ void FpisaSwitch::flush_metrics(std::size_t packets) {
   if (dedup_hits_ != dedup_flushed_) {
     m_dedup_->inc(dedup_hits_ - dedup_flushed_);
     dedup_flushed_ = dedup_hits_;
+  }
+  if (guard_corrupt_ != guard_corrupt_flushed_) {
+    m_corrupt_->inc(guard_corrupt_ - guard_corrupt_flushed_);
+    guard_corrupt_flushed_ = guard_corrupt_;
+  }
+  if (guard_stale_ != guard_stale_flushed_) {
+    m_stale_->inc(guard_stale_ - guard_stale_flushed_);
+    guard_stale_flushed_ = guard_stale_;
   }
   const std::uint64_t deltas[7] = {
       ops_.adds - ops_flushed_.adds,
@@ -646,9 +663,14 @@ void FpisaSwitch::roundtrip_into(FpisaOp op, std::uint16_t slot,
     }
   } else if (op == FpisaOp::kReset) {
     if (bitmap_reg.read(slot) != 0) occupied_--;
+    slot_epoch_[slot]++;  // the slot's next occupant is a new epoch
   }
+  const std::uint32_t stamp = op == FpisaOp::kAdd ? slot_stamp(slot) : 0;
+  const std::uint16_t cs =
+      op == FpisaOp::kAdd ? fpisa_checksum(slot, worker, stamp, values)
+                          : std::uint16_t{0};
   make_fpisa_packet_into(scratch_pkt_, op, slot, worker, values,
-                         opts_.convert_endianness);
+                         opts_.convert_endianness, stamp, cs);
   sim_.process(scratch_pkt_);
   parse_fpisa_result_into(scratch_pkt_, opts_.lanes, out,
                           opts_.convert_endianness);
@@ -764,6 +786,78 @@ void FpisaSwitch::add_batch(std::span<const std::uint16_t> slots,
   flush_metrics(slots.size());
 }
 
+void FpisaSwitch::add_batch_guarded(std::span<const std::uint16_t> slots,
+                                    std::span<const std::uint8_t> workers,
+                                    std::span<const std::uint32_t> stamps,
+                                    std::span<const std::uint16_t> checksums,
+                                    std::span<const std::uint32_t> values,
+                                    GuardStats& guard) {
+  assert(slots.size() == workers.size());
+  assert(slots.size() == stamps.size());
+  assert(slots.size() == checksums.size());
+  assert(values.size() ==
+         slots.size() * static_cast<std::size_t>(opts_.lanes));
+  const int lanes = opts_.lanes;
+  RegisterArray& bitmap = sim_.reg(2 * lanes);
+  RegisterArray& count = sim_.reg(2 * lanes + 1);
+
+  for (std::size_t p = 0; p < slots.size(); ++p) {
+    const std::size_t slot = slots[p];
+    assert(slot < bitmap.size());
+    const std::uint32_t* lane_vals =
+        values.data() + p * static_cast<std::size_t>(lanes);
+    const std::span<const std::uint32_t> payload(
+        lane_vals, static_cast<std::size_t>(lanes));
+    // Guard 1: payload integrity. A bit flipped in flight breaks the
+    // checksum the sender computed over the clean bytes.
+    if (fpisa_checksum(slots[p], workers[p], stamps[p], payload) !=
+        checksums[p]) {
+      guard.corrupt_rejected++;
+      guard_corrupt_++;
+      continue;
+    }
+    // Guard 2: liveness of the slot's epoch. A copy stamped before the
+    // slot was reset (stale duplicate after round-robin reuse) or before
+    // the switch rebooted must not be absorbed as a fresh contribution.
+    if (stamps[p] != slot_stamp(slots[p])) {
+      guard.stale_rejected++;
+      guard_stale_++;
+      continue;
+    }
+    // Accepted: the add_batch ingress, packet by packet.
+    const std::uint64_t wbit = std::uint64_t{1} << workers[p];
+    const std::uint64_t old_bm = bitmap.read(slot);
+    bitmap.write(slot, old_bm | wbit);
+    if (old_bm & wbit) {
+      dedup_hits_++;
+      continue;
+    }
+    if (old_bm == 0) occupied_++;
+
+    count.write(slot, count.read(slot) + 1);
+    for (int l = 0; l < lanes; ++l) apply_add_lane(l, slot, lane_vals[l]);
+  }
+  sim_.account_packets(slots.size());
+  flush_metrics(slots.size());
+}
+
+void FpisaSwitch::wipe_state() {
+  // Reboot semantics: every register array back to power-on zero. The
+  // RegisterArray has no bulk clear, so walk the slots like the control
+  // plane would.
+  const int lanes = opts_.lanes;
+  for (int r = 0; r < 2 * lanes + 2; ++r) {
+    RegisterArray& reg = sim_.reg(r);
+    for (std::size_t s = 0; s < reg.size(); ++s) reg.write(s, 0);
+  }
+  occupied_ = 0;
+  // The generation bump alone distinguishes pre-wipe stamps, so the
+  // per-slot epochs restart at zero like everything else on the switch.
+  std::fill(slot_epoch_.begin(), slot_epoch_.end(), 0);
+  generation_++;
+  flush_metrics(0);
+}
+
 // ---------------------------------------------------------------------------
 // Batched read fast path: the compiled form of the egress program
 // (MAU5-8), applied straight to the register arrays. Each step mirrors the
@@ -847,6 +941,7 @@ void FpisaSwitch::collect_batch(std::uint16_t slot0, std::size_t n,
       if (bitmap.read(slot) != 0) occupied_--;
       bitmap.write(slot, 0);
       count.write(slot, 0);
+      slot_epoch_[slot]++;  // the slot's next occupant is a new epoch
     }
   }
   sim_.account_packets(n);

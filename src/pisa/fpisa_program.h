@@ -43,18 +43,44 @@ struct FpisaProgramOptions {
 };
 
 /// Packet layout (big-endian on the wire):
-///   [0]    opcode        [1..2] slot        [3]   worker
-///   [4..7] bitmap (out)  [8..9] count (out) [10..] lanes x 4B FP32 value
-inline constexpr int kFpisaHeaderBytes = 10;
+///   [0]      opcode        [1..2]   slot        [3]     worker
+///   [4..7]   bitmap (out)  [8..9]   count (out)
+///   [10..13] epoch/generation stamp  [14..15] payload checksum
+///   [16..]   lanes x 4B FP32 value
+/// The stamp is (switch generation << 16) | per-slot epoch: the epoch bumps
+/// on every slot reset (round-robin reuse), the generation on switch state
+/// loss, so stale duplicates and pre-reboot packets are rejectable. The
+/// checksum covers (slot, worker, stamp, payload). Both fields are zero on
+/// the legacy (fault-guard-off) paths; only the guarded batch ingress
+/// verifies them.
+inline constexpr int kFpisaHeaderBytes = 16;
+
+/// Internet-checksum-style fold of (slot, worker, stamp, payload) to 16
+/// bits: the end-around-carry folding detects any single flipped bit.
+inline std::uint16_t fpisa_checksum(std::uint16_t slot, std::uint8_t worker,
+                                    std::uint32_t stamp,
+                                    std::span<const std::uint32_t> values) {
+  std::uint64_t sum = slot;
+  sum += static_cast<std::uint64_t>(worker) << 16;
+  sum += stamp;
+  for (const std::uint32_t v : values) sum += v;
+  sum = (sum & 0xFFFFFFFFull) + (sum >> 32);
+  sum = (sum & 0xFFFFull) + (sum >> 16);
+  sum = (sum & 0xFFFFull) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
 
 Packet make_fpisa_packet(FpisaOp op, std::uint16_t slot, std::uint8_t worker,
                          std::span<const std::uint32_t> values,
-                         bool little_endian_payload = false);
+                         bool little_endian_payload = false,
+                         std::uint32_t stamp = 0, std::uint16_t checksum = 0);
 /// Zero-allocation variant: reuses `pkt`'s byte buffer across packets.
 void make_fpisa_packet_into(Packet& pkt, FpisaOp op, std::uint16_t slot,
                             std::uint8_t worker,
                             std::span<const std::uint32_t> values,
-                            bool little_endian_payload = false);
+                            bool little_endian_payload = false,
+                            std::uint32_t stamp = 0,
+                            std::uint16_t checksum = 0);
 
 struct FpisaResult {
   std::vector<std::uint32_t> values;
@@ -93,7 +119,8 @@ class FpisaSwitch {
   FpisaSwitch(SwitchConfig config, FpisaProgramOptions opts)
       : opts_(opts),
         sim_(config, build_fpisa_program(config, opts)),
-        zeros_(static_cast<std::size_t>(opts.lanes), 0) {
+        zeros_(static_cast<std::size_t>(opts.lanes), 0),
+        slot_epoch_(opts.slots, 0) {
     init_metrics();
   }
 
@@ -119,6 +146,42 @@ class FpisaSwitch {
   void add_batch(std::span<const std::uint16_t> slots,
                  std::span<const std::uint8_t> workers,
                  std::span<const std::uint32_t> values);
+
+  /// Per-batch guard rejection counts from add_batch_guarded.
+  struct GuardStats {
+    std::uint64_t corrupt_rejected = 0;  ///< checksum mismatch
+    std::uint64_t stale_rejected = 0;    ///< epoch/generation stamp mismatch
+  };
+
+  /// Guarded batched add: like add_batch, but packet i additionally carries
+  /// an epoch/generation stamp and a payload checksum. A packet whose
+  /// checksum does not cover its bytes (bit flipped in flight) or whose
+  /// stamp disagrees with the slot's current stamp (a stale duplicate from
+  /// before the slot was reset, or a pre-wipe packet) is dropped before it
+  /// can touch register state; the drops are tallied in `guard` and in the
+  /// registry. Accepted packets update state exactly as add_batch would.
+  void add_batch_guarded(std::span<const std::uint16_t> slots,
+                         std::span<const std::uint8_t> workers,
+                         std::span<const std::uint32_t> stamps,
+                         std::span<const std::uint16_t> checksums,
+                         std::span<const std::uint32_t> values,
+                         GuardStats& guard);
+
+  /// Whole-switch state loss (reboot): every register — per-lane exponent
+  /// and mantissa arrays, dedup bitmap, completion counter — is zeroed and
+  /// the generation is bumped so packets stamped before the wipe are
+  /// rejected by the guarded ingress instead of corrupting fresh sums.
+  void wipe_state();
+
+  /// Current epoch/generation stamp the guarded ingress expects for
+  /// `slot`: (generation << 16) | slot epoch. The epoch bumps on every
+  /// reset of the slot (both the interpreted kReset path and the batched
+  /// read_and_reset), the generation on wipe_state().
+  std::uint32_t slot_stamp(std::uint16_t slot) const {
+    return (static_cast<std::uint32_t>(generation_) << 16) |
+           slot_epoch_[slot];
+  }
+  std::uint16_t generation() const { return generation_; }
 
   /// Batched egress fast path: reads `n` consecutive slots [slot0,
   /// slot0 + n) through the compiled renormalize-and-assemble (MAU5-8),
@@ -183,10 +246,21 @@ class FpisaSwitch {
   core::OpCounters ops_{};
   std::uint64_t dedup_hits_ = 0;
   std::int64_t occupied_ = 0;
+  /// Guard state: per-slot reset epoch + whole-switch generation (see
+  /// slot_stamp). Maintained unconditionally — a couple of integer bumps
+  /// per reset — so guarded and unguarded traffic can interleave.
+  std::vector<std::uint16_t> slot_epoch_;
+  std::uint16_t generation_ = 0;
+  std::uint64_t guard_corrupt_ = 0;
+  std::uint64_t guard_stale_ = 0;
   core::OpCounters ops_flushed_{};      ///< registry high-water marks
   std::uint64_t dedup_flushed_ = 0;
+  std::uint64_t guard_corrupt_flushed_ = 0;
+  std::uint64_t guard_stale_flushed_ = 0;
   telemetry::Counter* m_packets_ = nullptr;
   telemetry::Counter* m_dedup_ = nullptr;
+  telemetry::Counter* m_corrupt_ = nullptr;
+  telemetry::Counter* m_stale_ = nullptr;
   telemetry::Gauge* m_occupancy_ = nullptr;
   telemetry::Counter* m_ops_[7] = {};
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
@@ -36,6 +37,11 @@ AggregationSession::AggregationSession(pisa::SwitchConfig config,
       loss_rng_(opts.loss_seed),
       lane_buf_(static_cast<std::size_t>(opts.lanes), 0) {
   assert(opts_.num_workers <= 32 && "bitmap is 32 bits wide");
+  if (opts_.fault.enabled && !opts_.batched) {
+    throw std::invalid_argument(
+        "fault injection requires the batched datapath (the guarded ingress "
+        "is a batch interface)");
+  }
   init_metrics();
 }
 
@@ -201,12 +207,16 @@ void AggregationSession::collect_wave(std::size_t base, std::size_t wave_end,
                                {wave_values_.data(), sched.cleared * lanes});
   switch_.sim().account_packets(sched.delivered - sched.cleared);
   if (sched.failure == 1) {
-    throw std::runtime_error("read packet exceeded retransmits");
+    throw RetransmitExhaustedError(RetransmitExhaustedError::Phase::kRead,
+                                   static_cast<std::uint16_t>(sched.cleared),
+                                   -1);
   }
   if (sched.failure == 2) {
     // A never-reset slot would swallow the next wave's adds through the
     // dedup bitmap — fail loudly rather than aggregate silently wrong.
-    throw std::runtime_error("reset packet exceeded retransmits");
+    throw RetransmitExhaustedError(RetransmitExhaustedError::Phase::kReset,
+                                   static_cast<std::uint16_t>(sched.cleared),
+                                   -1);
   }
 
   for (std::size_t k = 0; k < wave_n; ++k) {
@@ -233,6 +243,41 @@ void AggregationSession::reduce_into(
   assert(static_cast<int>(workers.size()) == opts_.num_workers);
   const std::size_t n = workers.front().size();
   assert(result.size() == n);
+  if (opts_.fault.enabled) {
+    // The guarded protocol: every delivered copy runs through the fault
+    // engine, every batch through the stamp/checksum guard, and a
+    // dead-worker policy drives the retry loop. Kept out of the default
+    // path entirely so fault-off behavior is byte-for-byte unchanged.
+    fault::FaultEngine engine(opts_.fault, opts_.fault.seed, opts_.lanes);
+    resync_stamps();
+    std::uint32_t dead_mask = 0;
+    for (;;) {
+      try {
+        run_guarded(workers, result, engine, dead_mask);
+        return;
+      } catch (const fault::WorkerDeadError& e) {
+        stats_.faults.workers_declared_dead++;
+        stats_.dead_workers |= 1u << e.worker();
+        dead_mask |= 1u << e.worker();
+        if (opts_.fault.dead_worker_policy ==
+                fault::DeadWorkerPolicy::kAbort ||
+            std::popcount(dead_mask) >= opts_.num_workers) {
+          throw;
+        }
+        // Degrade: abandon the partial attempt — scrub every slot (bumps
+        // the epochs, so any in-flight stragglers from the dead attempt
+        // are stale), forget the engine's ghosts, and rerun the job over
+        // the survivors.
+        wave_values_.resize(opts_.slots *
+                            static_cast<std::size_t>(opts_.lanes));
+        switch_.read_and_reset_batch(0, opts_.slots, wave_values_);
+        engine.clear_pending();
+        engine.drop_ghosts();
+        resync_stamps();
+        stats_.faults.epoch_bumps++;
+      }
+    }
+  }
   const auto lanes = static_cast<std::size_t>(opts_.lanes);
   const std::size_t chunks = (n + lanes - 1) / lanes;
   std::fill(result.begin(), result.end(), 0.0f);
@@ -264,7 +309,8 @@ void AggregationSession::reduce_into(
           // Deliver what the switch already received before failing, so
           // the register state matches the per-packet path exactly.
           flush_pending();
-          throw std::runtime_error("aggregation packet exceeded retransmits");
+          throw RetransmitExhaustedError(
+              RetransmitExhaustedError::Phase::kAdd, slot, w);
         }
       }
     }
@@ -298,7 +344,10 @@ void AggregationSession::reduce_into(
         }
         have = true;
       }
-      if (!have) throw std::runtime_error("read packet exceeded retransmits");
+      if (!have) {
+        throw RetransmitExhaustedError(
+            RetransmitExhaustedError::Phase::kRead, slot, -1);
+      }
 
       for (std::size_t l = 0; l < lanes; ++l) {
         const std::size_t i = c * lanes + l;
@@ -323,11 +372,195 @@ void AggregationSession::reduce_into(
       if (!cleared) {
         // A never-reset slot would swallow the next wave's adds through the
         // dedup bitmap — fail loudly rather than aggregate silently wrong.
-        throw std::runtime_error("reset packet exceeded retransmits");
+        throw RetransmitExhaustedError(
+            RetransmitExhaustedError::Phase::kReset, slot, -1);
       }
     }
     note_wave(ns_between(t_wave, t_collect),
               ns_between(t_collect, Clock::now()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Guarded protocol (fault injection enabled). Structure mirrors the batched
+// reduce_into body, with three insertions per wave: the engine sits between
+// queue_add and the pending batch (corrupting / duplicating / ghosting /
+// reordering delivered copies), the batch lands through add_batch_guarded
+// (stamp + checksum verification), and after the add phase the wave is
+// checked for switch state loss (replay from the host-held gradients — the
+// shadow buffers ARE the worker views) and for workers that missed their
+// wave deadline.
+// ---------------------------------------------------------------------------
+
+void AggregationSession::resync_stamps() {
+  stamps_.resize(opts_.slots);
+  for (std::size_t s = 0; s < opts_.slots; ++s) {
+    stamps_[s] = switch_.slot_stamp(static_cast<std::uint16_t>(s));
+  }
+  mirror_generation_ = switch_.generation();
+}
+
+bool AggregationSession::queue_add_guarded(
+    std::uint16_t slot, std::uint8_t worker,
+    std::span<const std::uint32_t> values, fault::FaultEngine& engine) {
+  bool delivered_before = false;
+  for (int attempt = 0; attempt <= opts_.max_retransmits; ++attempt) {
+    if (attempt > 0) ++stats_.retransmissions;
+    ++stats_.packets_sent;
+
+    if (loss_rng_.next_double() < opts_.loss_rate) {
+      ++stats_.packets_lost;
+      continue;
+    }
+    // Delivered to the wire: the engine decides the copy's fate. A
+    // corrupted copy still reaches the switch (and is rejected there), but
+    // no ack is possible for it — keep retransmitting.
+    if (!engine.deliver(slot, worker, stamps_[slot], values)) continue;
+    if (delivered_before) ++stats_.duplicates_absorbed;
+    delivered_before = true;
+
+    if (loss_rng_.next_double() < opts_.loss_rate) {
+      ++stats_.packets_lost;
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void AggregationSession::flush_pending_guarded(fault::FaultEngine& engine) {
+  if (engine.pending() == 0) return;
+  pisa::FpisaSwitch::GuardStats guard;
+  switch_.add_batch_guarded(engine.slots(), engine.workers(),
+                            engine.stamps(), engine.checksums(),
+                            engine.values(), guard);
+  stats_.faults.corrupt_rejected += guard.corrupt_rejected;
+  stats_.faults.stale_dups_rejected += guard.stale_rejected;
+  engine.clear_pending();
+}
+
+void AggregationSession::recover_wave(
+    std::span<const std::span<const float>> workers, std::size_t base,
+    std::size_t wave_end, std::size_t n, std::size_t wave_index,
+    std::uint32_t dead_mask, fault::FaultEngine& engine) {
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t wave_n = wave_end - base;
+
+  // Switch state loss: a generation bump means every register — including
+  // this wave's partial sums — is gone. Resync the stamp mirror, then
+  // replay the wave's adds from the host-held gradients over the reliable
+  // control channel (the dedup bitmap absorbs any double replay).
+  int replays = 0;
+  while (switch_.generation() != mirror_generation_) {
+    if (replays++ >= opts_.fault.max_wave_replays) {
+      throw std::runtime_error(
+          "switch state loss not recoverable within the wave-replay budget");
+    }
+    resync_stamps();
+    stats_.faults.epoch_bumps++;
+    pending_slots_.clear();
+    pending_workers_.clear();
+    pending_values_.clear();
+    replay_stamps_.clear();
+    replay_checksums_.clear();
+    for (std::size_t c = base; c < wave_end; ++c) {
+      const auto slot = static_cast<std::uint16_t>(c - base);
+      for (int w = 0; w < opts_.num_workers; ++w) {
+        if (dead_mask & (1u << w)) continue;
+        if (engine.worker_silent(w, wave_index)) continue;
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const std::size_t i = c * lanes + l;
+          lane_buf_[l] =
+              i < n ? core::fp32_bits(workers[static_cast<std::size_t>(w)][i])
+                    : 0;
+        }
+        pending_slots_.push_back(slot);
+        pending_workers_.push_back(static_cast<std::uint8_t>(w));
+        pending_values_.insert(pending_values_.end(), lane_buf_.begin(),
+                               lane_buf_.end());
+        replay_stamps_.push_back(stamps_[slot]);
+        replay_checksums_.push_back(pisa::fpisa_checksum(
+            slot, static_cast<std::uint8_t>(w), stamps_[slot], lane_buf_));
+      }
+    }
+    pisa::FpisaSwitch::GuardStats guard;
+    switch_.add_batch_guarded(pending_slots_, pending_workers_,
+                              replay_stamps_, replay_checksums_,
+                              pending_values_, guard);
+    pending_slots_.clear();
+    pending_workers_.clear();
+    pending_values_.clear();
+    stats_.faults.waves_replayed++;
+  }
+
+  // Wave deadline: every live worker must have its dedup bit set in every
+  // wave slot by now (loss is retried to acknowledgment, so only a silent
+  // worker can miss). A worker absent from ALL wave slots is dead.
+  std::uint32_t expected = 0;
+  for (int w = 0; w < opts_.num_workers; ++w) {
+    if (!(dead_mask & (1u << w))) expected |= 1u << w;
+  }
+  wave_values_.resize(wave_n * lanes);
+  bitmap_scratch_.resize(wave_n);
+  switch_.read_batch(0, wave_n, {wave_values_.data(), wave_n * lanes},
+                     bitmap_scratch_);
+  std::uint32_t missing_everywhere = expected;
+  for (std::size_t k = 0; k < wave_n; ++k) {
+    missing_everywhere &= expected & ~bitmap_scratch_[k];
+  }
+  if (missing_everywhere != 0) {
+    throw fault::WorkerDeadError(std::countr_zero(missing_everywhere),
+                                 wave_index);
+  }
+}
+
+void AggregationSession::run_guarded(
+    std::span<const std::span<const float>> workers, std::span<float> result,
+    fault::FaultEngine& engine, std::uint32_t dead_mask) {
+  const std::size_t n = workers.front().size();
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t chunks = (n + lanes - 1) / lanes;
+  std::fill(result.begin(), result.end(), 0.0f);
+
+  std::size_t wave_index = 0;
+  for (std::size_t base = 0; base < chunks; base += opts_.slots) {
+    const std::size_t wave_end = std::min(base + opts_.slots, chunks);
+    const std::size_t wave_n = wave_end - base;
+    const Clock::time_point t_wave = Clock::now();
+    engine.begin_wave(wave_index);  // releases last wave's ghosts first
+    for (std::size_t c = base; c < wave_end; ++c) {
+      const auto slot = static_cast<std::uint16_t>(c - base);
+      for (int w = 0; w < opts_.num_workers; ++w) {
+        if (dead_mask & (1u << w)) continue;
+        if (engine.worker_silent(w, wave_index)) continue;
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const std::size_t i = c * lanes + l;
+          lane_buf_[l] =
+              i < n ? core::fp32_bits(workers[static_cast<std::size_t>(w)][i])
+                    : 0;
+        }
+        if (!queue_add_guarded(slot, static_cast<std::uint8_t>(w), lane_buf_,
+                               engine)) {
+          flush_pending_guarded(engine);
+          throw RetransmitExhaustedError(
+              RetransmitExhaustedError::Phase::kAdd, slot, w);
+        }
+      }
+    }
+    engine.shuffle_pending();
+    flush_pending_guarded(engine);
+    if (engine.should_wipe(wave_index)) switch_.wipe_state();
+    recover_wave(workers, base, wave_end, n, wave_index, dead_mask, engine);
+
+    const Clock::time_point t_collect = Clock::now();
+    collect_wave(base, wave_end, n, result);
+    // Every wave slot was reset: advance the mirror epochs in lockstep.
+    for (std::size_t k = 0; k < wave_n; ++k) {
+      stamps_[k] = (stamps_[k] & 0xFFFF0000u) | ((stamps_[k] + 1) & 0xFFFFu);
+    }
+    note_wave(ns_between(t_wave, t_collect),
+              ns_between(t_collect, Clock::now()));
+    wave_index++;
   }
 }
 

@@ -22,10 +22,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/accumulator.h"
+#include "fault/fault.h"
 #include "pisa/fpisa_program.h"
 #include "telemetry/metrics.h"
 #include "util/rng.h"
@@ -42,6 +46,40 @@ struct SessionOptions {
   /// Batched fast paths (add_batch waves + read_and_reset_batch collects)
   /// vs the per-packet reference protocol. Identical observables.
   bool batched = true;
+  /// Byzantine-wire fault injection + the guarded recovery protocol
+  /// (epoch-stamped, checksummed adds; wave replay; dead-worker policy).
+  /// Requires the batched datapath.
+  fault::FaultOptions fault;
+};
+
+/// A packet exhausted its retransmit budget: the protocol cannot make
+/// progress without risking a silently wrong aggregate. Carries which
+/// protocol phase gave up and the slot/worker context, like ShardDeadError
+/// carries the shard (worker is -1 for the read/reset phases, which are
+/// not worker-specific).
+class RetransmitExhaustedError : public std::runtime_error {
+ public:
+  enum class Phase { kAdd, kRead, kReset };
+  RetransmitExhaustedError(Phase phase, std::uint16_t slot, int worker)
+      : std::runtime_error(
+            std::string(phase == Phase::kAdd
+                            ? "aggregation packet exceeded retransmits"
+                        : phase == Phase::kRead
+                            ? "read packet exceeded retransmits"
+                            : "reset packet exceeded retransmits") +
+            " (slot " + std::to_string(slot) +
+            (worker >= 0 ? ", worker " + std::to_string(worker) : "") + ")"),
+        phase_(phase),
+        slot_(slot),
+        worker_(worker) {}
+  Phase phase() const { return phase_; }
+  std::uint16_t slot() const { return slot_; }
+  int worker() const { return worker_; }
+
+ private:
+  Phase phase_;
+  std::uint16_t slot_;
+  int worker_;
 };
 
 struct SessionStats {
@@ -54,6 +92,12 @@ struct SessionStats {
   std::uint64_t shard_failures = 0;   ///< shards declared dead serving this
   std::uint64_t chunks_rerouted = 0;  ///< chunks re-homed onto survivors
   std::uint64_t failover_retries = 0; ///< clean retry passes run
+  /// Byzantine-fault injection/recovery books (zero with faults disabled).
+  fault::FaultCounters faults{};
+  /// Bitmask of workers declared dead while serving this. A monotone mask,
+  /// not a count: several shards may each declare the same worker dead, and
+  /// kMean-over-survivors needs the distinct-worker population.
+  std::uint32_t dead_workers = 0;
   /// Per-MAU kernel operation counts (§5.2.1 taxonomy), carried through
   /// every merge so table-level accounting survives aggregation end to
   /// end. Populated where a layer exclusively owns its switch (sessions,
@@ -71,6 +115,8 @@ struct SessionStats {
     shard_failures += o.shard_failures;
     chunks_rerouted += o.chunks_rerouted;
     failover_retries += o.failover_retries;
+    faults += o.faults;
+    dead_workers |= o.dead_workers;
     ops += o.ops;
     return *this;
   }
@@ -85,6 +131,10 @@ struct SessionStats {
     shard_failures -= o.shard_failures;
     chunks_rerouted -= o.chunks_rerouted;
     failover_retries -= o.failover_retries;
+    faults -= o.faults;
+    // Delta semantics for a monotone mask: keep only the workers that died
+    // after the `o` snapshot was taken.
+    dead_workers &= ~o.dead_workers;
     ops -= o.ops;
     return *this;
   }
@@ -159,6 +209,31 @@ class AggregationSession {
   void collect_wave(std::size_t base, std::size_t wave_end, std::size_t n,
                     std::span<float> result);
 
+  // --- Byzantine-fault guarded protocol (opts_.fault.enabled only) -------
+  /// One attempt at the whole job with the given survivor set; throws
+  /// WorkerDeadError when a worker misses a wave deadline.
+  void run_guarded(std::span<const std::span<const float>> workers,
+                   std::span<float> result, fault::FaultEngine& engine,
+                   std::uint32_t dead_mask);
+  /// queue_add through the fault engine: delivered copies are handed to
+  /// deliver(), which may corrupt / duplicate / hold them back as ghosts.
+  bool queue_add_guarded(std::uint16_t slot, std::uint8_t worker,
+                         std::span<const std::uint32_t> values,
+                         fault::FaultEngine& engine);
+  /// Drains the engine's pending batch through add_batch_guarded and folds
+  /// the guard's rejection counts into stats_.faults.
+  void flush_pending_guarded(fault::FaultEngine& engine);
+  /// Post-add wave recovery: detect switch state loss (generation bump) and
+  /// replay the wave from the host-held gradients; then enforce the wave
+  /// deadline — a worker whose bit is clear in every wave slot is dead.
+  void recover_wave(std::span<const std::span<const float>> workers,
+                    std::size_t base, std::size_t wave_end, std::size_t n,
+                    std::size_t wave_index, std::uint32_t dead_mask,
+                    fault::FaultEngine& engine);
+  /// Re-reads every slot's epoch/generation stamp from the switch's
+  /// control plane into the host mirror.
+  void resync_stamps();
+
   void init_metrics();
   /// Accumulates one wave's timings and pushes stats deltas to the registry.
   void note_wave(std::uint64_t add_ns, std::uint64_t collect_ns);
@@ -183,6 +258,13 @@ class AggregationSession {
   std::vector<std::uint32_t> lane_buf_;
   std::vector<std::uint32_t> wave_values_;  ///< batched collect results
   pisa::FpisaResult result_buf_;
+
+  // Guarded-protocol state (touched only when opts_.fault.enabled).
+  std::vector<std::uint32_t> stamps_;       ///< host mirror of slot stamps
+  std::uint16_t mirror_generation_ = 0;
+  std::vector<std::uint32_t> bitmap_scratch_;   ///< wave-deadline probe
+  std::vector<std::uint32_t> replay_stamps_;    ///< wave-replay batch
+  std::vector<std::uint16_t> replay_checksums_;
 };
 
 }  // namespace fpisa::switchml

@@ -1,0 +1,192 @@
+// Unit coverage for the deterministic fault engine and the guarded switch
+// ingress it feeds: seeded schedules replay exactly, corruption flips
+// exactly one bit (and the checksum catches it), reordering never crosses
+// a same-slot boundary, ghosts come back stale, and a wiped switch rejects
+// everything stamped before the wipe.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "pisa/fpisa_program.h"
+
+namespace fpisa::fault {
+namespace {
+
+std::vector<std::uint32_t> payload(std::uint32_t a, std::uint32_t b) {
+  return {a, b};
+}
+
+TEST(FaultEngine, SameSeedReplaysTheExactSchedule) {
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.corrupt_rate = 0.3;
+  opts.dup_rate = 0.3;
+  opts.stale_dup_rate = 0.2;
+  opts.reorder_rate = 0.5;
+
+  const auto run = [&opts] {
+    FaultEngine engine(opts, /*stream_seed=*/42, /*lanes=*/2);
+    engine.begin_wave(0);
+    for (std::uint16_t slot = 0; slot < 4; ++slot) {
+      for (std::uint8_t w = 0; w < 3; ++w) {
+        const auto values = payload(0x40000000u + slot, 0x3f800000u + w);
+        (void)engine.deliver(slot, w, /*stamp=*/7, values);
+      }
+    }
+    engine.shuffle_pending();
+    std::vector<std::uint64_t> fingerprint;
+    for (std::size_t i = 0; i < engine.pending(); ++i) {
+      fingerprint.push_back((static_cast<std::uint64_t>(engine.slots()[i])
+                             << 40) ^
+                            (static_cast<std::uint64_t>(engine.workers()[i])
+                             << 32) ^
+                            engine.values()[2 * i] ^
+                            (static_cast<std::uint64_t>(engine.checksums()[i])
+                             << 16));
+    }
+    return fingerprint;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultEngine, CorruptionFlipsExactlyOneBitAndFailsTheChecksum) {
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.corrupt_rate = 1.0;  // every delivery corrupts
+  FaultEngine engine(opts, 7, /*lanes=*/2);
+  engine.begin_wave(0);
+
+  const auto values = payload(0x41000000u, 0x42000000u);
+  EXPECT_FALSE(engine.deliver(3, 1, /*stamp=*/5, values));
+  ASSERT_EQ(engine.pending(), 1u);
+
+  // Exactly one bit differs from the clean payload...
+  const std::uint32_t d0 = engine.values()[0] ^ values[0];
+  const std::uint32_t d1 = engine.values()[1] ^ values[1];
+  EXPECT_EQ(std::popcount(d0) + std::popcount(d1), 1);
+  // ...and the carried checksum was computed over the CLEAN payload, so it
+  // cannot match the corrupted one.
+  EXPECT_NE(engine.checksums()[0],
+            pisa::fpisa_checksum(3, 1, 5,
+                                 {engine.values().data(), 2}));
+  EXPECT_EQ(engine.checksums()[0], pisa::fpisa_checksum(3, 1, 5, values));
+}
+
+TEST(FaultEngine, ChecksumDetectsEverySingleBitFlip) {
+  const auto values = payload(0xdeadbeefu, 0x00c0ffeeu);
+  const std::uint16_t good = pisa::fpisa_checksum(9, 2, 0x00010003u, values);
+  for (int lane = 0; lane < 2; ++lane) {
+    for (int bit = 0; bit < 32; ++bit) {
+      auto flipped = values;
+      flipped[static_cast<std::size_t>(lane)] ^= 1u << bit;
+      EXPECT_NE(good, pisa::fpisa_checksum(9, 2, 0x00010003u, flipped))
+          << "lane " << lane << " bit " << bit;
+    }
+  }
+}
+
+TEST(FaultEngine, ReorderNeverSwapsSameSlotEntries) {
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.reorder_rate = 1.0;  // swap at every eligible boundary
+  FaultEngine engine(opts, 11, /*lanes=*/1);
+  engine.begin_wave(0);
+  // Two slots, three workers each, interleaved: per-slot arrival order is
+  // worker 0, 1, 2 and must survive any amount of shuffling.
+  for (std::uint8_t w = 0; w < 3; ++w) {
+    for (std::uint16_t slot = 0; slot < 2; ++slot) {
+      const std::vector<std::uint32_t> v{0x40000000u + w};
+      ASSERT_TRUE(engine.deliver(slot, w, 1, v));
+    }
+  }
+  engine.shuffle_pending();
+  std::vector<std::uint8_t> order0, order1;
+  for (std::size_t i = 0; i < engine.pending(); ++i) {
+    (engine.slots()[i] == 0 ? order0 : order1).push_back(engine.workers()[i]);
+  }
+  EXPECT_EQ(order0, (std::vector<std::uint8_t>{0, 1, 2}));
+  EXPECT_EQ(order1, (std::vector<std::uint8_t>{0, 1, 2}));
+}
+
+TEST(FaultEngine, GhostsComeBackInALaterWaveWithTheOldStamp) {
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.stale_dup_rate = 1.0;  // capture a ghost of every delivery
+  FaultEngine engine(opts, 13, /*lanes=*/1);
+
+  engine.begin_wave(0);
+  const std::vector<std::uint32_t> v{0x41800000u};
+  ASSERT_TRUE(engine.deliver(5, 2, /*stamp=*/3, v));
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.clear_pending();
+
+  // The ghost is "in flight" until a LATER wave begins.
+  engine.begin_wave(1);
+  ASSERT_GE(engine.pending(), 1u);
+  EXPECT_EQ(engine.slots()[0], 5);
+  EXPECT_EQ(engine.workers()[0], 2);
+  EXPECT_EQ(engine.stamps()[0], 3u);  // stamped at capture time: stale now
+}
+
+TEST(FaultEngine, WorkerSilenceAndWipeSchedules) {
+  FaultOptions opts;
+  opts.enabled = true;
+  opts.dead_worker = 1;
+  opts.dead_worker_wave = 2;
+  opts.wipe_switch = true;
+  opts.wipe_wave = 1;
+  FaultEngine engine(opts, 17, 1);
+
+  EXPECT_FALSE(engine.worker_silent(1, 0));
+  EXPECT_FALSE(engine.worker_silent(1, 1));
+  EXPECT_TRUE(engine.worker_silent(1, 2));
+  EXPECT_TRUE(engine.worker_silent(1, 7));
+  EXPECT_FALSE(engine.worker_silent(0, 7));
+
+  EXPECT_FALSE(engine.should_wipe(0));
+  EXPECT_TRUE(engine.should_wipe(1));
+  EXPECT_FALSE(engine.should_wipe(1)) << "wipe is one-shot";
+  EXPECT_FALSE(engine.should_wipe(2));
+}
+
+TEST(GuardedIngress, WipeBumpsGenerationAndRejectsPreWipeStamps) {
+  pisa::SwitchConfig cfg;
+  cfg.ext.rsaw = true;  // full FPISA needs the RSAW extension
+  cfg.ext.two_operand_shift = true;
+  pisa::FpisaProgramOptions p;
+  p.lanes = 1;
+  p.slots = 4;
+  p.num_workers = 8;
+  pisa::FpisaSwitch sw(cfg, p);
+
+  const std::uint32_t stamp = sw.slot_stamp(2);
+  const std::vector<std::uint16_t> slots{2};
+  const std::vector<std::uint8_t> workers{0};
+  const std::vector<std::uint32_t> values{core::fp32_bits(3.0f)};
+  const std::vector<std::uint32_t> stamps{stamp};
+  const std::vector<std::uint16_t> sums{
+      pisa::fpisa_checksum(2, 0, stamp, values)};
+
+  pisa::FpisaSwitch::GuardStats guard;
+  sw.add_batch_guarded(slots, workers, stamps, sums, values, guard);
+  EXPECT_EQ(guard.corrupt_rejected, 0u);
+  EXPECT_EQ(guard.stale_rejected, 0u);
+  EXPECT_EQ(sw.occupied_slots(), 1);
+
+  sw.wipe_state();
+  EXPECT_EQ(sw.occupied_slots(), 0);
+  EXPECT_NE(sw.slot_stamp(2), stamp) << "generation must distinguish eras";
+
+  // A post-reboot arrival of the pre-wipe packet must be rejected, not
+  // silently folded into the fresh sums.
+  guard = {};
+  sw.add_batch_guarded(slots, workers, stamps, sums, values, guard);
+  EXPECT_EQ(guard.stale_rejected, 1u);
+  EXPECT_EQ(sw.occupied_slots(), 0);
+}
+
+}  // namespace
+}  // namespace fpisa::fault

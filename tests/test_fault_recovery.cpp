@@ -1,0 +1,391 @@
+// End-to-end recovery coverage for the guarded protocol: corrupted,
+// duplicated, reordered and stale-duplicate deliveries never change the
+// aggregated bits; a wiped switch is recovered by wave replay; a dead
+// worker either aborts with a typed error or degrades to the survivor sum
+// — at the session, cluster and collective layers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/aggregation_service.h"
+#include "collective/communicator.h"
+#include "core/packed.h"
+#include "fault/fault.h"
+#include "switchml/session.h"
+#include "util/rng.h"
+
+namespace fpisa {
+namespace {
+
+/// One-binade integer magnitudes: every FPISA add is exact, so any
+/// absorbed duplicate or lost contribution shows up as a bit difference.
+std::vector<std::vector<float>> make_exact_workers(int w, std::size_t n,
+                                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(w),
+                                      std::vector<float>(n));
+  for (auto& vec : out) {
+    for (auto& v : vec) v = static_cast<float>(256 + rng.next_below(256));
+  }
+  return out;
+}
+
+switchml::SessionOptions base_session_opts() {
+  switchml::SessionOptions opts;
+  opts.num_workers = 4;
+  opts.slots = 16;  // chunks = 48 -> 3 waves: slot reuse happens
+  opts.lanes = 2;
+  return opts;
+}
+
+std::vector<float> clean_reduce(const std::vector<std::vector<float>>& workers,
+                                switchml::SessionOptions opts) {
+  opts.num_workers = static_cast<int>(workers.size());
+  opts.loss_rate = 0.0;
+  opts.fault = {};
+  switchml::AggregationSession session(pisa::SwitchConfig{}, opts);
+  return session.reduce(workers);
+}
+
+void expect_bits_equal(const std::vector<float>& got,
+                       const std::vector<float>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(core::fp32_bits(got[i]), core::fp32_bits(want[i])) << "i=" << i;
+  }
+}
+
+TEST(SessionFaults, CorruptionIsDetectedAndRetransmitted) {
+  auto opts = base_session_opts();
+  const auto workers = make_exact_workers(4, 96, 210);
+  const auto want = clean_reduce(workers, opts);
+
+  opts.loss_rate = 0.1;
+  opts.fault.enabled = true;
+  opts.fault.seed = 21;
+  opts.fault.corrupt_rate = 0.3;
+  switchml::AggregationSession session(pisa::SwitchConfig{}, opts);
+  expect_bits_equal(session.reduce(workers), want);
+  EXPECT_GT(session.stats().faults.corrupt_rejected, 0u);
+  EXPECT_EQ(session.fpisa_switch().occupied_slots(), 0);
+}
+
+TEST(SessionFaults, DuplicatesAndReorderingAreAbsorbed) {
+  auto opts = base_session_opts();
+  const auto workers = make_exact_workers(4, 96, 211);
+  const auto want = clean_reduce(workers, opts);
+
+  opts.fault.enabled = true;
+  opts.fault.seed = 22;
+  opts.fault.dup_rate = 0.4;
+  opts.fault.reorder_rate = 0.6;
+  switchml::AggregationSession session(pisa::SwitchConfig{}, opts);
+  expect_bits_equal(session.reduce(workers), want);
+  EXPECT_EQ(session.fpisa_switch().occupied_slots(), 0);
+}
+
+// Satellite regression: a delayed duplicate that lands AFTER its slot was
+// reset and reused (round-robin) must be rejected by the epoch stamp, not
+// absorbed as a fresh contribution.
+TEST(SessionFaults, StaleDuplicateAfterSlotReuseIsRejected) {
+  auto opts = base_session_opts();
+  const auto workers = make_exact_workers(4, 96, 212);
+  const auto want = clean_reduce(workers, opts);
+
+  opts.fault.enabled = true;
+  opts.fault.seed = 23;
+  opts.fault.stale_dup_rate = 1.0;  // every delivery leaves a ghost behind
+  switchml::AggregationSession session(pisa::SwitchConfig{}, opts);
+  expect_bits_equal(session.reduce(workers), want);
+  // 3 waves: every wave-0 and wave-1 ghost re-arrives one wave later,
+  // after its slot's reset bumped the epoch.
+  EXPECT_GT(session.stats().faults.stale_dups_rejected, 0u);
+  EXPECT_EQ(session.fpisa_switch().occupied_slots(), 0);
+}
+
+// The half of the regression that pins WHY the stamp exists: the plain
+// (unguarded) ingress absorbs exactly this stale duplicate, because the
+// slot reset cleared the dedup bit that would have caught it.
+TEST(SessionFaults, PlainIngressWouldAbsorbTheStaleDuplicate) {
+  pisa::FpisaProgramOptions p;
+  p.lanes = 1;
+  p.slots = 2;
+  p.num_workers = 4;
+  pisa::SwitchConfig cfg;
+  cfg.ext.rsaw = true;  // full FPISA needs the RSAW extension
+  cfg.ext.two_operand_shift = true;
+  pisa::FpisaSwitch sw(cfg, p);
+
+  const std::vector<std::uint16_t> slots{0};
+  const std::vector<std::uint8_t> workers{1};
+  const std::vector<std::uint32_t> values{core::fp32_bits(5.0f)};
+  const std::uint32_t stamp = sw.slot_stamp(0);
+  const std::vector<std::uint32_t> stamps{stamp};
+  const std::vector<std::uint16_t> sums{
+      pisa::fpisa_checksum(0, 1, stamp, values)};
+
+  // Epoch e: worker 1 contributes, the slot completes and is recycled.
+  sw.add_batch(slots, workers, values);
+  std::vector<std::uint32_t> drained(1);
+  sw.read_and_reset_batch(0, 1, drained);
+  ASSERT_EQ(sw.occupied_slots(), 0);
+
+  // Epoch e+1: the delayed duplicate of the epoch-e packet arrives.
+  // Unguarded: the cleared bitmap treats it as fresh — state changes.
+  sw.add_batch(slots, workers, values);
+  EXPECT_EQ(sw.occupied_slots(), 1)
+      << "baseline: the plain path DOES absorb the stale duplicate";
+  sw.read_and_reset_batch(0, 1, drained);
+
+  // Guarded: the stamp pins the packet to epoch e; the slot is now at a
+  // later epoch, so the duplicate is dropped before touching registers.
+  pisa::FpisaSwitch::GuardStats guard;
+  sw.add_batch_guarded(slots, workers, stamps, sums, values, guard);
+  EXPECT_EQ(guard.stale_rejected, 1u);
+  EXPECT_EQ(sw.occupied_slots(), 0);
+}
+
+TEST(SessionFaults, SwitchWipeIsRecoveredByWaveReplay) {
+  auto opts = base_session_opts();
+  const auto workers = make_exact_workers(4, 96, 213);
+  const auto want = clean_reduce(workers, opts);
+
+  opts.fault.enabled = true;
+  opts.fault.seed = 24;
+  opts.fault.wipe_switch = true;
+  opts.fault.wipe_wave = 1;  // state loss after wave 1's adds landed
+  switchml::AggregationSession session(pisa::SwitchConfig{}, opts);
+  expect_bits_equal(session.reduce(workers), want);
+  EXPECT_GE(session.stats().faults.waves_replayed, 1u);
+  EXPECT_GE(session.stats().faults.epoch_bumps, 1u);
+  EXPECT_EQ(session.fpisa_switch().occupied_slots(), 0);
+}
+
+TEST(SessionFaults, DeadWorkerAbortsWithTypedError) {
+  auto opts = base_session_opts();
+  const auto workers = make_exact_workers(4, 96, 214);
+  opts.fault.enabled = true;
+  opts.fault.dead_worker = 2;
+  opts.fault.dead_worker_wave = 1;
+  opts.fault.dead_worker_policy = fault::DeadWorkerPolicy::kAbort;
+  switchml::AggregationSession session(pisa::SwitchConfig{}, opts);
+  try {
+    (void)session.reduce(workers);
+    FAIL() << "expected WorkerDeadError";
+  } catch (const fault::WorkerDeadError& e) {
+    EXPECT_EQ(e.worker(), 2);
+    EXPECT_GE(e.wave(), 1u);
+  }
+  EXPECT_EQ(session.stats().faults.workers_declared_dead, 1u);
+  EXPECT_EQ(session.stats().dead_workers, 1u << 2);
+}
+
+TEST(SessionFaults, DeadWorkerDegradesToSurvivorSum) {
+  auto opts = base_session_opts();
+  const auto workers = make_exact_workers(4, 96, 215);
+  // Reference: the survivors aggregated in the same relative order.
+  std::vector<std::vector<float>> survivors;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (w != 1) survivors.push_back(workers[w]);
+  }
+  const auto want = clean_reduce(survivors, opts);
+
+  opts.fault.enabled = true;
+  opts.fault.seed = 25;
+  opts.fault.dead_worker = 1;
+  opts.fault.dead_worker_wave = 1;  // wave 0 lands, then the worker dies
+  opts.fault.dead_worker_policy = fault::DeadWorkerPolicy::kDegrade;
+  switchml::AggregationSession session(pisa::SwitchConfig{}, opts);
+  expect_bits_equal(session.reduce(workers), want);
+  EXPECT_EQ(session.stats().faults.workers_declared_dead, 1u);
+  EXPECT_GE(session.stats().faults.epoch_bumps, 1u);
+  EXPECT_EQ(session.fpisa_switch().occupied_slots(), 0);
+}
+
+TEST(SessionFaults, FaultInjectionRequiresBatchedDatapath) {
+  switchml::SessionOptions opts;
+  opts.batched = false;
+  opts.fault.enabled = true;
+  EXPECT_THROW(switchml::AggregationSession(pisa::SwitchConfig{}, opts),
+               std::invalid_argument);
+}
+
+// --- cluster ---------------------------------------------------------------
+
+cluster::ClusterOptions base_cluster_opts() {
+  cluster::ClusterOptions opts;
+  opts.num_shards = 2;
+  opts.slots_per_shard = 16;
+  opts.slots_per_job = 8;
+  opts.lanes = 2;
+  return opts;
+}
+
+std::vector<float> cluster_reduce(cluster::ClusterOptions opts,
+                                  const std::vector<std::vector<float>>& w,
+                                  switchml::SessionStats* stats = nullptr) {
+  cluster::AggregationService svc(opts);
+  cluster::JobRequest job;
+  job.tenant = "t";
+  job.workers = w;
+  const cluster::JobReport report = svc.reduce(job);
+  if (stats) *stats = report.stats;
+  return report.result;
+}
+
+TEST(ClusterFaults, WireFaultMixIsBitIdenticalToCleanRun) {
+  const auto workers = make_exact_workers(4, 96, 220);
+  auto opts = base_cluster_opts();
+  const auto want = cluster_reduce(opts, workers);
+
+  opts.loss_rate = 0.1;
+  opts.fault.enabled = true;
+  opts.fault.seed = 31;
+  opts.fault.corrupt_rate = 0.25;
+  opts.fault.dup_rate = 0.25;
+  opts.fault.stale_dup_rate = 0.5;
+  opts.fault.reorder_rate = 0.5;
+  switchml::SessionStats stats;
+  const auto got = cluster_reduce(opts, workers, &stats);
+  expect_bits_equal(got, want);
+  EXPECT_GT(stats.faults.corrupt_rejected, 0u);
+}
+
+TEST(ClusterFaults, SwitchWipeIsRecoveredByWaveReplay) {
+  const auto workers = make_exact_workers(3, 96, 221);
+  auto opts = base_cluster_opts();
+  const auto want = cluster_reduce(opts, workers);
+
+  opts.fault.enabled = true;
+  opts.fault.seed = 32;
+  opts.fault.wipe_switch = true;
+  opts.fault.wipe_wave = 0;
+  switchml::SessionStats stats;
+  const auto got = cluster_reduce(opts, workers, &stats);
+  expect_bits_equal(got, want);
+  EXPECT_GE(stats.faults.waves_replayed, 1u);
+}
+
+TEST(ClusterFaults, DeadWorkerAbortFailsTheJobWithBooksIntact) {
+  const auto workers = make_exact_workers(4, 96, 222);
+  auto opts = base_cluster_opts();
+  opts.fault.enabled = true;
+  opts.fault.dead_worker = 3;
+  opts.fault.dead_worker_wave = 0;
+  opts.fault.dead_worker_policy = fault::DeadWorkerPolicy::kAbort;
+  cluster::AggregationService svc(opts);
+  cluster::JobRequest job;
+  job.tenant = "t";
+  job.workers = workers;
+  EXPECT_THROW((void)svc.reduce(job), fault::WorkerDeadError);
+  EXPECT_EQ(svc.jobs_failed(), 1u);
+  EXPECT_EQ(svc.jobs_completed(), 0u);
+  const cluster::TenantSlo slo = svc.tenant_slo("t");
+  EXPECT_EQ(slo.jobs_failed, 1u);
+}
+
+TEST(ClusterFaults, DeadWorkerDegradeReplaysWholeJobOverSurvivors) {
+  const auto workers = make_exact_workers(4, 96, 223);
+  std::vector<std::vector<float>> survivors;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (w != 0) survivors.push_back(workers[w]);
+  }
+  auto opts = base_cluster_opts();
+  const auto want = cluster_reduce(opts, survivors);
+
+  opts.fault.enabled = true;
+  opts.fault.seed = 33;
+  opts.fault.dead_worker = 0;
+  opts.fault.dead_worker_wave = 0;
+  opts.fault.dead_worker_policy = fault::DeadWorkerPolicy::kDegrade;
+  switchml::SessionStats stats;
+  const auto got = cluster_reduce(opts, workers, &stats);
+  expect_bits_equal(got, want);
+  EXPECT_EQ(stats.faults.workers_declared_dead, 1u);
+  EXPECT_EQ(stats.dead_workers, 1u << 0);
+}
+
+TEST(ClusterFaults, FaultTelemetryCountersReachTheRegistry) {
+  const auto workers = make_exact_workers(3, 96, 224);
+  auto opts = base_cluster_opts();
+  opts.fault.enabled = true;
+  opts.fault.seed = 34;
+  opts.fault.wipe_switch = true;
+  opts.fault.wipe_wave = 0;
+  opts.fault.corrupt_rate = 0.3;
+
+  const telemetry::Snapshot before = telemetry::snapshot();
+  cluster_reduce(opts, workers);
+  const telemetry::Snapshot after = telemetry::snapshot();
+  EXPECT_GT(after.counter_total("cluster_fault_waves_replayed_total"),
+            before.counter_total("cluster_fault_waves_replayed_total"));
+  EXPECT_GT(after.counter_total("fpisa_switch_corrupt_rejected_total"),
+            before.counter_total("fpisa_switch_corrupt_rejected_total"));
+}
+
+// --- collective ------------------------------------------------------------
+
+TEST(CollectiveFaults, EveryBackendHonorsTheUnifiedFaultSurface) {
+  const auto workers = make_exact_workers(4, 64, 230);
+  std::vector<std::vector<float>> survivors;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (w != 2) survivors.push_back(workers[w]);
+  }
+
+  for (const auto backend :
+       {collective::Backend::kHost, collective::Backend::kSwitch,
+        collective::Backend::kCluster, collective::Backend::kTree}) {
+    collective::CommunicatorOptions copts;
+    copts.backend = backend;
+    copts.session.slots = 16;
+    copts.session.lanes = 2;
+    copts.cluster = base_cluster_opts();
+    copts.hierarchy.leaves = 2;
+    copts.hierarchy.workers_per_leaf = 2;
+    copts.fault.enabled = true;
+    copts.fault.seed = 41;
+    copts.fault.dead_worker = 2;
+    copts.fault.dead_worker_wave = 0;
+    copts.fault.dead_worker_policy = fault::DeadWorkerPolicy::kDegrade;
+    const auto comm = collective::make_communicator(copts);
+
+    std::vector<float> out(workers.front().size());
+    const collective::ReduceStats stats = comm->allreduce(
+        collective::WorkerViews(workers), out, collective::ReduceOp::kMean);
+    EXPECT_EQ(stats.network.dead_workers, 1u << 2)
+        << collective::backend_name(backend);
+    // kMean must divide by the SURVIVOR count (3), not the full W (4).
+    // Survivor sums are exact one-binade integers, so the check is exact.
+    double max_rel_err = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      double want = 0.0;
+      for (const auto& s : survivors) want += s[i];
+      want /= static_cast<double>(survivors.size());
+      const double rel =
+          std::abs(out[i] - want) / std::max(1.0, std::abs(want));
+      max_rel_err = std::max(max_rel_err, rel);
+    }
+    EXPECT_LT(max_rel_err, 1e-6) << collective::backend_name(backend);
+  }
+}
+
+TEST(CollectiveFaults, AbortPolicySurfacesTypedErrorThroughAllreduce) {
+  const auto workers = make_exact_workers(3, 32, 231);
+  collective::CommunicatorOptions copts;
+  copts.backend = collective::Backend::kSwitch;
+  copts.session.slots = 8;
+  copts.fault.enabled = true;
+  copts.fault.dead_worker = 0;
+  copts.fault.dead_worker_policy = fault::DeadWorkerPolicy::kAbort;
+  const auto comm = collective::make_communicator(copts);
+  std::vector<float> out(workers.front().size());
+  EXPECT_THROW(
+      comm->allreduce(collective::WorkerViews(workers), out),
+      fault::WorkerDeadError);
+}
+
+}  // namespace
+}  // namespace fpisa
