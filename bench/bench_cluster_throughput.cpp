@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "cluster/aggregation_service.h"
 #include "cluster/hierarchy.h"
@@ -56,7 +57,7 @@ RunResult run_once(int shards, int lanes, std::size_t values,
                    const std::vector<std::vector<float>>& workers,
                    double gbps, double latency_us,
                    bool batched_collect = true, int kill_shard = -1,
-                   bool fault_guard = false) {
+                   bool fault_guard = false, bool pipeline = true) {
   using namespace fpisa;
   using namespace fpisa::cluster;
   ClusterOptions opts;
@@ -65,6 +66,7 @@ RunResult run_once(int shards, int lanes, std::size_t values,
   opts.slots_per_shard = 64;
   opts.slots_per_job = 64;
   opts.batched_collect = batched_collect;
+  opts.pipeline_waves = pipeline;
   opts.failover.enabled = kill_shard >= 0;
   // Guarded datapath with every injection rate at zero: measures what the
   // epoch/checksum machinery itself costs, with no faults to recover.
@@ -120,14 +122,31 @@ int main() {
                  "Wall values/s (x1e6)"});
   double base_rate = 0.0;
   double rate_at_4 = 0.0;
+  double wall_rate_1 = 0.0;
   for (const int shards : {1, 2, 4, 8}) {
-    const RunResult r =
-        run_once(shards, kLanes, kValues, workers, kGbps, kLatencyUs);
+    // Best-of-3 for the wall rows: the scaling-efficiency keys gate CI, so
+    // keep scheduler noise out of the numerator and denominator alike.
+    RunResult r = run_once(shards, kLanes, kValues, workers, kGbps,
+                           kLatencyUs);
+    for (int rep = 1; rep < 3; ++rep) {
+      const RunResult again =
+          run_once(shards, kLanes, kValues, workers, kGbps, kLatencyUs);
+      if (again.wall_ms < r.wall_ms) r = again;
+    }
     const double rate = static_cast<double>(kValues) / r.modeled_s;
     const double wall_rate =
         static_cast<double>(kValues) / (r.wall_ms * 1e-3);
-    if (shards == 1) base_rate = rate;
+    if (shards == 1) {
+      base_rate = rate;
+      wall_rate_1 = wall_rate;
+    }
     if (shards == 4) rate_at_4 = rate;
+    if (shards > 1) {
+      // Parallel efficiency of the execution engine itself: wall-clock
+      // speedup over 1 shard divided by the shard count (1.0 = perfect).
+      json.set("wall_scaling_efficiency_shards_" + std::to_string(shards),
+               wall_rate / wall_rate_1 / static_cast<double>(shards));
+    }
 
     t.add_row({std::to_string(shards), std::to_string(r.packets),
                util::Table::num(r.modeled_s * 1e3, 3),
@@ -145,6 +164,79 @@ int main() {
     json.set("wall_values_per_s_shards_" + std::to_string(shards), wall_rate);
   }
   std::printf("%s", t.render().c_str());
+
+  // The wall rows depend on how many cores actually back the shard
+  // workers — record it so downstream checks (scripts/check_bench_scaling)
+  // can gate the scaling assertion on real parallel hardware.
+  const double host_cpus =
+      static_cast<double>(std::thread::hardware_concurrency());
+  json.set("host_cpus", host_cpus);
+
+  // Dispatch overhead: a minimal job (one chunk per shard) over many reps,
+  // mailbox workers vs inline on the same fabric. The delta prices one
+  // fan-out/join round trip — the tickets, wakeups, and the epoch join —
+  // with almost no shard work to hide behind.
+  {
+    constexpr int kDispatchReps = 200;
+    const auto tiny = make_workers(
+        kWorkers, static_cast<std::size_t>(4 * kLanes), 202);
+    const auto time_mode = [&](cluster::ClusterOptions::DispatchMode mode) {
+      ClusterOptions opts;
+      opts.num_shards = 4;
+      opts.lanes = kLanes;
+      opts.slots_per_shard = 64;
+      opts.slots_per_job = 64;
+      opts.dispatch = mode;
+      AggregationService svc(opts);
+      std::vector<std::vector<float>> one(tiny);
+      // Warm-up pass so thread creation / first-touch costs stay out.
+      (void)svc.reduce({"bench", one});
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kDispatchReps; ++i) {
+        (void)svc.reduce({"bench", one});
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+             kDispatchReps;
+    };
+    const double inline_us =
+        time_mode(cluster::ClusterOptions::DispatchMode::kInline);
+    const double workers_us =
+        time_mode(cluster::ClusterOptions::DispatchMode::kWorkers);
+    const double overhead_us = workers_us - inline_us;
+    json.set("dispatch_pass_us_inline", inline_us);
+    json.set("dispatch_pass_us_workers", workers_us);
+    json.set("dispatch_overhead_us_per_pass", overhead_us);
+    std::printf("\ndispatch overhead (4 shards, 1-chunk waves, %d reps): "
+                "inline %.1f us/pass, mailbox workers %.1f us/pass = "
+                "%+.1f us fan-out/join cost\n",
+                kDispatchReps, inline_us, workers_us, overhead_us);
+  }
+
+  // Wave-pipeline A/B on the same fabric: encode wave N+1 while wave N's
+  // collect drains, vs the serial wave loop (ClusterOptions::pipeline_waves
+  // off). Same results either way — this row prices the overlap.
+  {
+    double on_ms = 1e300, off_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      on_ms = std::min(on_ms, run_once(4, kLanes, kValues, workers, kGbps,
+                                       kLatencyUs, true, -1, false,
+                                       /*pipeline=*/true)
+                                  .wall_ms);
+      off_ms = std::min(off_ms, run_once(4, kLanes, kValues, workers, kGbps,
+                                         kLatencyUs, true, -1, false,
+                                         /*pipeline=*/false)
+                                    .wall_ms);
+    }
+    const double on_rate = static_cast<double>(kValues) / (on_ms * 1e-3);
+    const double off_rate = static_cast<double>(kValues) / (off_ms * 1e-3);
+    json.set("wall_values_per_s_shards_4_pipeline_on", on_rate);
+    json.set("wall_values_per_s_shards_4_pipeline_off", off_rate);
+    json.set("pipeline_speedup_shards_4", on_rate / off_rate);
+    std::printf("wave pipeline A/B (4 shards): off %.2f ms, on %.2f ms = "
+                "%.2fx\n",
+                off_ms, on_ms, on_rate / off_rate);
+  }
 
   // Compiled batched egress vs the per-slot collect baseline (read/reset
   // round trips through the packet sim) on one shard: the collect-phase

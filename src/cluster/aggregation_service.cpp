@@ -76,11 +76,33 @@ AggregationService::AggregationService(ClusterOptions opts)
     shards_.push_back(std::make_unique<Shard>(opts_));
   }
   init_metrics();
-  const int threads =
-      opts_.worker_threads > 0 ? opts_.worker_threads : opts_.num_shards;
-  pool_.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    pool_.emplace_back([this] { worker_loop(); });
+  // Resolve the dispatch mode once: kAuto picks per-shard workers when
+  // there is real parallelism to win, inline otherwise (a single core or a
+  // single shard gains nothing from the handoff). Results are identical
+  // either way — only wall time differs.
+  switch (opts_.dispatch) {
+    case ClusterOptions::DispatchMode::kInline:
+      inline_dispatch_ = true;
+      break;
+    case ClusterOptions::DispatchMode::kWorkers:
+      inline_dispatch_ = false;
+      break;
+    case ClusterOptions::DispatchMode::kAuto:
+      inline_dispatch_ = opts_.num_shards <= 1 ||
+                         std::thread::hardware_concurrency() <= 1;
+      break;
+  }
+  if (!inline_dispatch_) {
+    workers_.reserve(static_cast<std::size_t>(opts_.num_shards));
+    for (int s = 0; s < opts_.num_shards; ++s) {
+      workers_.push_back(std::make_unique<ShardWorker>());
+    }
+    // Spawn after every mailbox exists: a worker never touches another
+    // shard's state, but the vector itself must be complete first.
+    for (int s = 0; s < opts_.num_shards; ++s) {
+      workers_[static_cast<std::size_t>(s)]->thread =
+          std::thread([this, s] { shard_worker_loop(s); });
+    }
   }
   const int job_threads = opts_.job_runner_threads > 0
                               ? opts_.job_runner_threads
@@ -141,33 +163,64 @@ void AggregationService::attach_trace(telemetry::Trace* trace,
 }
 
 AggregationService::~AggregationService() {
-  // Stop the job runners first (they feed the worker pool), draining any
-  // still-queued submissions so their futures resolve; then the workers.
+  // Stop the job runners first (they feed the shard workers), draining any
+  // still-queued submissions so their futures resolve; then poison each
+  // shard mailbox with a stop ticket — the workers drain in FIFO order, so
+  // nothing a runner posted is lost.
   {
     std::lock_guard<std::mutex> lk(job_mu_);
     stopping_jobs_ = true;
   }
   job_cv_.notify_all();
   for (std::thread& t : job_pool_) t.join();
-  {
-    std::lock_guard<std::mutex> lk(pool_mu_);
-    stopping_ = true;
+  for (auto& w : workers_) w->mailbox.push(PassTicket{nullptr, true});
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
   }
-  pool_cv_.notify_all();
-  for (std::thread& t : pool_) t.join();
 }
 
-void AggregationService::worker_loop() {
+/// One in-flight fan-out/join (see header). Lives on run_pass's stack;
+/// shard workers reach it through their mailbox ticket and write only
+/// their own cache-line-aligned slot.
+struct AggregationService::PassContext {
+  const std::vector<std::vector<std::size_t>>* parts = nullptr;
+  const std::vector<SlotRange>* ranges = nullptr;
+  std::span<const std::span<const float>> workers;
+  std::span<float> out;
+  JobParams params;
+  std::uint64_t job_id = 0;
+  std::uint64_t pass = 0;
+  std::uint32_t dead_mask = 0;
+  telemetry::Trace* trace = nullptr;
+  telemetry::Trace::SpanId pass_span = telemetry::Trace::kNone;
+  /// Per-shard result slot, one cache line (or whole lines) each: stats
+  /// and error are written by exactly one worker and read only after the
+  /// join — the fix for the old run_pass, where workers updated
+  /// report.per_shard[s] and errors[s] on adjacent lines from N threads.
+  struct alignas(64) ShardSlot {
+    switchml::SessionStats stats{};
+    std::exception_ptr error;
+  };
+  std::vector<ShardSlot> slots;
+  std::atomic<int> pending{0};
+};
+
+void AggregationService::shard_worker_loop(int shard) {
+  ShardMailbox<PassTicket>& mb =
+      workers_[static_cast<std::size_t>(shard)]->mailbox;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lk(pool_mu_);
-      pool_cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping_ and drained
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+    const PassTicket t = mb.pop_wait();
+    if (t.stop) return;
+    PassContext& ctx = *t.ctx;
+    run_pass_task(ctx, shard);
+    // Retire the ticket. The LAST shard of the pass rings the service-wide
+    // doorbell — and touches NOTHING of ctx after its decrement: once
+    // pending hits zero the joining frame (which owns ctx on its stack) is
+    // free to return.
+    if (ctx.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pass_epoch_.fetch_add(1, std::memory_order_release);
+      pass_epoch_.notify_all();
     }
-    task();
   }
 }
 
@@ -215,6 +268,20 @@ bool AggregationService::fire_kill_fault(int shard, FaultPhase phase,
   return false;
 }
 
+bool AggregationService::peek_kill_fault(int shard, FaultPhase phase,
+                                         std::size_t wave) const {
+  if (opts_.failover.faults.empty()) return false;
+  std::lock_guard<std::mutex> lk(fault_mu_);
+  for (std::size_t i = 0; i < opts_.failover.faults.size(); ++i) {
+    const ShardFault& f = opts_.failover.faults[i];
+    if (fault_fired_[i] || f.kind != FaultKind::kKill) continue;
+    if (f.shard != shard || f.phase != phase) continue;
+    if (phase != FaultPhase::kBeforeJob && f.wave != wave) continue;
+    return true;
+  }
+  return false;
+}
+
 double AggregationService::slowdown_ms(int shard) const {
   // opts_ is immutable after construction: no lock needed.
   double ms = 0.0;
@@ -230,7 +297,7 @@ bool AggregationService::queue_add(std::uint16_t slot, std::uint8_t worker,
                                    std::span<const std::uint32_t> values,
                                    const JobParams& params, util::Rng& rng,
                                    switchml::SessionStats& stats,
-                                   WaveScratch& scratch) {
+                                   PacketQueue& q) {
   // The loss schedule depends only on the task's rng stream, never on the
   // switch, so it is drawn here in the per-packet protocol's exact order;
   // every copy the switch would have received is queued in arrival order
@@ -247,9 +314,9 @@ bool AggregationService::queue_add(std::uint16_t slot, std::uint8_t worker,
     }
     if (delivered_before) ++stats.duplicates_absorbed;
     delivered_before = true;
-    scratch.slots.push_back(slot);
-    scratch.workers.push_back(worker);
-    scratch.values.insert(scratch.values.end(), values.begin(), values.end());
+    q.slots.push_back(slot);
+    q.workers.push_back(worker);
+    q.values.insert(q.values.end(), values.begin(), values.end());
 
     if (rng.next_double() < params.loss_rate) {
       ++stats.packets_lost;
@@ -260,14 +327,12 @@ bool AggregationService::queue_add(std::uint16_t slot, std::uint8_t worker,
   return false;
 }
 
-void AggregationService::flush_wave(Shard& shard, WaveScratch& scratch) {
-  if (!scratch.slots.empty()) {
+void AggregationService::flush_wave(Shard& shard, PacketQueue& q) {
+  if (!q.empty()) {
     std::lock_guard<std::mutex> lk(shard.mu);
-    shard.sw.add_batch(scratch.slots, scratch.workers, scratch.values);
+    shard.sw.add_batch(q.slots, q.workers, q.values);
   }
-  scratch.slots.clear();
-  scratch.workers.clear();
-  scratch.values.clear();
+  q.clear();
 }
 
 bool AggregationService::queue_add_guarded(
@@ -367,9 +432,7 @@ void AggregationService::recover_shard_wave(
     }
     resync_shard_stamps(shard, range, scratch);
     ++stats.faults.epoch_bumps;
-    scratch.slots.clear();
-    scratch.workers.clear();
-    scratch.values.clear();
+    scratch.pkts.clear();
     scratch.replay_stamps.clear();
     scratch.replay_checksums.clear();
     for (std::size_t k = base; k < wave_end; ++k) {
@@ -386,28 +449,27 @@ void AggregationService::recover_shard_wave(
                   : 0;
         }
         const std::uint32_t stamp = scratch.stamps[k - base];
-        scratch.slots.push_back(slot);
-        scratch.workers.push_back(static_cast<std::uint8_t>(w));
-        scratch.values.insert(scratch.values.end(), scratch.lane_buf.begin(),
-                              scratch.lane_buf.end());
+        scratch.pkts.slots.push_back(slot);
+        scratch.pkts.workers.push_back(static_cast<std::uint8_t>(w));
+        scratch.pkts.values.insert(scratch.pkts.values.end(),
+                                   scratch.lane_buf.begin(),
+                                   scratch.lane_buf.end());
         scratch.replay_stamps.push_back(stamp);
         scratch.replay_checksums.push_back(pisa::fpisa_checksum(
             slot, static_cast<std::uint8_t>(w), stamp, scratch.lane_buf));
       }
     }
-    if (!scratch.slots.empty()) {
+    if (!scratch.pkts.empty()) {
       pisa::FpisaSwitch::GuardStats guard;
       std::lock_guard<std::mutex> lk(shard.mu);
-      shard.sw.add_batch_guarded(scratch.slots, scratch.workers,
+      shard.sw.add_batch_guarded(scratch.pkts.slots, scratch.pkts.workers,
                                  scratch.replay_stamps,
-                                 scratch.replay_checksums, scratch.values,
-                                 guard);
+                                 scratch.replay_checksums,
+                                 scratch.pkts.values, guard);
       stats.faults.corrupt_rejected += guard.corrupt_rejected;
       stats.faults.stale_dups_rejected += guard.stale_rejected;
     }
-    scratch.slots.clear();
-    scratch.workers.clear();
-    scratch.values.clear();
+    scratch.pkts.clear();
     ++stats.faults.waves_replayed;
   }
 
@@ -442,16 +504,26 @@ void AggregationService::collect_wave(
     const std::vector<std::size_t>& chunks, std::size_t base,
     std::size_t wave_end, std::span<float> result, const JobParams& params,
     util::Rng& rng, switchml::SessionStats& stats, WaveScratch& scratch) {
-  const auto lanes = static_cast<std::size_t>(opts_.lanes);
-  const std::size_t n = result.size();
-  const std::size_t wave_n = wave_end - base;
-
   // Draw every slot's read + reset loss schedule in the per-packet order
   // (the schedule depends only on the task's rng stream, never on the
   // switch); switchml::draw_collect_schedule is the single source of truth
-  // for this protocol order across the session and cluster layers.
+  // for this protocol order across the session and cluster layers. The
+  // pipelined loop draws the same schedule earlier (at encode time, after
+  // the wave's add draws) and lands in apply_collect directly.
   const switchml::CollectSchedule sched = switchml::draw_collect_schedule(
-      wave_n, params.loss_rate, params.max_retransmits, rng, stats);
+      wave_end - base, params.loss_rate, params.max_retransmits, rng, stats);
+  apply_collect(shard_idx, shard, range, chunks, base, wave_end, result,
+                sched, scratch);
+}
+
+void AggregationService::apply_collect(
+    int shard_idx, Shard& shard, const SlotRange& range,
+    const std::vector<std::size_t>& chunks, std::size_t base,
+    std::size_t wave_end, std::span<float> result,
+    const switchml::CollectSchedule& sched, WaveScratch& scratch) {
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const std::size_t n = result.size();
+  const std::size_t wave_n = wave_end - base;
 
   // Apply the cleared prefix in one compiled-egress call under a single
   // mutex hold (values are read before the clear, exactly the per-slot
@@ -526,6 +598,18 @@ void AggregationService::run_shard_chunks(
   // Guarded protocol: seed the host-side stamp mirror from the switch so
   // every add this task sends carries the epoch the slot currently expects.
   if (engine != nullptr) resync_shard_stamps(shard, range, scratch);
+
+  // Pipelined wave loop: pure-loss batched collect only. The guarded fault
+  // protocol serializes by construction (wave N+1's epoch stamps come out
+  // of wave N's collect — and replay recovery can resync them arbitrarily
+  // — so its pipeline would drain every wave), and the per-slot collect
+  // reference predates the batched schedule the pipeline pre-draws.
+  if (opts_.pipeline_waves && opts_.batched_collect && engine == nullptr) {
+    run_wave_pipeline(shard_idx, shard, range, chunks, workers, result,
+                      params, rng, stats, dead_mask, trace, shard_span.id(),
+                      scratch, straggle_ms);
+    return;
+  }
   using Clock = std::chrono::steady_clock;
 
   std::size_t wave_index = 0;
@@ -553,7 +637,7 @@ void AggregationService::run_shard_chunks(
         if (engine != nullptr) {
           flush_wave_guarded(shard, stats, *engine);
         } else {
-          flush_wave(shard, scratch);
+          flush_wave(shard, scratch.pkts);
         }
         throw ShardDeadError(shard_idx,
                              "cluster: shard killed mid-add (injected)");
@@ -578,14 +662,15 @@ void AggregationService::run_shard_chunks(
                                     scratch.lane_buf, scratch.stamps[k - base],
                                     params, rng, stats, *engine)
                 : queue_add(slot, static_cast<std::uint8_t>(w),
-                            scratch.lane_buf, params, rng, stats, scratch);
+                            scratch.lane_buf, params, rng, stats,
+                            scratch.pkts);
         if (!ok) {
           // Deliver what the switch already received, so failure leaves
           // the same register state the per-packet protocol would.
           if (engine != nullptr) {
             flush_wave_guarded(shard, stats, *engine);
           } else {
-            flush_wave(shard, scratch);
+            flush_wave(shard, scratch.pkts);
           }
           throw ShardDeadError(
               shard_idx,
@@ -596,7 +681,7 @@ void AggregationService::run_shard_chunks(
     if (engine != nullptr) {
       flush_wave_guarded(shard, stats, *engine);
     } else {
-      flush_wave(shard, scratch);
+      flush_wave(shard, scratch.pkts);
     }
     const auto t_collect = Clock::now();
     // One clock reading feeds both instruments: the histogram observation
@@ -727,6 +812,202 @@ void AggregationService::run_shard_chunks(
   }
 }
 
+void AggregationService::encode_wave(
+    WaveBank& bank, std::size_t wave_index, std::size_t base,
+    std::size_t wave_end, int shard_idx, Shard& shard, const SlotRange& range,
+    const std::vector<std::size_t>& chunks,
+    std::span<const std::span<const float>> workers, std::size_t result_n,
+    const JobParams& params, util::Rng& rng, switchml::SessionStats& stats,
+    std::uint32_t dead_mask, WaveScratch& scratch) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  const auto lanes = static_cast<std::size_t>(opts_.lanes);
+  const int nw = static_cast<int>(workers.size());
+  bank.pkts.clear();
+  bank.base = base;
+  bank.end = wave_end;
+  bank.index = wave_index;
+  bank.sched = {};
+  bank.sched_drawn = false;
+  bank.add_failed = false;
+  bank.kill_pending = false;
+  bank.encode_ns = 0;
+  const std::size_t mid = base + (wave_end - base) / 2;
+  for (std::size_t k = base; k < wave_end; ++k) {
+    if (k == mid &&
+        fire_kill_fault(shard_idx, FaultPhase::kMidAdd, wave_index)) {
+      // Deliver what the switch already received before dying, so the
+      // corpse's registers hold the partial state a real mid-wave death
+      // would leave (the range is scrubbed before reuse either way).
+      flush_wave(shard, bank.pkts);
+      throw ShardDeadError(shard_idx,
+                           "cluster: shard killed mid-add (injected)");
+    }
+    const std::size_t c = chunks[k];
+    const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
+    for (int w = 0; w < nw; ++w) {
+      if (dead_mask & (1u << static_cast<unsigned>(w))) continue;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::size_t i = c * lanes + l;
+        scratch.lane_buf[l] =
+            i < result_n
+                ? core::fp32_bits(workers[static_cast<std::size_t>(w)][i])
+                : 0;
+      }
+      if (!queue_add(slot, static_cast<std::uint8_t>(w), scratch.lane_buf,
+                     params, rng, stats, bank.pkts)) {
+        // Mark and return WITHOUT drawing the collect schedule: the serial
+        // path dies at the flush, before any collect draw of this wave.
+        bank.add_failed = true;
+        bank.encode_ns = elapsed_ns(t0, Clock::now());
+        return;
+      }
+    }
+  }
+  // The wave's collect schedule is pre-drawn HERE — immediately after its
+  // add draws, from the same rng stream — so the pipelined global draw
+  // order (add_k, collect_k, add_k+1, ...) is exactly the serial path's.
+  // An injected mid-collect kill precedes the draw in the serial loop, so
+  // a pending one suppresses it the same way (the claim itself happens at
+  // the apply stage, where the death executes).
+  bank.kill_pending =
+      peek_kill_fault(shard_idx, FaultPhase::kMidCollect, wave_index);
+  if (!bank.kill_pending) {
+    bank.sched = switchml::draw_collect_schedule(
+        wave_end - base, params.loss_rate, params.max_retransmits, rng,
+        stats);
+    bank.sched_drawn = true;
+  }
+  bank.encode_ns = elapsed_ns(t0, Clock::now());
+}
+
+void AggregationService::run_wave_pipeline(
+    int shard_idx, Shard& shard, const SlotRange& range,
+    const std::vector<std::size_t>& chunks,
+    std::span<const std::span<const float>> workers, std::span<float> result,
+    const JobParams& params, util::Rng& rng, switchml::SessionStats& stats,
+    std::uint32_t dead_mask, telemetry::Trace* trace,
+    telemetry::Trace::SpanId shard_span, WaveScratch& scratch,
+    double straggle_ms) {
+  using Clock = std::chrono::steady_clock;
+  if (chunks.empty()) return;
+  const std::size_t wave = range.size();
+  const std::size_t n = result.size();
+  const std::size_t n_waves = (chunks.size() + wave - 1) / wave;
+
+  // Batched telemetry: the pipeline accumulates phase nanoseconds locally
+  // and observes each histogram ONCE per shard task instead of per wave
+  // (the scope guard books completed waves even when a ShardDeadError
+  // unwinds). The per-wave trace spans reuse the same integer-nanosecond
+  // durations, so traced totals still equal phase_breakdown() exactly.
+  std::uint64_t add_ns = 0;
+  std::uint64_t collect_ns = 0;
+  const auto phase = m_shard_phase_[static_cast<std::size_t>(shard_idx)];
+  struct PhaseGuard {
+    telemetry::Histogram* add;
+    telemetry::Histogram* collect;
+    const std::uint64_t* add_ns;
+    const std::uint64_t* collect_ns;
+    ~PhaseGuard() {
+      add->observe(static_cast<double>(*add_ns) * 1e-9);
+      collect->observe(static_cast<double>(*collect_ns) * 1e-9);
+    }
+  } phase_guard{phase[0], phase[1], &add_ns, &collect_ns};
+
+  // Two-stage software pipeline over ping-pong banks:
+  //   E(k): encode wave k (pack packets, draw add + collect schedules)
+  //   F(k): flush wave k's adds (one mutex hold)
+  //   C(k): apply wave k's pre-drawn collect (one mutex hold) + scatter
+  // executed as E(0), then per wave: F(k), E(k+1), C(k) — the host packs
+  // the NEXT bank between handing the switch this wave's adds and draining
+  // its collect, which is exactly where a real NIC would overlap them.
+  // C(k) still precedes F(k+1), so slots are always reset before reuse.
+  std::array<WaveBank, 2> banks;
+  encode_wave(banks[0], 0, 0, std::min(wave, chunks.size()), shard_idx, shard,
+              range, chunks, workers, n, params, rng, stats, dead_mask,
+              scratch);
+  for (std::size_t k = 0; k < n_waves; ++k) {
+    WaveBank& cur = banks[k & 1];
+    WaveBank& next = banks[(k + 1) & 1];
+    if (straggle_ms > 0.0) {
+      // Injected straggler: the shard still answers, just late.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(straggle_ms));
+    }
+    // F(k): hand the switch the wave. On encode-time retransmit exhaustion
+    // the partial flush still happens first — the exact register state the
+    // serial path leaves — and the wave books no phase time (serial dies
+    // before its observation point too).
+    const auto t_f0 = Clock::now();
+    flush_wave(shard, cur.pkts);
+    if (cur.add_failed) {
+      throw ShardDeadError(
+          shard_idx, "cluster: aggregation packet exceeded max_retransmits");
+    }
+    const auto t_f1 = Clock::now();
+    const std::uint64_t wave_add_ns = cur.encode_ns + elapsed_ns(t_f0, t_f1);
+    add_ns += wave_add_ns;
+    if (trace) {
+      // The span is drawn as the contiguous window ending at flush
+      // completion, sized encode+flush — under pipelining the encode
+      // genuinely overlaps the previous collect_wave span, and the trace
+      // shows that overlap honestly.
+      const auto add_span = trace->begin_at(
+          "add_wave", shard_span,
+          t_f1 - std::chrono::nanoseconds(wave_add_ns));
+      trace->annotate(add_span, "wave", std::to_string(cur.index));
+      trace->end_at(add_span, t_f1);
+    }
+    // E(k+1): pre-pack the next wave while this wave's collect drains.
+    // Skipped when this wave is already doomed (collect-schedule failure or
+    // a pending injected kill): the serial path never reaches wave k+1's
+    // encode, so its rng draws must not happen here either.
+    if (k + 1 < n_waves && cur.sched_drawn && cur.sched.failure == 0) {
+      encode_wave(next, k + 1, (k + 1) * wave,
+                  std::min((k + 2) * wave, chunks.size()), shard_idx, shard,
+                  range, chunks, workers, n, params, rng, stats, dead_mask,
+                  scratch);
+    }
+    // C(k): drain the collect.
+    const auto t_c0 = Clock::now();
+    if (cur.kill_pending) {
+      if (fire_kill_fault(shard_idx, FaultPhase::kMidCollect, cur.index)) {
+        // Die halfway through the collect: the first half of the wave's
+        // slots got their read-and-reset through, the rest keep their sums
+        // AND their dedup-bitmap bits — exactly the state scrub_range must
+        // clean before the range can serve another tenant.
+        const auto lanes = static_cast<std::size_t>(opts_.lanes);
+        const std::size_t half = (cur.end - cur.base) / 2;
+        {
+          std::lock_guard<std::mutex> lk(shard.mu);
+          shard.sw.read_and_reset_batch(
+              static_cast<std::uint16_t>(range.lo), half,
+              {scratch.wave_values.data(), half * lanes});
+        }
+        throw ShardDeadError(shard_idx,
+                             "cluster: shard killed mid-collect (injected)");
+      }
+      // Another task claimed the one-shot fault between our peek and now
+      // (possible only with concurrent jobs targeting the same injected
+      // fault). This wave lives after all: draw its schedule now.
+      cur.sched = switchml::draw_collect_schedule(
+          cur.end - cur.base, params.loss_rate, params.max_retransmits, rng,
+          stats);
+      cur.sched_drawn = true;
+    }
+    apply_collect(shard_idx, shard, range, chunks, cur.base, cur.end, result,
+                  cur.sched, scratch);
+    const auto t_c1 = Clock::now();
+    collect_ns += elapsed_ns(t_c0, t_c1);
+    if (trace) {
+      const auto collect_span =
+          trace->begin_at("collect_wave", shard_span, t_c0);
+      trace->annotate(collect_span, "wave", std::to_string(cur.index));
+      trace->end_at(collect_span, t_c1);
+    }
+  }
+}
+
 JobReport AggregationService::reduce(const JobRequest& job) {
   // Views over the request's vectors — the floats are read in place.
   const std::vector<std::span<const float>> views(job.workers.begin(),
@@ -746,6 +1027,27 @@ JobReport AggregationService::reduce(const JobView& job,
   return report;
 }
 
+void AggregationService::run_pass_task(PassContext& ctx, int shard) {
+  const auto s = static_cast<std::size_t>(shard);
+  PassContext::ShardSlot& slot = ctx.slots[s];
+  util::Rng rng(task_seed(opts_.loss_seed, ctx.job_id, shard, ctx.pass));
+  // One deterministic fault stream per (job, shard, pass), exactly like
+  // the loss stream: replaying a job replays its faults.
+  std::unique_ptr<fault::FaultEngine> engine;
+  if (opts_.fault.enabled) {
+    engine = std::make_unique<fault::FaultEngine>(
+        opts_.fault, task_seed(opts_.fault.seed, ctx.job_id, shard, ctx.pass),
+        opts_.lanes);
+  }
+  try {
+    run_shard_chunks(shard, *shards_[s], (*ctx.ranges)[s], (*ctx.parts)[s],
+                     ctx.workers, ctx.out, ctx.params, rng, slot.stats,
+                     engine.get(), ctx.dead_mask, ctx.trace, ctx.pass_span);
+  } catch (...) {
+    slot.error = std::current_exception();
+  }
+}
+
 std::vector<std::exception_ptr> AggregationService::run_pass(
     const std::vector<std::vector<std::size_t>>& parts,
     const std::vector<SlotRange>& ranges,
@@ -753,59 +1055,67 @@ std::vector<std::exception_ptr> AggregationService::run_pass(
     const JobParams& params, std::uint64_t job_id, std::uint64_t pass,
     std::uint32_t dead_mask, JobReport& report, telemetry::Trace* trace,
     telemetry::Trace::SpanId pass_span) {
-  // Fan one task per active shard out to the pool and wait for all of them
-  // (even on failure, so no task outlives this frame's state).
-  struct Join {
-    std::mutex mu;
-    std::condition_variable cv;
-    int pending = 0;
-  } join;
+  PassContext ctx;
+  ctx.parts = &parts;
+  ctx.ranges = &ranges;
+  ctx.workers = workers;
+  ctx.out = out;
+  ctx.params = params;
+  ctx.job_id = job_id;
+  ctx.pass = pass;
+  ctx.dead_mask = dead_mask;
+  ctx.trace = trace;
+  ctx.pass_span = pass_span;
+  ctx.slots.resize(shards_.size());
   std::vector<std::exception_ptr> errors(shards_.size());
-  {
-    std::lock_guard<std::mutex> lk(pool_mu_);
+  int active = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!parts[s].empty()) ++active;
+  }
+  if (active == 0) return errors;
+  if (inline_dispatch_) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      if (parts[s].empty()) continue;
-      ++join.pending;
-      tasks_.push_back([this, s, &parts, &ranges, workers, out, &report,
-                        &join, &errors, params, job_id, pass, dead_mask,
-                        trace, pass_span] {
-        util::Rng rng(
-            task_seed(opts_.loss_seed, job_id, static_cast<int>(s), pass));
-        // One deterministic fault stream per (job, shard, pass), exactly
-        // like the loss stream: replaying a job replays its faults.
-        std::unique_ptr<fault::FaultEngine> engine;
-        if (opts_.fault.enabled) {
-          engine = std::make_unique<fault::FaultEngine>(
-              opts_.fault,
-              task_seed(opts_.fault.seed, job_id, static_cast<int>(s), pass),
-              opts_.lanes);
-        }
-        switchml::SessionStats stats{};
-        try {
-          run_shard_chunks(static_cast<int>(s), *shards_[s], ranges[s],
-                           parts[s], workers, out, params, rng, stats,
-                           engine.get(), dead_mask, trace, pass_span);
-        } catch (...) {
-          errors[s] = std::current_exception();
-        }
-        report.per_shard[s] += stats;  // += : retry passes merge in
-        {
-          // Notify under the lock: `join` lives on the waiting frame's
-          // stack, and a notify after the unlock could touch the condvar
-          // after the waiter saw pending==0 and destroyed it.
-          std::lock_guard<std::mutex> jl(join.mu);
-          --join.pending;
-          join.cv.notify_all();
-        }
-      });
+      if (!parts[s].empty()) run_pass_task(ctx, static_cast<int>(s));
+    }
+  } else {
+    // Fan-out: one mailbox ticket per ACTIVE shard — a ring store plus one
+    // futex wake each; idle shards' workers stay asleep. (The old pool
+    // pushed lambdas into one locked deque and notify_all'd EVERY worker
+    // for every pass.)
+    ctx.pending.store(active, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!parts[s].empty()) {
+        workers_[s]->mailbox.push(PassTicket{&ctx, false});
+      }
+    }
+    // Join on the service-wide pass-epoch doorbell, re-checking our own
+    // pending counter: the last worker's notify lands on a service member,
+    // never on this dying frame (the lifetime bug the old Join condvar
+    // needed a lock in the notify path to dodge). Every pass completion
+    // wakes all concurrent joiners; they re-check and go back to sleep —
+    // passes complete at wave granularity, so the cross-talk is noise.
+    for (;;) {
+      if (ctx.pending.load(std::memory_order_acquire) == 0) break;
+      const std::uint64_t e = pass_epoch_.load(std::memory_order_acquire);
+      if (ctx.pending.load(std::memory_order_acquire) == 0) break;
+      pass_epoch_.wait(e, std::memory_order_acquire);
     }
   }
-  pool_cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lk(join.mu);
-    join.cv.wait(lk, [&join] { return join.pending == 0; });
+  // Merge under the join — single-threaded, after every worker's release
+  // decrement — instead of from N workers into adjacent vector elements.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    report.per_shard[s] += ctx.slots[s].stats;  // += : retry passes merge in
+    errors[s] = ctx.slots[s].error;
   }
   return errors;
+}
+
+MailboxStats AggregationService::mailbox_stats(int shard) const {
+  if (shard < 0 || shard >= opts_.num_shards) {
+    throw std::invalid_argument("cluster: mailbox_stats: unknown shard");
+  }
+  if (inline_dispatch_) return {};
+  return workers_[static_cast<std::size_t>(shard)]->mailbox.stats();
 }
 
 void AggregationService::run_job(const JobView& job, std::span<float> out,

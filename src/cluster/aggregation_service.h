@@ -1,10 +1,13 @@
 // Rack-scale, multi-tenant aggregation service: routes reduce jobs across a
 // pool of pisa::FpisaSwitch shards (element-space sharding via ShardRouter),
-// drives the shards concurrently from a std::thread worker pool, and keeps
-// per-tenant and per-shard protocol statistics. The per-shard protocol is
-// the SwitchML-style packet loop of switchml::AggregationSession (add with
-// retransmission, idempotent read, read-and-reset slot recycling), operating
-// on a tenant-private SlotRange so concurrent jobs never collide.
+// drives the shards concurrently from per-shard persistent workers fed
+// through lock-free mailboxes, and keeps per-tenant and per-shard protocol
+// statistics. The per-shard protocol is the SwitchML-style packet loop of
+// switchml::AggregationSession (add with retransmission, idempotent read,
+// read-and-reset slot recycling), operating on a tenant-private SlotRange so
+// concurrent jobs never collide. The wave loop runs as a two-stage software
+// pipeline (encode wave N+1 while wave N's collect drains) that stays
+// bit-identical to the serial reference — see README "Execution model".
 #pragma once
 
 #include <array>
@@ -24,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/mailbox.h"
 #include "cluster/shard_health.h"
 #include "cluster/shard_router.h"
 #include "cluster/slo.h"
@@ -45,7 +49,35 @@ struct ClusterOptions {
   double loss_rate = 0.0;            ///< per-packet drop probability (each way)
   std::uint64_t loss_seed = 1;
   int max_retransmits = 64;
-  int worker_threads = 0;            ///< 0: one per shard
+  /// Deprecated (kept for source compatibility): the execution engine now
+  /// runs exactly one persistent worker per shard under kWorkers dispatch —
+  /// shard affinity is the point, so an arbitrary pool size no longer
+  /// exists to configure.
+  int worker_threads = 0;
+  /// How shard tasks of a pass execute.
+  ///  * kWorkers: one persistent worker thread per shard, each owning its
+  ///    switch, fed through a lock-free mailbox — a pass dispatch is one
+  ///    ring store + one futex wake per ACTIVE shard (idle shards sleep).
+  ///  * kInline: shard tasks run sequentially on the calling job thread;
+  ///    zero fan-out threads (concurrent jobs still overlap on the
+  ///    job-runner pool, serialized per shard by the shard mutex).
+  ///  * kAuto (default): kWorkers when the host has >1 core and the
+  ///    service >1 shard; on a single-core host the handoff can only add
+  ///    context switches.
+  /// Results are bit-identical across modes: determinism is seeded per
+  /// (job, shard, pass), never scheduled.
+  enum class DispatchMode { kAuto, kWorkers, kInline };
+  DispatchMode dispatch = DispatchMode::kAuto;
+  /// Two-stage software pipeline in the wave loop: while the switch drains
+  /// wave N's collect, the host pre-packs wave N+1's packets and pre-draws
+  /// BOTH of wave N+1's loss schedules (add + collect) from the task rng.
+  /// The global draw order (add0, collect0, add1, collect1, ...) is exactly
+  /// the serial path's, so results AND SessionStats stay bit-identical
+  /// (pinned by test_cluster_pipeline). The guarded fault protocol
+  /// (fault.enabled) and the per-slot collect reference keep the serial
+  /// loop: wave N+1's epoch stamps depend on wave N's collect, so the
+  /// pipeline would drain every wave anyway.
+  bool pipeline_waves = true;
   /// Collect phases drain each wave's slot range through one compiled
   /// read_and_reset_batch call (default) instead of per-slot read/reset
   /// round trips through the packet simulator. Identical observables —
@@ -193,8 +225,23 @@ class AggregationService {
     return peak_jobs_.load(std::memory_order_relaxed);
   }
 
+  /// Per-shard mailbox counters under kWorkers dispatch: tickets posted,
+  /// consumer wakeups, and wakeups that found no ticket. A pass notifies
+  /// only the shards it fed, so an idle shard's wakeup count never moves
+  /// and spurious wakeups stay zero — both pinned by regression tests.
+  /// All-zero under inline dispatch (there are no workers to wake).
+  MailboxStats mailbox_stats(int shard) const;
+  /// The dispatch mode actually running (kAuto resolved at construction).
+  ClusterOptions::DispatchMode dispatch_mode() const {
+    return inline_dispatch_ ? ClusterOptions::DispatchMode::kInline
+                            : ClusterOptions::DispatchMode::kWorkers;
+  }
+
  private:
-  struct Shard {
+  /// Cache-line-aligned so two shards' hot state (switch, mutex, allocator)
+  /// can never share a line even if the unique_ptr allocations land
+  /// adjacent.
+  struct alignas(64) Shard {
     explicit Shard(const ClusterOptions& opts);
     pisa::FpisaSwitch sw;
     std::mutex mu;  ///< serializes packet roundtrips through `sw`
@@ -209,12 +256,24 @@ class AggregationService {
     int max_retransmits = 0;
   };
 
-  /// Per-task scratch: every buffer the wave loop needs, reused across
-  /// waves so the worker pool does no per-packet allocation at all.
-  struct WaveScratch {
+  /// One wave's queued packet stream (arrival order), applied to the
+  /// switch in a single add_batch under one mutex hold.
+  struct PacketQueue {
     std::vector<std::uint16_t> slots;
     std::vector<std::uint8_t> workers;
     std::vector<std::uint32_t> values;
+    bool empty() const { return slots.empty(); }
+    void clear() {
+      slots.clear();
+      workers.clear();
+      values.clear();
+    }
+  };
+
+  /// Per-task scratch: every buffer the wave loop needs, reused across
+  /// waves so the shard workers do no per-packet allocation at all.
+  struct WaveScratch {
+    PacketQueue pkts;
     std::vector<std::uint32_t> lane_buf;
     /// One preallocated result buffer per shard task (wave slots × lanes):
     /// the batched collect reads the whole wave into it instead of per-slot
@@ -231,7 +290,44 @@ class AggregationService {
     std::uint16_t mirror_generation = 0;
   };
 
-  void worker_loop();
+  /// One pre-packed wave for the pipelined loop: the packet stream plus the
+  /// wave's pre-drawn collect schedule (stage 1's complete output). Two of
+  /// these ping-pong per shard task: while the switch drains bank A's
+  /// collect, the host encodes bank B.
+  struct WaveBank {
+    PacketQueue pkts;
+    switchml::CollectSchedule sched{};
+    std::size_t base = 0;
+    std::size_t end = 0;
+    std::size_t index = 0;
+    bool sched_drawn = false;   ///< false: the wave dies before its collect
+    bool add_failed = false;    ///< a packet exhausted its retransmit budget
+    bool kill_pending = false;  ///< an injected kMidCollect kill awaits
+    std::uint64_t encode_ns = 0;  ///< host pack time (add-phase share)
+  };
+
+  /// One in-flight fan-out/join: lives on the dispatching frame's stack,
+  /// workers reach it through their mailbox ticket. Each shard writes ONLY
+  /// its own cache-line-aligned slot; the joining thread merges after the
+  /// join — no cross-shard false sharing, no shared-state writes from
+  /// workers.
+  struct PassContext;
+  struct PassTicket {
+    PassContext* ctx = nullptr;
+    bool stop = false;
+  };
+  /// Per-shard persistent worker: owns its shard's switch work for every
+  /// pass, fed through a lock-free mailbox. Aligned so two workers' ring
+  /// cursors never share a line.
+  struct alignas(64) ShardWorker {
+    ShardMailbox<PassTicket> mailbox;
+    std::thread thread;
+  };
+
+  void shard_worker_loop(int shard);
+  /// Runs one shard's slice of a pass (rng + fault engine seeded per (job,
+  /// shard, pass)); errors land in the shard's PassContext slot.
+  void run_pass_task(PassContext& ctx, int shard);
   void job_runner_loop();
   /// Runs one job end to end (validation, range acquisition, shard fan-out,
   /// failover recovery, accounting), writing the sum into `out`. Both
@@ -257,20 +353,51 @@ class AggregationService {
                         fault::FaultEngine* engine, std::uint32_t dead_mask,
                         telemetry::Trace* trace,
                         telemetry::Trace::SpanId parent);
+  /// Stage 1 of the wave pipeline: packs wave `wave_index`'s packets into
+  /// `bank`, drawing the add loss schedule AND pre-drawing the wave's
+  /// collect schedule from the task rng — in the serial protocol's exact
+  /// order (add_k then collect_k), so the pipelined global draw sequence is
+  /// identical to the serial path's. A mid-add kill fault flushes the
+  /// partially packed bank (the corpse keeps what "arrived") and throws; on
+  /// add retransmit exhaustion the bank is marked failed and the collect
+  /// schedule is NOT drawn (the serial path dies before reaching it).
+  void encode_wave(WaveBank& bank, std::size_t wave_index, std::size_t base,
+                   std::size_t wave_end, int shard_idx, Shard& shard,
+                   const SlotRange& range,
+                   const std::vector<std::size_t>& chunks,
+                   std::span<const std::span<const float>> workers,
+                   std::size_t result_n, const JobParams& params,
+                   util::Rng& rng, switchml::SessionStats& stats,
+                   std::uint32_t dead_mask, WaveScratch& scratch);
+  /// The pipelined wave loop (two-stage software pipeline over ping-pong
+  /// WaveBanks). Bit-identical to the serial loop in run_shard_chunks —
+  /// pinned by test_cluster_pipeline.
+  void run_wave_pipeline(int shard_idx, Shard& shard, const SlotRange& range,
+                         const std::vector<std::size_t>& chunks,
+                         std::span<const std::span<const float>> workers,
+                         std::span<float> result, const JobParams& params,
+                         util::Rng& rng, switchml::SessionStats& stats,
+                         std::uint32_t dead_mask, telemetry::Trace* trace,
+                         telemetry::Trace::SpanId shard_span,
+                         WaveScratch& scratch, double straggle_ms);
   /// Claims a one-shot kill fault for (shard, phase, wave); true when the
   /// caller should die now (throw ShardDeadError).
   bool fire_kill_fault(int shard, FaultPhase phase, std::size_t wave);
+  /// Non-claiming probe: does an unfired kill fault target (shard, phase,
+  /// wave)? Lets the pipeline's encode stage predict a wave's injected
+  /// death without consuming the one-shot claim.
+  bool peek_kill_fault(int shard, FaultPhase phase, std::size_t wave) const;
   /// Persistent straggler injection: extra wall time per wave for `shard`.
   double slowdown_ms(int shard) const;
   /// Draws the per-packet loss schedule (identical order to the
-  /// per-packet protocol) and queues every delivered copy into `scratch`;
+  /// per-packet protocol) and queues every delivered copy into `q`;
   /// returns false when the packet exhausts its retransmit budget.
   static bool queue_add(std::uint16_t slot, std::uint8_t worker,
                         std::span<const std::uint32_t> values,
                         const JobParams& params, util::Rng& rng,
-                        switchml::SessionStats& stats, WaveScratch& scratch);
+                        switchml::SessionStats& stats, PacketQueue& q);
   /// Applies the queued wave under ONE shard-mutex hold.
-  static void flush_wave(Shard& shard, WaveScratch& scratch);
+  static void flush_wave(Shard& shard, PacketQueue& q);
   /// Guarded twin of queue_add: every delivered copy routes through the
   /// fault engine (corruption / duplication / stale capture) and carries
   /// the slot's epoch stamp + payload checksum; a corrupted delivery does
@@ -312,6 +439,14 @@ class AggregationService {
                     std::size_t wave_end, std::span<float> result,
                     const JobParams& params, util::Rng& rng,
                     switchml::SessionStats& stats, WaveScratch& scratch);
+  /// Applies a PRE-DRAWN collect schedule (collect_wave's tail; also the
+  /// pipeline's stage 2): one read_and_reset_batch over the cleared prefix,
+  /// throws on schedule failure, then scatters the wave into `result`.
+  void apply_collect(int shard_idx, Shard& shard, const SlotRange& range,
+                     const std::vector<std::size_t>& chunks, std::size_t base,
+                     std::size_t wave_end, std::span<float> result,
+                     const switchml::CollectSchedule& sched,
+                     WaveScratch& scratch);
   /// Control-plane cleanup: clears every slot of `range` so a failed job
   /// cannot leak register state or dedup-bitmap bits to the range's next
   /// tenant.
@@ -321,17 +456,22 @@ class AggregationService {
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Worker pool (shard tasks; tasks never block on other tasks).
-  std::vector<std::thread> pool_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex pool_mu_;
-  std::condition_variable pool_cv_;
-  bool stopping_ = false;
+  // Per-shard persistent workers (kWorkers dispatch): worker s owns
+  // shards_[s]'s pass work; a pass posts one lock-free mailbox ticket per
+  // ACTIVE shard and joins on an atomic pending counter. Empty under
+  // inline dispatch. (Replaces the old shared deque + condvar broadcast,
+  // which woke every worker and contended one mutex on every pass.)
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+  bool inline_dispatch_ = false;
+  /// Pass-completion doorbell: the LAST shard of any pass bumps the epoch
+  /// and notifies; joiners wait here (re-checking their own pending
+  /// counter), so the final wake never touches a pass's dying stack frame.
+  std::atomic<std::uint64_t> pass_epoch_{0};
 
   // Bounded job-runner pool (submitted jobs' control loops). Kept separate
-  // from the worker pool because a job's control loop BLOCKS on its shard
-  // tasks — running it on the worker pool could deadlock the shard work it
-  // waits for.
+  // from the shard workers because a job's control loop BLOCKS on its
+  // shard tasks — running it on a shard worker could deadlock the shard
+  // work it waits for.
   std::vector<std::thread> job_pool_;
   std::deque<std::packaged_task<JobReport()>> job_tasks_;
   std::mutex job_mu_;
@@ -366,9 +506,10 @@ class AggregationService {
   std::atomic<telemetry::Trace*> trace_{nullptr};
   std::atomic<std::size_t> trace_parent_{telemetry::Trace::kNone};
 
-  // Shard liveness + one-shot fault claiming.
+  // Shard liveness + one-shot fault claiming (mutable: the pipeline's
+  // const peek probes the table too).
   ShardHealth health_;
-  std::mutex fault_mu_;
+  mutable std::mutex fault_mu_;
   std::vector<bool> fault_fired_;  ///< parallel to opts_.failover.faults
 
   // Cumulative accounting. The tenant map uses std::less<> so the

@@ -1,0 +1,137 @@
+// Lock-free shard mailbox: the fan-out primitive of the cluster execution
+// engine. Each shard's persistent worker owns one mailbox; a pass dispatch
+// posts one ticket per ACTIVE shard (a relaxed ring store + one futex-style
+// wake), so idle shards are never woken and no two producers ever contend a
+// mutex — the replacement for the old shared task deque + condvar broadcast.
+//
+// The ring is a Vyukov-style bounded sequence-ticket queue:
+//  * each cell carries an atomic sequence number; a producer claims a cell
+//    with one fetch_add on the tail ticket, writes the payload, and
+//    publishes it by storing seq = pos + 1 (release);
+//  * the single consumer knows exactly which cell is next, so when the ring
+//    is empty it parks on THAT cell's sequence word via C++20
+//    std::atomic::wait — a futex on Linux — and the publishing producer's
+//    notify_one wakes exactly this worker, nobody else.
+//
+// Single-consumer by construction (the shard worker). Producers are the
+// job control loops — usually one, but any number are safe: the ticket
+// fetch_add linearizes them. Capacity bounds in-flight passes per shard;
+// a full ring makes the producer spin-yield until the consumer frees a
+// cell (consumers never block on producers, so this always drains).
+//
+// Wakeup accounting: `wakeups` counts every return from the futex wait,
+// `spurious_wakeups` the returns that found the awaited cell still empty.
+// With per-cell parking a worker is only ever notified for a ticket it is
+// about to consume, so spurious counts stay at zero — pinned by a
+// regression test so the broadcast bug can't come back.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace fpisa::cluster {
+
+/// Snapshot of one mailbox's counters (see file comment).
+struct MailboxStats {
+  std::uint64_t enqueued = 0;          ///< tickets ever posted
+  std::uint64_t wakeups = 0;           ///< consumer returns from futex wait
+  std::uint64_t spurious_wakeups = 0;  ///< wakeups that found no ticket
+};
+
+template <typename T>
+class ShardMailbox {
+ public:
+  explicit ShardMailbox(std::size_t capacity = 256)
+      : mask_(capacity - 1), cells_(new Cell[capacity]) {
+    // Power-of-two capacity so `pos & mask_` is the ring index.
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "mailbox payloads are raw tickets");
+    if (capacity < 2 || (capacity & (capacity - 1)) != 0) {
+      capacity = 256;
+      mask_ = capacity - 1;
+      cells_.reset(new Cell[capacity]);
+    }
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  /// Producer side (any thread): claims a cell, publishes the ticket, and
+  /// wakes the consumer if it is parked on that cell. Spin-yields while the
+  /// ring is full (in-flight passes per shard are far below capacity).
+  void push(const T& value) {
+    const std::uint64_t pos =
+        enqueue_pos_.fetch_add(1, std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    while (cell.seq.load(std::memory_order_acquire) != pos) {
+      std::this_thread::yield();  // ring full: wait for the consumer
+    }
+    cell.value = value;
+    cell.seq.store(pos + 1, std::memory_order_release);
+    cell.seq.notify_one();
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Consumer side (the single shard worker): non-blocking pop.
+  bool try_pop(T& out) {
+    Cell& cell = cells_[dequeue_pos_ & mask_];
+    if (cell.seq.load(std::memory_order_acquire) != dequeue_pos_ + 1) {
+      return false;
+    }
+    out = cell.value;
+    // Free the cell for the producer one lap ahead.
+    cell.seq.store(dequeue_pos_ + mask_ + 1, std::memory_order_release);
+    ++dequeue_pos_;
+    return true;
+  }
+
+  /// Consumer side: blocking pop. Parks on the NEXT cell's sequence word
+  /// (futex wait) while the ring is empty — only a producer publishing
+  /// into exactly that cell wakes this worker.
+  T pop_wait() {
+    Cell& cell = cells_[dequeue_pos_ & mask_];
+    const std::uint64_t ready = dequeue_pos_ + 1;
+    std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    while (seq != ready) {
+      cell.seq.wait(seq, std::memory_order_acquire);
+      seq = cell.seq.load(std::memory_order_acquire);
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+      if (seq != ready) {
+        spurious_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    T out = cell.value;
+    cell.seq.store(dequeue_pos_ + mask_ + 1, std::memory_order_release);
+    ++dequeue_pos_;
+    return out;
+  }
+
+  MailboxStats stats() const {
+    MailboxStats s;
+    s.enqueued = enqueued_.load(std::memory_order_relaxed);
+    s.wakeups = wakeups_.load(std::memory_order_relaxed);
+    s.spurious_wakeups = spurious_wakeups_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  /// Producer ticket — its own cache line so fan-out stores never bounce
+  /// the consumer's dequeue cursor.
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::uint64_t dequeue_pos_ = 0;  ///< consumer-private
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> spurious_wakeups_{0};
+};
+
+}  // namespace fpisa::cluster

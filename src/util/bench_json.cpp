@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace fpisa::util {
 namespace {
@@ -62,7 +63,10 @@ std::string BenchJson::render() const {
   out += "    \"compiler\": \"" + escape(std::string(b.compiler)) + "\",\n";
   out += "    \"build_type\": \"" + escape(std::string(b.build_type)) + "\",\n";
   out += "    \"avx2\": " + std::string(b.avx2 ? "true" : "false") + ",\n";
-  out += "    \"sanitizer\": \"" + escape(std::string(b.sanitizer)) + "\"\n";
+  out += "    \"sanitizer\": \"" + escape(std::string(b.sanitizer)) + "\",\n";
+  // Wall-clock numbers mean nothing without the core count they ran on.
+  out += "    \"host_cpus\": " +
+         std::to_string(std::thread::hardware_concurrency()) + "\n";
   out += "  },\n  \"metrics\": {";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
