@@ -1,0 +1,202 @@
+// Admission control & QoS on the shared aggregation service: three tenants
+// — a training job (kTraining), a query engine merging partial aggregates
+// (kQuery), and a streaming-telemetry EWMA pipeline (kTelemetry) — share
+// ONE 4-shard cluster with a single job-runner thread, so every job rides
+// the same queue.
+//
+// The demo runs the identical mixed workload twice: first with QoS off
+// (plain FIFO — the chatty telemetry tenant's backlog sits in front of
+// everyone), then with QoS on (weighted-deficit scheduling by priority
+// class, plus a token-bucket rate limit and a bounded admission queue on
+// the telemetry tenant). A before/after table shows per-class p50/p99
+// latency and the per-tenant SLO books, including the distinct
+// jobs_rejected entry that typed admission backpressure feeds.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "collective/communicator.h"
+#include "qos/qos.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+std::vector<std::vector<float>> make_workers(int w, std::size_t n,
+                                             std::uint64_t seed) {
+  fpisa::util::Rng rng(seed);
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(w),
+                                      std::vector<float>(n));
+  for (auto& vec : out) {
+    for (auto& v : vec) v = static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  return out;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  return v[static_cast<std::size_t>(pos + 0.5)];
+}
+
+struct TenantOutcome {
+  std::vector<double> latency_ms;
+  int rejected = 0;
+};
+
+/// One mixed-workload round: telemetry floods a backlog, then training and
+/// query jobs arrive and must get through it. Returns per-tenant latency
+/// samples plus rejection counts.
+std::array<TenantOutcome, 3> run_mix(fpisa::collective::Communicator& comm) {
+  using namespace fpisa;
+  using Clock = std::chrono::steady_clock;
+  collective::TenantHandle training = comm.tenant("training");
+  collective::TenantHandle query = comm.tenant("query");
+  collective::TenantHandle telemetry = comm.tenant("telemetry");
+
+  const auto grads = make_workers(4, 16384, 500);
+  const auto partials = make_workers(2, 8192, 501);
+  const auto samples = make_workers(2, 4096, 502);
+  std::vector<float> grads_out(16384), partials_out(8192),
+      samples_out(4096);
+
+  std::array<TenantOutcome, 3> out;  // [0]=training [1]=query [2]=telemetry
+  std::deque<collective::JobHandle> backlog;
+  const auto flood = [&] {
+    // Keep ~16 telemetry jobs queued; a bounded admission queue (QoS on)
+    // pushes back with a typed error instead of letting this grow.
+    while (backlog.size() < 16) {
+      try {
+        const auto t0 = Clock::now();
+        backlog.push_back(telemetry.submit(samples, samples_out));
+        (void)t0;
+      } catch (const qos::AdmissionRejectedError&) {
+        ++out[2].rejected;
+        break;
+      }
+    }
+  };
+  // Foreground jobs go through submit() so they ride the shared runner
+  // queue — the resource QoS arbitrates — rather than the inline path.
+  const auto timed = [&](collective::TenantHandle& h,
+                         const std::vector<std::vector<float>>& w,
+                         std::vector<float>& dst, TenantOutcome& o) {
+    const auto t0 = Clock::now();
+    h.submit(w, dst).wait();
+    o.latency_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count());
+  };
+
+  for (int round = 0; round < 12; ++round) {
+    flood();
+    timed(training, grads, grads_out, out[0]);
+    timed(query, partials, partials_out, out[1]);
+    // The telemetry tenant also takes its own foreground sample.
+    const auto t0 = Clock::now();
+    try {
+      telemetry.submit(samples, samples_out).wait();
+      out[2].latency_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+    } catch (const qos::AdmissionRejectedError&) {
+      ++out[2].rejected;
+    }
+  }
+  while (!backlog.empty()) {
+    backlog.front().wait();
+    backlog.pop_front();
+  }
+  return out;
+}
+
+fpisa::collective::CommunicatorOptions mix_options(bool qos_on) {
+  using namespace fpisa;
+  collective::CommunicatorOptions copts;
+  copts.backend = collective::Backend::kCluster;
+  copts.cluster.num_shards = 4;
+  copts.cluster.slots_per_shard = 64;
+  copts.cluster.slots_per_job = 16;
+  copts.cluster.loss_rate = 0.02;
+  copts.cluster.job_runner_threads = 1;  // one shared queue: QoS's arena
+  if (qos_on) {
+    copts.qos.enabled = true;
+    qos::TenantQosConfig training;
+    training.priority = qos::Priority::kTraining;
+    qos::TenantQosConfig query;
+    query.priority = qos::Priority::kQuery;
+    qos::TenantQosConfig telemetry;
+    telemetry.priority = qos::Priority::kTelemetry;
+    telemetry.rate_jobs_per_s = 600.0;  // token bucket: cap the firehose
+    telemetry.burst_jobs = 8;
+    telemetry.max_queued_jobs = 8;  // bounded queue -> typed backpressure
+    telemetry.policy = qos::AdmissionPolicy::kReject;
+    copts.qos.tenants["training"] = training;
+    copts.qos.tenants["query"] = query;
+    copts.qos.tenants["telemetry"] = telemetry;
+  }
+  return copts;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fpisa;
+  std::printf("=== admission control & QoS: 3 tenants, 4 shards, one "
+              "runner ===\n\n");
+
+  const auto comm_off = collective::make_communicator(mix_options(false));
+  const auto outcomes_off = run_mix(*comm_off);
+  const auto comm_on = collective::make_communicator(mix_options(true));
+  const auto outcomes_on = run_mix(*comm_on);
+
+  const char* tenants[] = {"training", "query", "telemetry"};
+  const char* classes[] = {"kTraining", "kQuery", "kTelemetry"};
+  util::Table t({"Tenant", "Class", "p50 off (ms)", "p99 off (ms)",
+                 "p50 on (ms)", "p99 on (ms)", "p99 change"});
+  for (int i = 0; i < 3; ++i) {
+    const double off99 = percentile(outcomes_off[i].latency_ms, 0.99);
+    const double on99 = percentile(outcomes_on[i].latency_ms, 0.99);
+    t.add_row({tenants[i], classes[i],
+               util::Table::num(percentile(outcomes_off[i].latency_ms, 0.50),
+                                2),
+               util::Table::num(off99, 2),
+               util::Table::num(percentile(outcomes_on[i].latency_ms, 0.50),
+                                2),
+               util::Table::num(on99, 2),
+               util::Table::num(100.0 * (on99 - off99) / off99, 0) + "%"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("training and query jobs overtake the telemetry backlog under "
+              "QoS; telemetry pays for its own firehose (rate limit + "
+              "bounded queue, %d submissions rejected with typed "
+              "backpressure).\n\n",
+              outcomes_on[2].rejected);
+
+  // The per-tenant SLO books through the uniform Communicator surface:
+  // rejected admissions land in their own jobs_rejected entry — never in
+  // jobs_failed, which stays reserved for jobs that ran and blew up.
+  util::Table s({"Tenant", "Completed", "Failed", "Rejected", "p50 (ms)",
+                 "p99 (ms)"});
+  for (const char* name : tenants) {
+    const collective::TenantSlo slo = comm_on->tenant_slo(name);
+    s.add_row({name, std::to_string(slo.jobs_completed),
+               std::to_string(slo.jobs_failed),
+               std::to_string(slo.jobs_rejected),
+               util::Table::num(slo.p50_wall_s * 1e3, 2),
+               util::Table::num(slo.p99_wall_s * 1e3, 2)});
+  }
+  std::printf("per-tenant SLO books (QoS on):\n%s\n", s.render().c_str());
+
+  const qos::QosOptions* qopts = comm_on->qos_options();
+  std::printf("admission plane: enabled=%s, class weights "
+              "training:query:telemetry = %u:%u:%u\n",
+              qopts && qopts->enabled ? "yes" : "no",
+              qopts ? qopts->class_weights[0] : 0,
+              qopts ? qopts->class_weights[1] : 0,
+              qopts ? qopts->class_weights[2] : 0);
+  return 0;
+}

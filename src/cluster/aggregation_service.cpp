@@ -50,6 +50,9 @@ AggregationService::Shard::Shard(const ClusterOptions& opts)
 AggregationService::AggregationService(ClusterOptions opts)
     : opts_(opts),
       router_(opts.num_shards, opts.routing, opts.routing_salt),
+      job_sched_(opts.qos.class_weights),
+      admission_(opts.qos),
+      qos_enabled_(opts.qos.enabled),
       health_(opts.num_shards, opts.failover.max_consecutive_failures),
       fault_fired_(opts.failover.faults.size(), false) {
   // num_shards <= 0 already rejected by the ShardRouter initializer.
@@ -142,6 +145,37 @@ void AggregationService::init_metrics() {
                             {{"svc", svc_id_}, {"outcome", "completed"}});
   m_jobs_[1] = &reg.counter("cluster_jobs_total",
                             {{"svc", svc_id_}, {"outcome", "failed"}});
+  m_jobs_[2] = &reg.counter("cluster_jobs_total",
+                            {{"svc", svc_id_}, {"outcome", "rejected"}});
+  // QoS admission/scheduler series (registered even when QoS is off — a
+  // flat zero series is how an operator confirms the limiter is idle).
+  for (std::size_t c = 0; c < qos::kNumPriorities; ++c) {
+    const char* cls = qos::priority_name(static_cast<qos::Priority>(c));
+    m_qos_class_depth_[c] = &reg.gauge("qos_admission_queue_depth",
+                                       {{"svc", svc_id_}, {"class", cls}});
+    m_qos_admitted_[c] = &reg.counter("qos_jobs_admitted_total",
+                                      {{"svc", svc_id_}, {"class", cls}});
+    m_qos_picks_[c] = &reg.counter("qos_sched_picks_total",
+                                   {{"svc", svc_id_}, {"class", cls}});
+  }
+  m_qos_rejects_[0] = &reg.counter(
+      "qos_jobs_rejected_total", {{"svc", svc_id_}, {"reason", "rate_limit"}});
+  m_qos_rejects_[1] = &reg.counter(
+      "qos_jobs_rejected_total", {{"svc", svc_id_}, {"reason", "queue_full"}});
+  m_qos_rejects_[2] = &reg.counter(
+      "qos_jobs_rejected_total", {{"svc", svc_id_}, {"reason", "deadline"}});
+  // Per-shard mailbox counters (PR 8's mailbox_stats surface) as gauges,
+  // refreshed after every pass join under kWorkers dispatch.
+  m_mailbox_.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string shard = std::to_string(s);
+    m_mailbox_[s][0] = &reg.gauge("cluster_mailbox_enqueued",
+                                  {{"svc", svc_id_}, {"shard", shard}});
+    m_mailbox_[s][1] = &reg.gauge("cluster_mailbox_wakeups",
+                                  {{"svc", svc_id_}, {"shard", shard}});
+    m_mailbox_[s][2] = &reg.gauge("cluster_mailbox_spurious_wakeups",
+                                  {{"svc", svc_id_}, {"shard", shard}});
+  }
   // Fault-recovery events (wire-level rejections live on the switches'
   // own fpisa_switch_* counters; these are the fabric-level recoveries).
   m_fault_[0] =
@@ -172,6 +206,7 @@ AggregationService::~AggregationService() {
     stopping_jobs_ = true;
   }
   job_cv_.notify_all();
+  admission_cv_.notify_all();  // unblock any kBlock submitter immediately
   for (std::thread& t : job_pool_) t.join();
   for (auto& w : workers_) w->mailbox.push(PassTicket{nullptr, true});
   for (auto& w : workers_) {
@@ -224,30 +259,132 @@ void AggregationService::shard_worker_loop(int shard) {
   }
 }
 
+void AggregationService::refresh_queue_gauges() {
+  m_queue_depth_->set(static_cast<double>(job_sched_.size()));
+  for (std::size_t c = 0; c < qos::kNumPriorities; ++c) {
+    m_qos_class_depth_[c]->set(static_cast<double>(
+        job_sched_.class_depth(static_cast<qos::Priority>(c))));
+  }
+}
+
 void AggregationService::job_runner_loop() {
   for (;;) {
-    std::packaged_task<JobReport()> task;
+    QueuedJob qj;
     {
       std::unique_lock<std::mutex> lk(job_mu_);
       job_cv_.wait(lk,
-                   [this] { return stopping_jobs_ || !job_tasks_.empty(); });
-      if (job_tasks_.empty()) return;  // stopping and drained
-      task = std::move(job_tasks_.front());
-      job_tasks_.pop_front();
-      m_queue_depth_->set(static_cast<double>(job_tasks_.size()));
+                   [this] { return stopping_jobs_ || !job_sched_.empty(); });
+      if (job_sched_.empty()) return;  // stopping and drained
+      qos::Priority cls = qos::Priority::kQuery;
+      job_sched_.pop(qj, &cls);
+      if (qos_enabled_) {
+        admission_.on_dequeued(admission_.tenant(qj.tenant));
+        m_qos_picks_[static_cast<std::size_t>(cls)]->inc();
+      }
+      refresh_queue_gauges();
     }
-    task();  // exceptions land in the task's future
+    // A dequeue frees this tenant's queue slot: wake any kBlock submitter.
+    admission_cv_.notify_all();
+    qj.task();  // exceptions land in the task's future
+  }
+}
+
+void AggregationService::reject_job(std::unique_lock<std::mutex>& lk,
+                                    std::string_view tenant,
+                                    qos::RejectReason reason) {
+  // Release job_mu_ BEFORE booking: the SLO/outcome books live under
+  // stats_mu_ and the two locks must never nest.
+  lk.unlock();
+  {
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    ++jobs_rejected_;
+    // The tenant's own SLO book gets a jobs_rejected entry — never a
+    // jobs_failed one: a rejected job ran no protocol (the PR 5
+    // failed-vs-cumulative invariant, pinned by test_qos).
+    tenant_account_locked(tenant).slo.record_rejected();
+  }
+  m_jobs_[2]->inc();
+  m_qos_rejects_[static_cast<std::size_t>(reason)]->inc();
+  throw qos::AdmissionRejectedError(std::string(tenant), reason);
+}
+
+qos::Priority AggregationService::admit_queued(
+    std::unique_lock<std::mutex>& lk, std::string_view tenant) {
+  if (!qos_enabled_) return qos::Priority::kQuery;  // single FIFO class
+  qos::AdmissionControl::TenantState& st = admission_.tenant(tenant);
+  const qos::TenantQosConfig cfg = st.cfg;
+  const std::uint64_t deadline =
+      admission_.now_ns() +
+      static_cast<std::uint64_t>(std::max(cfg.block_deadline_s, 0.0) * 1e9);
+  for (;;) {
+    const auto probe = admission_.try_admit_queued(st, admission_.now_ns());
+    if (probe.admitted) {
+      m_qos_admitted_[static_cast<std::size_t>(cfg.priority)]->inc();
+      return cfg.priority;
+    }
+    if (cfg.policy == qos::AdmissionPolicy::kReject) {
+      reject_job(lk, tenant, probe.reason);
+    }
+    // kBlock: wait for queue space (runners notify on dequeue) or tokens,
+    // no longer than the tenant's deadline. The wait is capped so clock
+    // movement — virtual in tests, real in production — is re-checked
+    // promptly even without a notify.
+    const std::uint64_t now = admission_.now_ns();
+    if (now >= deadline) reject_job(lk, tenant, qos::RejectReason::kDeadline);
+    std::uint64_t wait_ns = deadline - now;
+    if (probe.reason == qos::RejectReason::kRateLimited &&
+        probe.retry_after_ns < wait_ns) {
+      wait_ns = probe.retry_after_ns;
+    }
+    wait_ns = std::clamp<std::uint64_t>(wait_ns, 100'000, 5'000'000);
+    admission_cv_.wait_for(lk, std::chrono::nanoseconds(wait_ns));
+    if (stopping_jobs_) {
+      reject_job(lk, tenant, qos::RejectReason::kDeadline);
+    }
+  }
+}
+
+void AggregationService::admit_direct(std::string_view tenant) {
+  if (!qos_enabled_) return;
+  std::unique_lock<std::mutex> lk(job_mu_);
+  qos::AdmissionControl::TenantState& st = admission_.tenant(tenant);
+  const qos::TenantQosConfig cfg = st.cfg;
+  const std::uint64_t deadline =
+      admission_.now_ns() +
+      static_cast<std::uint64_t>(std::max(cfg.block_deadline_s, 0.0) * 1e9);
+  for (;;) {
+    const auto probe = admission_.try_admit_direct(st, admission_.now_ns());
+    if (probe.admitted) {
+      m_qos_admitted_[static_cast<std::size_t>(cfg.priority)]->inc();
+      return;
+    }
+    if (cfg.policy == qos::AdmissionPolicy::kReject) {
+      reject_job(lk, tenant, probe.reason);
+    }
+    const std::uint64_t now = admission_.now_ns();
+    if (now >= deadline) reject_job(lk, tenant, qos::RejectReason::kDeadline);
+    std::uint64_t wait_ns = deadline - now;
+    if (probe.retry_after_ns > 0 && probe.retry_after_ns < wait_ns) {
+      wait_ns = probe.retry_after_ns;
+    }
+    wait_ns = std::clamp<std::uint64_t>(wait_ns, 100'000, 5'000'000);
+    admission_cv_.wait_for(lk, std::chrono::nanoseconds(wait_ns));
   }
 }
 
 std::future<JobReport> AggregationService::enqueue_job(
-    std::function<JobReport()> fn) {
+    std::string_view tenant, std::function<JobReport()> fn) {
   std::packaged_task<JobReport()> task(std::move(fn));
   std::future<JobReport> fut = task.get_future();
   {
-    std::lock_guard<std::mutex> lk(job_mu_);
-    job_tasks_.push_back(std::move(task));
-    m_queue_depth_->set(static_cast<double>(job_tasks_.size()));
+    std::unique_lock<std::mutex> lk(job_mu_);
+    // Admission (token bucket + queue bound) happens at submission, under
+    // the same lock as the scheduler push; a rejection throws out of
+    // submit() itself — the caller gets typed backpressure, not a future
+    // that fails later.
+    const qos::Priority cls = admit_queued(lk, tenant);
+    job_sched_.push(cls, QueuedJob{std::move(task), std::string(tenant)});
+    refresh_queue_gauges();
   }
   job_cv_.notify_one();
   return fut;
@@ -1008,7 +1145,7 @@ void AggregationService::run_wave_pipeline(
   }
 }
 
-JobReport AggregationService::reduce(const JobRequest& job) {
+JobReport AggregationService::reduce_admitted(const JobRequest& job) {
   // Views over the request's vectors — the floats are read in place.
   const std::vector<std::span<const float>> views(job.workers.begin(),
                                                   job.workers.end());
@@ -1020,8 +1157,17 @@ JobReport AggregationService::reduce(const JobRequest& job) {
   return report;
 }
 
+JobReport AggregationService::reduce(const JobRequest& job) {
+  // Synchronous jobs never queue, but they DO charge the tenant's token
+  // bucket: a tenant's rate limit covers its whole submission surface, not
+  // just the async path.
+  admit_direct(job.tenant);
+  return reduce_admitted(job);
+}
+
 JobReport AggregationService::reduce(const JobView& job,
                                      std::span<float> out) {
+  admit_direct(job.tenant);
   JobReport report;
   run_job(job, out, report);
   return report;
@@ -1106,6 +1252,18 @@ std::vector<std::exception_ptr> AggregationService::run_pass(
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     report.per_shard[s] += ctx.slots[s].stats;  // += : retry passes merge in
     errors[s] = ctx.slots[s].error;
+  }
+  if (!inline_dispatch_) {
+    // Refresh the scrapeable mailbox gauges from the per-shard counters
+    // (three relaxed loads + stores per active shard — noise next to the
+    // pass itself).
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (parts[s].empty()) continue;
+      const MailboxStats ms = workers_[s]->mailbox.stats();
+      m_mailbox_[s][0]->set(static_cast<double>(ms.enqueued));
+      m_mailbox_[s][1]->set(static_cast<double>(ms.wakeups));
+      m_mailbox_[s][2]->set(static_cast<double>(ms.spurious_wakeups));
+    }
   }
   return errors;
 }
@@ -1528,8 +1686,12 @@ std::future<JobReport> AggregationService::submit(JobRequest job) {
   // per-shard work shares the worker pool. (Worker-pool tasks never block
   // on other tasks and job runners never wait on other jobs — ranges are
   // acquired in ascending shard order — so no fleet of tenants can
-  // deadlock or grow the thread count.)
-  return enqueue_job([this, j = std::move(job)]() { return reduce(j); });
+  // deadlock or grow the thread count.) Admission is charged once, at
+  // enqueue time; the runner body takes the already-admitted path.
+  std::string tenant = job.tenant;
+  return enqueue_job(tenant, [this, j = std::move(job)]() {
+    return reduce_admitted(j);
+  });
 }
 
 std::future<JobReport> AggregationService::submit(const JobView& job,
@@ -1538,11 +1700,14 @@ std::future<JobReport> AggregationService::submit(const JobView& job,
   // the gradients. The caller owns the viewed buffers and `out` until the
   // future resolves.
   return enqueue_job(
+      job.tenant,
       [this, tenant = std::string(job.tenant),
        views = std::vector<std::span<const float>>(job.workers.begin(),
                                                    job.workers.end()),
        loss = job.loss_rate, retx = job.max_retransmits, out]() {
-        return reduce(JobView{tenant, views, loss, retx}, out);
+        JobReport report;
+        run_job(JobView{tenant, views, loss, retx}, out, report);
+        return report;
       });
 }
 
@@ -1620,6 +1785,23 @@ std::uint64_t AggregationService::jobs_completed() const {
 std::uint64_t AggregationService::jobs_failed() const {
   std::lock_guard<std::mutex> lk(stats_mu_);
   return jobs_failed_;
+}
+
+std::uint64_t AggregationService::jobs_rejected() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return jobs_rejected_;
+}
+
+std::size_t AggregationService::tenant_queue_depth(
+    std::string_view tenant) const {
+  std::lock_guard<std::mutex> lk(job_mu_);
+  const qos::AdmissionControl::TenantState* st = admission_.find(tenant);
+  return st == nullptr ? 0 : st->queued;
+}
+
+std::uint64_t AggregationService::class_picks(qos::Priority p) const {
+  std::lock_guard<std::mutex> lk(job_mu_);
+  return job_sched_.picks(p);
 }
 
 AggregationService::PhaseBreakdown AggregationService::phase_breakdown()

@@ -33,6 +33,9 @@
 #include "cluster/slo.h"
 #include "fault/fault.h"
 #include "pisa/fpisa_program.h"
+#include "qos/admission.h"
+#include "qos/qos.h"
+#include "qos/scheduler.h"
 #include "switchml/session.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -107,6 +110,13 @@ struct ClusterOptions {
   /// cannot excise the dead worker's earlier contributions). Requires
   /// batched_collect.
   fault::FaultOptions fault;
+  /// Multi-tenant admission control & QoS (src/qos/): per-tenant token-
+  /// bucket rate limits, priority classes with weighted-deficit pickup on
+  /// the job-runner pool, and bounded per-tenant admission queues with
+  /// explicit backpressure (AdmissionRejectedError or kBlock-with-
+  /// deadline). Disabled by default — the service then behaves exactly as
+  /// before: one FIFO class, no limits, unbounded queue.
+  qos::QosOptions qos;
   pisa::SwitchConfig switch_config;  ///< applied to every shard
 };
 
@@ -179,6 +189,9 @@ class AggregationService {
   std::vector<std::string> tenants() const;
   std::uint64_t jobs_completed() const;
   std::uint64_t jobs_failed() const;
+  /// Jobs turned away at admission (QoS only; never counted as failed —
+  /// a rejected job ran no protocol and sent no packets).
+  std::uint64_t jobs_rejected() const;
 
   /// Per-tenant SLO snapshot: job outcome counts (completed / failed /
   /// completed-only-via-failover) and p50/p99 job wall time from a small
@@ -236,6 +249,14 @@ class AggregationService {
     return inline_dispatch_ ? ClusterOptions::DispatchMode::kInline
                             : ClusterOptions::DispatchMode::kWorkers;
   }
+
+  /// QoS admission snapshot for one tenant: jobs currently queued
+  /// (admitted, not yet picked up) — 0 when QoS is off or the tenant is
+  /// unknown.
+  std::size_t tenant_queue_depth(std::string_view tenant) const;
+  /// Scheduler pickup count per class (how many queued jobs each Priority
+  /// class has had dequeued). All zero when QoS is off.
+  std::uint64_t class_picks(qos::Priority p) const;
 
  private:
   /// Cache-line-aligned so two shards' hot state (switch, mutex, allocator)
@@ -331,9 +352,35 @@ class AggregationService {
   void job_runner_loop();
   /// Runs one job end to end (validation, range acquisition, shard fan-out,
   /// failover recovery, accounting), writing the sum into `out`. Both
-  /// reduce() overloads and every submit path land here.
+  /// reduce() overloads and every submit path land here — admission happens
+  /// strictly BEFORE this point, so the datapath never sees QoS.
   void run_job(const JobView& job, std::span<float> out, JobReport& report);
-  std::future<JobReport> enqueue_job(std::function<JobReport()> fn);
+  /// reduce(JobRequest) minus admission: the submit path's runner body
+  /// (its job was admitted at enqueue time; admitting again at pickup
+  /// would double-charge the tenant's bucket).
+  JobReport reduce_admitted(const JobRequest& job);
+  std::future<JobReport> enqueue_job(std::string_view tenant,
+                                     std::function<JobReport()> fn);
+  /// QoS admission for an async submission: charges the tenant's token
+  /// bucket and queue bound; returns the tenant's Priority class for the
+  /// scheduler push. kReject (or an expired kBlock deadline) records the
+  /// rejection and throws AdmissionRejectedError; kBlock waits on
+  /// admission_cv_. Caller holds job_mu_ via `lk`; on throw the lock has
+  /// been released. No-QoS mode returns kQuery without touching state.
+  qos::Priority admit_queued(std::unique_lock<std::mutex>& lk,
+                             std::string_view tenant);
+  /// QoS admission for a synchronous reduce(): rate limit only (the job
+  /// runs inline on the caller's thread — queue bounds don't apply).
+  void admit_direct(std::string_view tenant);
+  /// Books a rejection (SLO entry + jobs_rejected + registry counters) and
+  /// throws AdmissionRejectedError. `lk` (job_mu_) is released first:
+  /// rejection accounting takes stats_mu_ and the two must never nest.
+  [[noreturn]] void reject_job(std::unique_lock<std::mutex>& lk,
+                               std::string_view tenant,
+                               qos::RejectReason reason);
+  /// Refreshes the queue-depth gauges (total + per-class). Caller holds
+  /// job_mu_.
+  void refresh_queue_gauges();
   /// One fan-out/join pass: a task per shard with chunks, stats merged into
   /// `report.per_shard`. Returns one exception slot per shard (null =
   /// succeeded or inactive). `pass` salts the per-task loss streams so a
@@ -471,11 +518,26 @@ class AggregationService {
   // Bounded job-runner pool (submitted jobs' control loops). Kept separate
   // from the shard workers because a job's control loop BLOCKS on its
   // shard tasks — running it on a shard worker could deadlock the shard
-  // work it waits for.
+  // work it waits for. Queued submissions live in the weighted-deficit
+  // class scheduler (replacing the old single FIFO deque): with QoS off
+  // every job lands in one class and pickup degenerates to exact FIFO;
+  // with QoS on, runners drain classes by priority with per-cycle credits
+  // so training overtakes queued telemetry without starving it.
+  struct QueuedJob {
+    std::packaged_task<JobReport()> task;
+    std::string tenant;
+  };
   std::vector<std::thread> job_pool_;
-  std::deque<std::packaged_task<JobReport()>> job_tasks_;
-  std::mutex job_mu_;
+  qos::WeightedScheduler<QueuedJob> job_sched_;
+  /// Admission books (token buckets + per-tenant queued counts), guarded
+  /// by job_mu_ like the scheduler it gates.
+  qos::AdmissionControl admission_;
+  bool qos_enabled_ = false;
+  mutable std::mutex job_mu_;  ///< mutable: const snapshot accessors lock it
   std::condition_variable job_cv_;
+  /// kBlock backpressure: blocked submitters wait here; runners notify
+  /// after every dequeue (queue space freed).
+  std::condition_variable admission_cv_;
   bool stopping_jobs_ = false;
   std::atomic<std::uint64_t> running_jobs_{0};
   std::atomic<std::uint64_t> peak_jobs_{0};
@@ -497,7 +559,20 @@ class AggregationService {
   telemetry::Counter* m_shard_deaths_ = nullptr;
   telemetry::Counter* m_rerouted_ = nullptr;
   telemetry::Counter* m_retries_ = nullptr;
-  telemetry::Counter* m_jobs_[2] = {};  ///< [0]=completed, [1]=failed
+  telemetry::Counter* m_jobs_[3] = {};  ///< [0]=completed [1]=failed [2]=rejected
+  /// QoS scheduler/admission series, indexed by Priority:
+  /// qos_admission_queue_depth gauges, qos_jobs_admitted_total and
+  /// qos_sched_picks_total counters.
+  telemetry::Gauge* m_qos_class_depth_[qos::kNumPriorities] = {};
+  telemetry::Counter* m_qos_admitted_[qos::kNumPriorities] = {};
+  telemetry::Counter* m_qos_picks_[qos::kNumPriorities] = {};
+  /// qos_jobs_rejected_total by reason: [0]=rate_limit [1]=queue_full
+  /// [2]=deadline.
+  telemetry::Counter* m_qos_rejects_[3] = {};
+  /// Per-shard mailbox counters as gauges (enqueued / wakeups / spurious),
+  /// refreshed after every pass join under kWorkers dispatch — the PR 8
+  /// mailbox_stats() surface, now scrapeable like every other layer.
+  std::vector<std::array<telemetry::Gauge*, 3>> m_mailbox_;
   /// Fault-recovery events: [0]=epoch_bumps, [1]=workers_declared_dead,
   /// [2]=waves_replayed (cluster_fault_* counters; wire-level rejections
   /// are counted by the switch's own fpisa_switch_* counters).
@@ -531,6 +606,7 @@ class AggregationService {
   switchml::SessionStats fabric_stats_;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;
+  std::uint64_t jobs_rejected_ = 0;
   std::uint64_t next_job_id_ = 0;
 };
 

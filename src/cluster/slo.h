@@ -19,6 +19,11 @@ struct TenantSlo {
   std::uint64_t jobs_failed = 0;
   /// Completed jobs that needed at least one failover retry pass.
   std::uint64_t jobs_failed_over = 0;
+  /// Jobs turned away at admission (rate limit / queue bound / deadline).
+  /// Distinct from jobs_failed: a rejected job never ran, sent no packets
+  /// and books no wall time — mixing the two would corrupt the
+  /// failed-vs-cumulative invariant the fabric accounting tests pin.
+  std::uint64_t jobs_rejected = 0;
   double p50_wall_s = 0.0;  ///< over completed jobs' wall times
   double p99_wall_s = 0.0;
 };
@@ -36,6 +41,10 @@ class SloAccumulator {
     if (failed_over) ++slo_.jobs_failed_over;
     wall_.add(wall_s);
   }
+
+  /// Admission rejection: its own book entry — never jobs_failed, and no
+  /// wall sample (the job never ran).
+  void record_rejected() { ++slo_.jobs_rejected; }
 
   TenantSlo snapshot() const {
     TenantSlo s = slo_;

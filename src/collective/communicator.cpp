@@ -402,6 +402,9 @@ std::unique_ptr<Communicator> make_communicator(
     case Backend::kCluster: {
       cluster::ClusterOptions cl = opts.cluster;
       if (opts.fault.enabled) cl.fault = opts.fault;
+      // Same idiom as the fault surface: the top-level QoS options win when
+      // enabled; otherwise whatever the caller put on cluster.qos stands.
+      if (opts.qos.enabled) cl.qos = opts.qos;
       auto c = std::make_unique<ClusterCommunicator>(std::move(cl));
       c->set_fault_options(opts.fault);
       return c;

@@ -29,6 +29,7 @@
 #include "cluster/aggregation_service.h"
 #include "cluster/hierarchy.h"
 #include "cluster/slo.h"
+#include "qos/qos.h"
 #include "switchml/aggregator.h"
 #include "switchml/session.h"
 #include "telemetry/metrics.h"
@@ -170,6 +171,15 @@ class Communicator {
   /// always averages over the *survivors* of the job.
   void set_fault_options(const fault::FaultOptions& fault) { fault_ = fault; }
   const fault::FaultOptions& fault_options() const { return fault_; }
+
+  /// Admission/QoS configuration in effect on this communicator's
+  /// substrate, or null when the backend has no admission plane (host /
+  /// switch / tree run the caller's jobs unconditionally). On the cluster
+  /// backend, submissions can throw qos::AdmissionRejectedError (or block
+  /// up to the tenant's deadline under kBlock) once
+  /// CommunicatorOptions::qos.enabled is set; per-tenant SLO books then
+  /// carry a distinct jobs_rejected entry.
+  virtual const qos::QosOptions* qos_options() const { return nullptr; }
 
  protected:
   /// Backend hook: sum `workers` into `out` and report the job's stats.
@@ -339,6 +349,11 @@ class ClusterCommunicator final : public Communicator {
   JobHandle submit(const WorkerViews& workers, std::span<float> out,
                    ReduceOp op = ReduceOp::kSum,
                    std::string_view tenant = {}) override;
+  /// The service's live QoS surface (enabled or not — callers check
+  /// .enabled). Admission throws/blocks per tenant config on this backend.
+  const qos::QosOptions* qos_options() const override {
+    return &service_.options().qos;
+  }
   cluster::AggregationService& service() { return service_; }
 
  protected:
@@ -396,6 +411,10 @@ struct CommunicatorOptions {
   /// it into session.fault / cluster.fault (wire backends) and installs it
   /// on the communicator (worker-death handling + survivor-aware kMean).
   fault::FaultOptions fault;
+  /// One admission/QoS surface: when enabled, the factory copies it into
+  /// cluster.qos (the only backend with a job queue to schedule). Other
+  /// backends ignore it — their qos_options() stays null.
+  qos::QosOptions qos;
 };
 
 std::unique_ptr<Communicator> make_communicator(

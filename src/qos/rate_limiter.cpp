@@ -1,0 +1,79 @@
+#include "qos/rate_limiter.h"
+
+#include <cmath>
+#include <limits>
+
+namespace fpisa::qos {
+
+TokenBucket::TokenBucket(double rate_jobs_per_s, std::uint32_t burst_jobs,
+                         std::uint64_t now_ns)
+    : last_ns_(now_ns) {
+  if (rate_jobs_per_s > 0.0) {
+    // jobs/s -> nanotokens/ns is numerically the same factor, so the
+    // Q32 rate is just rate * 2^32, rounded once at construction.
+    const double fp = rate_jobs_per_s * 4294967296.0;  // 2^32
+    rate_fp_ = fp >= static_cast<double>(std::numeric_limits<std::uint64_t>::max())
+                   ? std::numeric_limits<std::uint64_t>::max()
+                   : static_cast<std::uint64_t>(std::llround(fp));
+    if (rate_fp_ == 0) rate_fp_ = 1;  // don't let tiny rates round to "unlimited"
+    if (burst_jobs == 0) burst_jobs = 1;
+    capacity_nt_ = static_cast<std::uint64_t>(burst_jobs) * kNanotokensPerJob;
+    nanotokens_ = capacity_nt_;  // start full: the first burst is free
+  }
+}
+
+void TokenBucket::refill(std::uint64_t now_ns) {
+  if (rate_fp_ == 0 || now_ns <= last_ns_) return;
+  const std::uint64_t elapsed = now_ns - last_ns_;
+  last_ns_ = now_ns;
+  // 128-bit product keeps the math exact for any realistic elapsed
+  // interval; the Q32 fractional part carries to the next refill so
+  // nothing is ever lost to truncation.
+  const __uint128_t acc =
+      static_cast<__uint128_t>(elapsed) * rate_fp_ + frac_;
+  const std::uint64_t whole = static_cast<std::uint64_t>(acc >> 32);
+  frac_ = static_cast<std::uint64_t>(acc & 0xffffffffull);
+  nanotokens_ += whole;
+  if (nanotokens_ >= capacity_nt_) {
+    nanotokens_ = capacity_nt_;
+    frac_ = 0;  // a full bucket holds no partial progress
+  }
+}
+
+bool TokenBucket::try_acquire(std::uint32_t jobs, std::uint64_t now_ns) {
+  if (rate_fp_ == 0) return true;
+  refill(now_ns);
+  const std::uint64_t need =
+      static_cast<std::uint64_t>(jobs) * kNanotokensPerJob;
+  if (nanotokens_ < need) return false;
+  nanotokens_ -= need;
+  return true;
+}
+
+std::uint64_t TokenBucket::ns_until_available(std::uint32_t jobs,
+                                              std::uint64_t now_ns) const {
+  if (rate_fp_ == 0) return 0;
+  const std::uint64_t need =
+      static_cast<std::uint64_t>(jobs) * kNanotokensPerJob;
+  if (need > capacity_nt_) return std::numeric_limits<std::uint64_t>::max();
+  // Project the refill that try_acquire would do at now_ns, then invert
+  // the rate for the remaining deficit (ceiling division in Q32).
+  std::uint64_t have = nanotokens_;
+  std::uint64_t frac = frac_;
+  if (now_ns > last_ns_) {
+    const __uint128_t acc =
+        static_cast<__uint128_t>(now_ns - last_ns_) * rate_fp_ + frac;
+    have += static_cast<std::uint64_t>(acc >> 32);
+    frac = static_cast<std::uint64_t>(acc & 0xffffffffull);
+    if (have >= capacity_nt_) {
+      have = capacity_nt_;
+      frac = 0;
+    }
+  }
+  if (have >= need) return 0;
+  const __uint128_t deficit =
+      (static_cast<__uint128_t>(need - have) << 32) - frac;
+  return static_cast<std::uint64_t>((deficit + rate_fp_ - 1) / rate_fp_);
+}
+
+}  // namespace fpisa::qos

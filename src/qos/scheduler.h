@@ -1,0 +1,89 @@
+// Weighted-deficit class scheduler for the job-runner pool.
+//
+// Replaces the PR 8 FIFO pickup: jobs land in one FIFO per Priority
+// class and runners pop through this scheduler instead of the front of
+// a single deque. Each class carries a credit counter refreshed to its
+// configured weight once per cycle; a pop scans classes in priority
+// order and takes the first non-empty class with credit remaining.
+// The two properties the tests pin:
+//
+//   * Overtaking — within a cycle, a queued training job is picked
+//     before queued query/telemetry jobs regardless of arrival order.
+//   * Starvation-freedom — once the high classes exhaust their cycle
+//     credits, lower classes are guaranteed their weight's worth of
+//     picks before the cycle refreshes, so sustained high-priority
+//     load can delay but never block a telemetry job (with weights
+//     {8,2,1} a lone telemetry job waits at most 10 picks).
+//
+// Not thread-safe by design: the caller (AggregationService) already
+// serializes queue access under its job mutex, the same discipline as
+// the deque this replaces.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "qos/qos.h"
+
+namespace fpisa::qos {
+
+template <typename Job>
+class WeightedScheduler {
+ public:
+  explicit WeightedScheduler(
+      const std::array<std::uint32_t, kNumPriorities>& weights = {8, 2, 1}) {
+    for (std::size_t c = 0; c < kNumPriorities; ++c) {
+      // A zero weight would starve the class outright; clamp to 1 so
+      // every class always owns at least one pick per cycle.
+      weights_[c] = weights[c] == 0 ? 1u : weights[c];
+      credits_[c] = weights_[c];
+    }
+  }
+
+  void push(Priority p, Job job) {
+    queues_[static_cast<std::size_t>(p)].push_back(std::move(job));
+    ++size_;
+  }
+
+  /// Pop the next job per the weighted-deficit policy. Returns false if
+  /// every queue is empty. On success *picked_class (if non-null) is
+  /// the class the job came from.
+  bool pop(Job& out, Priority* picked_class = nullptr) {
+    if (size_ == 0) return false;
+    for (;;) {
+      for (std::size_t c = 0; c < kNumPriorities; ++c) {
+        if (credits_[c] == 0 || queues_[c].empty()) continue;
+        out = std::move(queues_[c].front());
+        queues_[c].pop_front();
+        --credits_[c];
+        --size_;
+        ++picks_[c];
+        if (picked_class != nullptr) *picked_class = static_cast<Priority>(c);
+        return true;
+      }
+      // Every non-empty class is out of credit: start a new cycle.
+      for (std::size_t c = 0; c < kNumPriorities; ++c) credits_[c] = weights_[c];
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t class_depth(Priority p) const {
+    return queues_[static_cast<std::size_t>(p)].size();
+  }
+  std::uint64_t picks(Priority p) const {
+    return picks_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  std::array<std::deque<Job>, kNumPriorities> queues_;
+  std::array<std::uint32_t, kNumPriorities> weights_{};
+  std::array<std::uint32_t, kNumPriorities> credits_{};
+  std::array<std::uint64_t, kNumPriorities> picks_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace fpisa::qos

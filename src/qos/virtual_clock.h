@@ -1,0 +1,58 @@
+// Clock abstraction behind the QoS admission plane. Token buckets and
+// admission deadlines consume time as plain nanosecond readings, so the
+// whole rate-limiting datapath is a pure function of (config, call
+// sequence, clock readings): tests drive a ManualClock and get
+// seed-reproducible admission decisions; production uses SteadyClock,
+// a monotonic wall source anchored at construction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace fpisa::qos {
+
+/// Nanosecond time source. Implementations must be monotone non-decreasing
+/// and safe to read from any thread.
+class VirtualClock {
+ public:
+  virtual ~VirtualClock() = default;
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// Production clock: std::chrono::steady_clock, rebased to 0 at
+/// construction so readings stay small and comparable across instances.
+class SteadyClock final : public VirtualClock {
+ public:
+  SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+  std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Test clock: time moves only when the test says so, so every token
+/// refill and deadline check is exactly reproducible.
+class ManualClock final : public VirtualClock {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0) : t_(start_ns) {}
+  std::uint64_t now_ns() override {
+    return t_.load(std::memory_order_acquire);
+  }
+  void advance_ns(std::uint64_t delta) {
+    t_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  void advance_s(double seconds) {
+    advance_ns(static_cast<std::uint64_t>(seconds * 1e9));
+  }
+
+ private:
+  std::atomic<std::uint64_t> t_;
+};
+
+}  // namespace fpisa::qos
