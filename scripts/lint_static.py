@@ -1,0 +1,356 @@
+#!/usr/bin/env python3
+"""Project lint pass: concurrency hygiene + naming invariants. Stdlib only.
+
+Usage:
+    lint_static.py [--repo DIR]   lint the repo; exit 0 clean, 1 on findings
+    lint_static.py --self-test    prove the linter catches its seeded bad
+                                  corpus and passes the good one; exit 0
+                                  iff the linter itself behaves
+    lint_static.py --demo-bad     lint only the seeded bad corpus as if it
+                                  were a repo; exits nonzero (the CI leg
+                                  runs this inverted to pin that a dirty
+                                  tree actually fails)
+
+Rules:
+
+  R1 raw-sync   No naked std::mutex / condition_variable / lock_guard /
+                unique_lock / scoped_lock outside the sync layer
+                (src/util/ordered_mutex.h). Service code must use
+                util::OrderedMutex + util::LockGuard/UniqueLock so every
+                acquisition carries a lock rank and a thread-safety
+                capability. std::condition_variable_any and std::once_flag
+                stay legal: both work through the annotated wrappers.
+
+  R2 datapath   No rand() / std::random_device / system_clock / getenv in
+                src/. Datapath randomness must route through util::Rng
+                (seeded, replayable) and timing through steady_clock;
+                tests and scripts are exempt (chaos soak reads its knobs
+                from the environment by design).
+
+  R3 series     Every metric name passed to .counter()/.gauge()/
+                .histogram() in src/ must be a string literal AND appear
+                in src/telemetry/series_catalog.h; every catalog entry
+                must be registered somewhere. Scrape spans lines: a
+                registration with the literal on the continuation line
+                still counts.
+
+  R4 tests      Every tests/test_*.cpp must be registered in
+                CMakeLists.txt, either by name or by a tests/*.cpp glob.
+
+Comments and (for R1/R2) string literals are stripped before matching, so
+prose about std::mutex does not trip the lint.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# C++ text utilities
+
+# One alternation so comment markers inside strings and quotes inside
+# comments cannot confuse each other.
+_TOKEN_RE = re.compile(
+    r'//[^\n]*'
+    r'|/\*.*?\*/'
+    r'|"(?:[^"\\\n]|\\.)*"'
+    r"|'(?:[^'\\\n]|\\.)*'",
+    re.S)
+
+
+def _blank_preserving_newlines(text):
+    return "".join(c if c == "\n" else " " for c in text)
+
+
+def strip_comments(text, strip_strings=False):
+    """Blank out comments (and optionally string/char literals), keeping
+    every byte offset and line number identical to the original."""
+    def repl(m):
+        tok = m.group(0)
+        if tok.startswith("//") or tok.startswith("/*"):
+            return _blank_preserving_newlines(tok)
+        if strip_strings:
+            return tok[0] + " " * (len(tok) - 2) + tok[-1]
+        return tok
+    return _TOKEN_RE.sub(repl, text)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def cpp_files(root, subdirs):
+    out = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith((".cpp", ".h", ".hpp", ".cc")):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+
+RAW_SYNC_RE = re.compile(
+    r'std\s*::\s*('
+    r'mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|'
+    r'shared_mutex|shared_timed_mutex|'
+    r'condition_variable|'          # _any is fine: no \b match on the '_'
+    r'lock_guard|unique_lock|scoped_lock|shared_lock'
+    r')\b')
+
+# (pattern, label) — matched against comment- and string-stripped text.
+DATAPATH_BANS = [
+    (re.compile(r'(?<![\w:.])rand\s*\('), "rand()"),
+    (re.compile(r'(?<![\w:.])srand\s*\('), "srand()"),
+    (re.compile(r'\brandom_device\b'), "std::random_device"),
+    (re.compile(r'\bsystem_clock\b'), "system_clock"),
+    (re.compile(r'(?<![\w:.])getenv\s*\('), "getenv()"),
+]
+
+SERIES_CALL_RE = re.compile(
+    r'\.\s*(counter|gauge|histogram)\s*\(\s*("?)', re.S)
+SERIES_LITERAL_RE = re.compile(
+    r'\.\s*(counter|gauge|histogram)\s*\(\s*"([A-Za-z0-9_:]+)"', re.S)
+CATALOG_NAME_RE = re.compile(r'"([a-z0-9_]+)"')
+
+
+def lint_raw_sync(root, findings, sync_layer):
+    for path in cpp_files(root, ("src", "tests", "bench", "examples")):
+        rel = os.path.relpath(path, root)
+        if rel in sync_layer:
+            continue
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        text = strip_comments(raw, strip_strings=True)
+        for m in RAW_SYNC_RE.finditer(text):
+            findings.append(
+                f"{rel}:{line_of(text, m.start())}: [raw-sync] naked "
+                f"std::{m.group(1)}; use util::OrderedMutex / "
+                f"util::LockGuard / util::UniqueLock (src/util/"
+                f"ordered_mutex.h) so the lock carries a rank")
+
+
+def lint_datapath(root, findings):
+    for path in cpp_files(root, ("src",)):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        text = strip_comments(raw, strip_strings=True)
+        for pat, label in DATAPATH_BANS:
+            for m in pat.finditer(text):
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: [datapath] {label} "
+                    f"in src/; datapaths must stay seeded/replayable "
+                    f"(util::Rng, steady_clock) and env-independent")
+
+
+def load_catalog(root):
+    path = os.path.join(root, "src", "telemetry", "series_catalog.h")
+    if not os.path.exists(path):
+        return path, None
+    with open(path, encoding="utf-8") as f:
+        text = strip_comments(f.read())
+    return path, set(CATALOG_NAME_RE.findall(text))
+
+
+def lint_series(root, findings):
+    cat_path, catalog = load_catalog(root)
+    if catalog is None:
+        findings.append(
+            f"{os.path.relpath(cat_path, root)}: [series] catalog header "
+            f"missing; every metric series name must be indexed there")
+        return
+    registered = {}
+    for path in cpp_files(root, ("src",)):
+        rel = os.path.relpath(path, root)
+        if rel.replace(os.sep, "/") == "src/telemetry/series_catalog.h":
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        literal_starts = {m.start() for m in SERIES_LITERAL_RE.finditer(text)}
+        for m in SERIES_CALL_RE.finditer(text):
+            if m.start() not in literal_starts:
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: [series] "
+                    f".{m.group(1)}() call whose name is not a string "
+                    f"literal; dynamic names dodge the catalog cross-check")
+        for m in SERIES_LITERAL_RE.finditer(text):
+            name = m.group(2)
+            registered.setdefault(name, f"{rel}:{line_of(text, m.start())}")
+            if name not in catalog:
+                findings.append(
+                    f"{rel}:{line_of(text, m.start())}: [series] series "
+                    f"'{name}' not in src/telemetry/series_catalog.h; "
+                    f"add it there or fix the drifted name")
+    for name in sorted(catalog - set(registered)):
+        findings.append(
+            f"src/telemetry/series_catalog.h: [series] catalog entry "
+            f"'{name}' is registered nowhere in src/; dead entries hide "
+            f"real drift")
+
+
+def lint_tests_registered(root, findings):
+    cml = os.path.join(root, "CMakeLists.txt")
+    if not os.path.exists(cml):
+        findings.append("CMakeLists.txt: [tests] missing")
+        return
+    with open(cml, encoding="utf-8") as f:
+        cmake = f.read()
+    # file(GLOB ... tests/*.cpp) registers everything in one shot.
+    has_glob = re.search(
+        r'file\s*\(\s*GLOB[^)]*tests/\*\.cpp', cmake, re.S) is not None
+    tests_dir = os.path.join(root, "tests")
+    if not os.path.isdir(tests_dir):
+        return
+    for name in sorted(os.listdir(tests_dir)):
+        if not (name.startswith("test_") and name.endswith(".cpp")):
+            continue
+        if has_glob or name in cmake or name[:-len(".cpp")] in cmake:
+            continue
+        findings.append(
+            f"tests/{name}: [tests] not registered in CMakeLists.txt "
+            f"(no glob and no mention); it will never run in CI")
+
+
+SYNC_LAYER = (
+    "src/util/ordered_mutex.h",
+    # The sync layer's own test: layout static_asserts against std::mutex.
+    "tests/test_ordered_mutex.cpp",
+)
+
+
+def lint_repo(root, sync_layer=SYNC_LAYER):
+    findings = []
+    lint_raw_sync(root, findings, set(sync_layer))
+    lint_datapath(root, findings)
+    lint_series(root, findings)
+    lint_tests_registered(root, findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test corpus: tiny repos seeded in a temp dir.
+
+GOOD_FILES = {
+    "CMakeLists.txt": 'file(GLOB FPISA_TEST_SOURCES CONFIGURE_DEPENDS '
+                      'tests/*.cpp)\n',
+    "src/telemetry/series_catalog.h":
+        'inline constexpr std::string_view kOk = "demo_ops_total";\n',
+    "src/good.cpp": (
+        '// Comment mentioning std::mutex and rand() is fine.\n'
+        'const char* s = "std::mutex in a string is fine too";\n'
+        'util::OrderedMutex mu{util::lock_rank::kStats};\n'
+        'std::condition_variable_any cv;  // _any is legal\n'
+        'auto& c = reg.counter(\n'
+        '    "demo_ops_total", "ops", {});\n'),
+    "tests/test_good.cpp": "// registered via the glob\n",
+}
+
+BAD_FILES = {
+    "CMakeLists.txt": 'add_executable(test_registered '
+                      'tests/test_registered.cpp)\n',
+    "src/telemetry/series_catalog.h":
+        'inline constexpr std::string_view kGhost = "ghost_series_total";\n',
+    "src/bad_sync.cpp": 'static std::mutex naked_mu;\n'
+                        'std::lock_guard<std::mutex> lk(naked_mu);\n',
+    "src/bad_datapath.cpp": (
+        'int jitter = rand() % 7;\n'
+        'std::random_device rd;\n'
+        'auto t = std::chrono::system_clock::now();\n'
+        'const char* knob = getenv("FPISA_KNOB");\n'),
+    "src/bad_series.cpp": (
+        'auto& c = reg.counter("undeclared_series_total", "x", {});\n'
+        'auto& g = reg.gauge(dynamic_name, "x", {});\n'),
+    "tests/test_registered.cpp": "// fine\n",
+    "tests/test_orphan.cpp": "// never added to CMakeLists\n",
+}
+
+# Every rule tag the bad corpus must trip, with a substring that pins the
+# specific finding (not just "something failed").
+BAD_EXPECT = [
+    "bad_sync.cpp:1: [raw-sync] naked std::mutex",
+    "bad_sync.cpp:2: [raw-sync] naked std::lock_guard",
+    "bad_datapath.cpp:1: [datapath] rand()",
+    "bad_datapath.cpp:2: [datapath] std::random_device",
+    "bad_datapath.cpp:3: [datapath] system_clock",
+    "bad_datapath.cpp:4: [datapath] getenv()",
+    "bad_series.cpp:1: [series] series 'undeclared_series_total'",
+    "bad_series.cpp:2: [series] .gauge() call whose name is not a string",
+    "catalog entry 'ghost_series_total' is registered nowhere",
+    "tests/test_orphan.cpp: [tests] not registered",
+]
+
+
+def seed_corpus(root, files):
+    for rel, content in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+
+def self_test():
+    import tempfile
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        good = os.path.join(tmp, "good")
+        seed_corpus(good, GOOD_FILES)
+        findings = lint_repo(good, sync_layer=())
+        if findings:
+            ok = False
+            print("self-test: good corpus should lint clean but got:")
+            for f in findings:
+                print(f"  - {f}")
+        bad = os.path.join(tmp, "bad")
+        seed_corpus(bad, BAD_FILES)
+        findings = lint_repo(bad, sync_layer=())
+        for expect in BAD_EXPECT:
+            if not any(expect in f for f in findings):
+                ok = False
+                print(f"self-test: bad corpus missed expected finding: "
+                      f"{expect!r}")
+        print(f"self-test: good corpus 0 findings, bad corpus "
+              f"{len(findings)} findings, {len(BAD_EXPECT)} expectations "
+              f"{'met' if ok else 'NOT met'}")
+    return 0 if ok else 1
+
+
+def demo_bad():
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        seed_corpus(tmp, BAD_FILES)
+        return report(lint_repo(tmp, sync_layer=()))
+
+
+def report(findings):
+    if findings:
+        print(f"FAIL: {len(findings)} finding(s)")
+        for f in findings:
+            print(f"  - {f}")
+        return 1
+    print("OK: static lint clean (raw-sync, datapath, series, tests)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--self-test", action="store_true")
+    mode.add_argument("--demo-bad", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.demo_bad:
+        return demo_bad()
+    return report(lint_repo(args.repo))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 """Lint the telemetry artifacts the failover demo emits.
 
 Usage:
-    lint_telemetry.py <trace.json> <scrape1.prom> <scrape2.prom>
+    lint_telemetry.py <trace.json> <scrape1.prom> <scrape2.prom> [catalog.h]
 
 Checks, stdlib only (this runs in CI right after the demo):
 
@@ -18,6 +18,10 @@ Checks, stdlib only (this runs in CI right after the demo):
 
   across the two scrapes — counters never move backwards (scrape 2 was
   taken after more jobs ran, so *_total series must be monotone).
+
+  catalog.h (optional) — src/telemetry/series_catalog.h; every scraped
+  metric name (with _bucket/_sum/_count stripped) must be indexed there,
+  so a renamed or ad-hoc series breaks CI instead of forking silently.
 """
 
 import json
@@ -132,14 +136,41 @@ def parse_prom(path):
     return series
 
 
+def lint_catalog(catalog_path, series_maps):
+    """Every scraped metric name must be indexed in the catalog header."""
+    with open(catalog_path, encoding="utf-8") as f:
+        text = f.read()
+    # Drop // and /* */ comments so prose in the header can't satisfy
+    # (or fake) an entry.
+    text = re.sub(r'//[^\n]*|/\*.*?\*/', '', text, flags=re.S)
+    catalog = set(re.findall(r'"([a-z0-9_]+)"', text))
+    if not catalog:
+        err(f"{catalog_path}: no series names found in catalog header")
+        return
+    checked = set()
+    for series in series_maps:
+        for name, _labels in series:
+            base = re.sub(r'_(bucket|sum|count)$', '', name)
+            if base in checked:
+                continue
+            checked.add(base)
+            if base not in catalog:
+                err(f"scraped series '{base}' is not in {catalog_path}; "
+                    f"add it to the catalog or fix the drifted name")
+    print(f"  catalog: {len(checked)} scraped metric names checked "
+          f"against {len(catalog)} catalog entries")
+
+
 def main():
-    if len(sys.argv) != 4:
+    if len(sys.argv) not in (4, 5):
         print(__doc__)
         return 2
     trace_path, prom1, prom2 = sys.argv[1:4]
     lint_trace(trace_path)
     s1 = parse_prom(prom1)
     s2 = parse_prom(prom2)
+    if len(sys.argv) == 5:
+        lint_catalog(sys.argv[4], (s1, s2))
     checked = 0
     for key, v1 in s1.items():
         name = key[0]

@@ -202,7 +202,7 @@ AggregationService::~AggregationService() {
   // shard mailbox with a stop ticket — the workers drain in FIFO order, so
   // nothing a runner posted is lost.
   {
-    std::lock_guard<std::mutex> lk(job_mu_);
+    util::LockGuard lk(job_mu_);
     stopping_jobs_ = true;
   }
   job_cv_.notify_all();
@@ -271,9 +271,10 @@ void AggregationService::job_runner_loop() {
   for (;;) {
     QueuedJob qj;
     {
-      std::unique_lock<std::mutex> lk(job_mu_);
-      job_cv_.wait(lk,
-                   [this] { return stopping_jobs_ || !job_sched_.empty(); });
+      util::UniqueLock lk(job_mu_);
+      job_cv_.wait(lk, [this]() FPISA_REQUIRES(job_mu_) {
+        return stopping_jobs_ || !job_sched_.empty();
+      });
       if (job_sched_.empty()) return;  // stopping and drained
       qos::Priority cls = qos::Priority::kQuery;
       job_sched_.pop(qj, &cls);
@@ -289,14 +290,19 @@ void AggregationService::job_runner_loop() {
   }
 }
 
-void AggregationService::reject_job(std::unique_lock<std::mutex>& lk,
+// The declaration's RELEASE(job_mu_)/EXCLUDES(stats_mu_) pair carries the
+// contract to call sites; the body releases job_mu_ through the aliased
+// `lk`, which the static analysis cannot connect — the shared lock rank
+// (kJobQueue == kStats) enforces it dynamically instead.
+void AggregationService::reject_job(util::UniqueLock& lk,
                                     std::string_view tenant,
-                                    qos::RejectReason reason) {
+                                    qos::RejectReason reason)
+    FPISA_NO_THREAD_SAFETY_ANALYSIS {
   // Release job_mu_ BEFORE booking: the SLO/outcome books live under
   // stats_mu_ and the two locks must never nest.
   lk.unlock();
   {
-    std::lock_guard<std::mutex> slk(stats_mu_);
+    util::LockGuard slk(stats_mu_);
     ++jobs_rejected_;
     // The tenant's own SLO book gets a jobs_rejected entry — never a
     // jobs_failed one: a rejected job ran no protocol (the PR 5
@@ -309,7 +315,7 @@ void AggregationService::reject_job(std::unique_lock<std::mutex>& lk,
 }
 
 qos::Priority AggregationService::admit_queued(
-    std::unique_lock<std::mutex>& lk, std::string_view tenant) {
+    util::UniqueLock& lk, std::string_view tenant) {
   if (!qos_enabled_) return qos::Priority::kQuery;  // single FIFO class
   qos::AdmissionControl::TenantState& st = admission_.tenant(tenant);
   const qos::TenantQosConfig cfg = st.cfg;
@@ -346,7 +352,7 @@ qos::Priority AggregationService::admit_queued(
 
 void AggregationService::admit_direct(std::string_view tenant) {
   if (!qos_enabled_) return;
-  std::unique_lock<std::mutex> lk(job_mu_);
+  util::UniqueLock lk(job_mu_);
   qos::AdmissionControl::TenantState& st = admission_.tenant(tenant);
   const qos::TenantQosConfig cfg = st.cfg;
   const std::uint64_t deadline =
@@ -377,7 +383,7 @@ std::future<JobReport> AggregationService::enqueue_job(
   std::packaged_task<JobReport()> task(std::move(fn));
   std::future<JobReport> fut = task.get_future();
   {
-    std::unique_lock<std::mutex> lk(job_mu_);
+    util::UniqueLock lk(job_mu_);
     // Admission (token bucket + queue bound) happens at submission, under
     // the same lock as the scheduler push; a rejection throws out of
     // submit() itself — the caller gets typed backpressure, not a future
@@ -393,7 +399,7 @@ std::future<JobReport> AggregationService::enqueue_job(
 bool AggregationService::fire_kill_fault(int shard, FaultPhase phase,
                                          std::size_t wave) {
   if (opts_.failover.faults.empty()) return false;
-  std::lock_guard<std::mutex> lk(fault_mu_);
+  util::LockGuard lk(fault_mu_);
   for (std::size_t i = 0; i < opts_.failover.faults.size(); ++i) {
     const ShardFault& f = opts_.failover.faults[i];
     if (fault_fired_[i] || f.kind != FaultKind::kKill) continue;
@@ -408,7 +414,7 @@ bool AggregationService::fire_kill_fault(int shard, FaultPhase phase,
 bool AggregationService::peek_kill_fault(int shard, FaultPhase phase,
                                          std::size_t wave) const {
   if (opts_.failover.faults.empty()) return false;
-  std::lock_guard<std::mutex> lk(fault_mu_);
+  util::LockGuard lk(fault_mu_);
   for (std::size_t i = 0; i < opts_.failover.faults.size(); ++i) {
     const ShardFault& f = opts_.failover.faults[i];
     if (fault_fired_[i] || f.kind != FaultKind::kKill) continue;
@@ -466,7 +472,7 @@ bool AggregationService::queue_add(std::uint16_t slot, std::uint8_t worker,
 
 void AggregationService::flush_wave(Shard& shard, PacketQueue& q) {
   if (!q.empty()) {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    util::LockGuard lk(shard.mu);
     shard.sw.add_batch(q.slots, q.workers, q.values);
   }
   q.clear();
@@ -512,7 +518,7 @@ void AggregationService::flush_wave_guarded(Shard& shard,
   if (engine.pending() != 0) {
     pisa::FpisaSwitch::GuardStats guard;
     {
-      std::lock_guard<std::mutex> lk(shard.mu);
+      util::LockGuard lk(shard.mu);
       shard.sw.add_batch_guarded(engine.slots(), engine.workers(),
                                  engine.stamps(), engine.checksums(),
                                  engine.values(), guard);
@@ -526,7 +532,7 @@ void AggregationService::flush_wave_guarded(Shard& shard,
 void AggregationService::resync_shard_stamps(Shard& shard,
                                              const SlotRange& range,
                                              WaveScratch& scratch) {
-  std::lock_guard<std::mutex> lk(shard.mu);
+  util::LockGuard lk(shard.mu);
   scratch.stamps.resize(range.size());
   for (std::size_t k = 0; k < range.size(); ++k) {
     scratch.stamps[k] =
@@ -556,7 +562,7 @@ void AggregationService::recover_shard_wave(
   for (;;) {
     bool mismatch;
     {
-      std::lock_guard<std::mutex> lk(shard.mu);
+      util::LockGuard lk(shard.mu);
       mismatch = shard.sw.generation() != scratch.mirror_generation;
     }
     if (!mismatch) break;
@@ -598,7 +604,7 @@ void AggregationService::recover_shard_wave(
     }
     if (!scratch.pkts.empty()) {
       pisa::FpisaSwitch::GuardStats guard;
-      std::lock_guard<std::mutex> lk(shard.mu);
+      util::LockGuard lk(shard.mu);
       shard.sw.add_batch_guarded(scratch.pkts.slots, scratch.pkts.workers,
                                  scratch.replay_stamps,
                                  scratch.replay_checksums,
@@ -622,7 +628,7 @@ void AggregationService::recover_shard_wave(
   }
   scratch.bitmaps.assign(wave_n, 0);
   {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    util::LockGuard lk(shard.mu);
     shard.sw.read_batch(static_cast<std::uint16_t>(range.lo), wave_n,
                         {scratch.wave_values.data(), wave_n * lanes},
                         scratch.bitmaps);
@@ -667,7 +673,7 @@ void AggregationService::apply_collect(
   // read-then-reset order; a failed slot and everything after it stay
   // untouched, as they would per-packet).
   {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    util::LockGuard lk(shard.mu);
     shard.sw.read_and_reset_batch(
         static_cast<std::uint16_t>(range.lo), sched.cleared,
         {scratch.wave_values.data(), sched.cleared * lanes});
@@ -696,7 +702,7 @@ void AggregationService::apply_collect(
 }
 
 void AggregationService::scrub_range(Shard& shard, const SlotRange& range) {
-  std::lock_guard<std::mutex> lk(shard.mu);
+  util::LockGuard lk(shard.mu);
   for (std::size_t s = range.lo; s < range.hi; ++s) {
     (void)shard.sw.read_and_reset(static_cast<std::uint16_t>(s));
   }
@@ -839,7 +845,7 @@ void AggregationService::run_shard_chunks(
       // generation disagrees with the mirror, and probe the wave's dedup
       // bitmaps for a worker that reached no slot at all.
       if (engine->should_wipe(wave_index)) {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        util::LockGuard lk(shard.mu);
         shard.sw.wipe_state();
       }
       recover_shard_wave(shard_idx, shard, range, chunks, workers, base,
@@ -854,7 +860,7 @@ void AggregationService::run_shard_chunks(
       // clean before the range can serve another tenant.
       const std::size_t half = (wave_end - base) / 2;
       {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        util::LockGuard lk(shard.mu);
         shard.sw.read_and_reset_batch(
             static_cast<std::uint16_t>(range.lo), half,
             {scratch.wave_values.data(), half * lanes});
@@ -897,7 +903,7 @@ void AggregationService::run_shard_chunks(
       continue;
     }
     {
-      std::lock_guard<std::mutex> lk(shard.mu);
+      util::LockGuard lk(shard.mu);
       for (std::size_t k = base; k < wave_end; ++k) {
         const std::size_t c = chunks[k];
         const auto slot = static_cast<std::uint16_t>(range.lo + (k - base));
@@ -1116,7 +1122,7 @@ void AggregationService::run_wave_pipeline(
         const auto lanes = static_cast<std::size_t>(opts_.lanes);
         const std::size_t half = (cur.end - cur.base) / 2;
         {
-          std::lock_guard<std::mutex> lk(shard.mu);
+          util::LockGuard lk(shard.mu);
           shard.sw.read_and_reset_batch(
               static_cast<std::uint16_t>(range.lo), half,
               {scratch.wave_values.data(), half * lanes});
@@ -1323,7 +1329,7 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
   report.per_shard.assign(static_cast<std::size_t>(opts_.num_shards), {});
   std::fill(out.begin(), out.end(), 0.0f);
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    util::LockGuard lk(stats_mu_);
     report.job_id = next_job_id_++;
   }
   if (trace) {
@@ -1357,7 +1363,7 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     const std::vector<int> alive = health_.alive_shards();
     if (alive.empty()) {
       {
-        std::lock_guard<std::mutex> lk(stats_mu_);
+        util::LockGuard lk(stats_mu_);
         ++jobs_failed_;
         // The tenant's SLO book must agree with the service-level counter.
         tenant_account_locked(job.tenant)
@@ -1397,7 +1403,7 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
   std::vector<SlotRange> ranges(shards_.size());
   const auto acquire_ranges =
       [this, &ranges](const std::vector<std::vector<std::size_t>>& want) {
-        std::unique_lock<std::mutex> lk(alloc_mu_);
+        util::UniqueLock lk(alloc_mu_);
         for (std::size_t s = 0; s < shards_.size(); ++s) {
           if (want[s].empty()) continue;
           for (;;) {
@@ -1527,7 +1533,7 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
       }
       ++failover_delta.faults.epoch_bumps;
       {
-        std::lock_guard<std::mutex> lk(alloc_mu_);
+        util::LockGuard lk(alloc_mu_);
         for (std::size_t s = 0; s < shards_.size(); ++s) {
           if (!ranges[s].empty()) shards_[s]->slots.release(ranges[s]);
           ranges[s] = SlotRange{};
@@ -1593,7 +1599,7 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     // waiting on the allocator while holding nothing cannot deadlock with
     // other tenants, and the freed slots let their jobs make progress.
     {
-      std::lock_guard<std::mutex> lk(alloc_mu_);
+      util::LockGuard lk(alloc_mu_);
       for (std::size_t s = 0; s < shards_.size(); ++s) {
         if (!ranges[s].empty()) shards_[s]->slots.release(ranges[s]);
         ranges[s] = SlotRange{};
@@ -1621,7 +1627,7 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
     }
   }
   {
-    std::lock_guard<std::mutex> lk(alloc_mu_);
+    util::LockGuard lk(alloc_mu_);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (!ranges[s].empty()) shards_[s]->slots.release(ranges[s]);
     }
@@ -1635,7 +1641,7 @@ void AggregationService::run_job(const JobView& job, std::span<float> out,
   const telemetry::Trace::SpanId merge_span =
       trace ? trace->begin("merge", job_span) : telemetry::Trace::kNone;
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    util::LockGuard lk(stats_mu_);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       shards_[s]->stats += report.per_shard[s];
       report.stats += report.per_shard[s];
@@ -1733,12 +1739,12 @@ AggregationService::TenantAccount& AggregationService::tenant_account_locked(
 switchml::SessionStats AggregationService::shard_stats(int shard) const {
   // Lock order stats_mu_ -> shard.mu is safe: no path takes them reversed.
   Shard& sh = *shards_[static_cast<std::size_t>(shard)];
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  util::LockGuard lk(stats_mu_);
   switchml::SessionStats out = sh.stats;
   {
     // The shard switch's kernel op counters (§5.2.1 taxonomy) are owned by
     // the switch itself — fold them in so per-shard books carry them.
-    std::lock_guard<std::mutex> swlk(sh.mu);
+    util::LockGuard swlk(sh.mu);
     out.ops = sh.sw.op_counters();
   }
   return out;
@@ -1746,31 +1752,31 @@ switchml::SessionStats AggregationService::shard_stats(int shard) const {
 
 switchml::SessionStats AggregationService::tenant_stats(
     std::string_view tenant) const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  util::LockGuard lk(stats_mu_);
   const auto it = tenant_stats_.find(tenant);
   return it == tenant_stats_.end() ? switchml::SessionStats{}
                                    : it->second.stats;
 }
 
 TenantSlo AggregationService::tenant_slo(std::string_view tenant) const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  util::LockGuard lk(stats_mu_);
   const auto it = tenant_stats_.find(tenant);
   return it == tenant_stats_.end() ? TenantSlo{} : it->second.slo.snapshot();
 }
 
 switchml::SessionStats AggregationService::total_stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  util::LockGuard lk(stats_mu_);
   switchml::SessionStats total = fabric_stats_;
   for (const auto& s : shards_) {
     total += s->stats;
-    std::lock_guard<std::mutex> swlk(s->mu);
+    util::LockGuard swlk(s->mu);
     total.ops += s->sw.op_counters();
   }
   return total;
 }
 
 std::vector<std::string> AggregationService::tenants() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  util::LockGuard lk(stats_mu_);
   std::vector<std::string> out;
   out.reserve(tenant_stats_.size());
   for (const auto& [name, account] : tenant_stats_) out.push_back(name);
@@ -1778,29 +1784,29 @@ std::vector<std::string> AggregationService::tenants() const {
 }
 
 std::uint64_t AggregationService::jobs_completed() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  util::LockGuard lk(stats_mu_);
   return jobs_completed_;
 }
 
 std::uint64_t AggregationService::jobs_failed() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  util::LockGuard lk(stats_mu_);
   return jobs_failed_;
 }
 
 std::uint64_t AggregationService::jobs_rejected() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  util::LockGuard lk(stats_mu_);
   return jobs_rejected_;
 }
 
 std::size_t AggregationService::tenant_queue_depth(
     std::string_view tenant) const {
-  std::lock_guard<std::mutex> lk(job_mu_);
+  util::LockGuard lk(job_mu_);
   const qos::AdmissionControl::TenantState* st = admission_.find(tenant);
   return st == nullptr ? 0 : st->queued;
 }
 
 std::uint64_t AggregationService::class_picks(qos::Priority p) const {
-  std::lock_guard<std::mutex> lk(job_mu_);
+  util::LockGuard lk(job_mu_);
   return job_sched_.picks(p);
 }
 

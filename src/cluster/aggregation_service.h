@@ -20,7 +20,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -39,6 +38,8 @@
 #include "switchml/session.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "util/ordered_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fpisa::cluster {
 
@@ -181,22 +182,29 @@ class AggregationService {
   /// Cumulative protocol stats across all jobs (completed AND failed —
   /// failed jobs' packets crossed the wire too, so packet accounting always
   /// matches the fabric; job outcomes are counted separately below).
-  switchml::SessionStats shard_stats(int shard) const;
+  /// The const snapshot accessors below lock stats_mu_ (and the
+  /// queue-depth probes job_mu_); the FPISA_EXCLUDES annotations pin the
+  /// PR 9 reject-path rule — accounting paths may hold at most one of
+  /// job_mu_/stats_mu_ — at compile time on the clang CI leg.
+  switchml::SessionStats shard_stats(int shard) const
+      FPISA_EXCLUDES(stats_mu_);
   /// Heterogeneous lookup: string_view / literals hit the map without a
   /// temporary std::string.
-  switchml::SessionStats tenant_stats(std::string_view tenant) const;
-  switchml::SessionStats total_stats() const;
-  std::vector<std::string> tenants() const;
-  std::uint64_t jobs_completed() const;
-  std::uint64_t jobs_failed() const;
+  switchml::SessionStats tenant_stats(std::string_view tenant) const
+      FPISA_EXCLUDES(stats_mu_);
+  switchml::SessionStats total_stats() const FPISA_EXCLUDES(stats_mu_);
+  std::vector<std::string> tenants() const FPISA_EXCLUDES(stats_mu_);
+  std::uint64_t jobs_completed() const FPISA_EXCLUDES(stats_mu_);
+  std::uint64_t jobs_failed() const FPISA_EXCLUDES(stats_mu_);
   /// Jobs turned away at admission (QoS only; never counted as failed —
   /// a rejected job ran no protocol and sent no packets).
-  std::uint64_t jobs_rejected() const;
+  std::uint64_t jobs_rejected() const FPISA_EXCLUDES(stats_mu_);
 
   /// Per-tenant SLO snapshot: job outcome counts (completed / failed /
   /// completed-only-via-failover) and p50/p99 job wall time from a small
   /// reservoir.
-  TenantSlo tenant_slo(std::string_view tenant) const;
+  TenantSlo tenant_slo(std::string_view tenant) const
+      FPISA_EXCLUDES(stats_mu_);
 
   /// Shard liveness (consecutive-failure tracking, deaths).
   const ShardHealth& health() const { return health_; }
@@ -253,10 +261,12 @@ class AggregationService {
   /// QoS admission snapshot for one tenant: jobs currently queued
   /// (admitted, not yet picked up) — 0 when QoS is off or the tenant is
   /// unknown.
-  std::size_t tenant_queue_depth(std::string_view tenant) const;
+  std::size_t tenant_queue_depth(std::string_view tenant) const
+      FPISA_EXCLUDES(job_mu_, stats_mu_);
   /// Scheduler pickup count per class (how many queued jobs each Priority
   /// class has had dequeued). All zero when QoS is off.
-  std::uint64_t class_picks(qos::Priority p) const;
+  std::uint64_t class_picks(qos::Priority p) const
+      FPISA_EXCLUDES(job_mu_, stats_mu_);
 
  private:
   /// Cache-line-aligned so two shards' hot state (switch, mutex, allocator)
@@ -264,9 +274,11 @@ class AggregationService {
   /// adjacent.
   struct alignas(64) Shard {
     explicit Shard(const ClusterOptions& opts);
-    pisa::FpisaSwitch sw;
-    std::mutex mu;  ///< serializes packet roundtrips through `sw`
-    SlotRangeAllocator slots;
+    pisa::FpisaSwitch sw FPISA_GUARDED_BY(mu);
+    /// Serializes packet roundtrips through `sw`. Rank kShard: legally
+    /// nests under stats_mu_ (shard_stats/total_stats read under both).
+    util::OrderedMutex mu{util::lock_rank::kShard};
+    SlotRangeAllocator slots;      ///< guarded by the service's alloc_mu_
     switchml::SessionStats stats;  ///< cumulative, guarded by stats_mu_
   };
 
@@ -367,20 +379,23 @@ class AggregationService {
   /// rejection and throws AdmissionRejectedError; kBlock waits on
   /// admission_cv_. Caller holds job_mu_ via `lk`; on throw the lock has
   /// been released. No-QoS mode returns kQuery without touching state.
-  qos::Priority admit_queued(std::unique_lock<std::mutex>& lk,
-                             std::string_view tenant);
+  qos::Priority admit_queued(util::UniqueLock& lk, std::string_view tenant)
+      FPISA_REQUIRES(job_mu_) FPISA_EXCLUDES(stats_mu_);
   /// QoS admission for a synchronous reduce(): rate limit only (the job
   /// runs inline on the caller's thread — queue bounds don't apply).
-  void admit_direct(std::string_view tenant);
+  void admit_direct(std::string_view tenant)
+      FPISA_EXCLUDES(job_mu_, stats_mu_);
   /// Books a rejection (SLO entry + jobs_rejected + registry counters) and
   /// throws AdmissionRejectedError. `lk` (job_mu_) is released first:
-  /// rejection accounting takes stats_mu_ and the two must never nest.
-  [[noreturn]] void reject_job(std::unique_lock<std::mutex>& lk,
-                               std::string_view tenant,
-                               qos::RejectReason reason);
+  /// rejection accounting takes stats_mu_ and the two must never nest —
+  /// stated by the RELEASE/EXCLUDES pair, enforced dynamically by their
+  /// shared lock rank.
+  [[noreturn]] void reject_job(util::UniqueLock& lk, std::string_view tenant,
+                               qos::RejectReason reason)
+      FPISA_RELEASE(job_mu_) FPISA_EXCLUDES(stats_mu_);
   /// Refreshes the queue-depth gauges (total + per-class). Caller holds
   /// job_mu_.
-  void refresh_queue_gauges();
+  void refresh_queue_gauges() FPISA_REQUIRES(job_mu_);
   /// One fan-out/join pass: a task per shard with chunks, stats merged into
   /// `report.per_shard`. Returns one exception slot per shard (null =
   /// succeeded or inactive). `pass` salts the per-task loss streams so a
@@ -429,11 +444,13 @@ class AggregationService {
                          WaveScratch& scratch, double straggle_ms);
   /// Claims a one-shot kill fault for (shard, phase, wave); true when the
   /// caller should die now (throw ShardDeadError).
-  bool fire_kill_fault(int shard, FaultPhase phase, std::size_t wave);
+  bool fire_kill_fault(int shard, FaultPhase phase, std::size_t wave)
+      FPISA_EXCLUDES(fault_mu_);
   /// Non-claiming probe: does an unfired kill fault target (shard, phase,
   /// wave)? Lets the pipeline's encode stage predict a wave's injected
   /// death without consuming the one-shot claim.
-  bool peek_kill_fault(int shard, FaultPhase phase, std::size_t wave) const;
+  bool peek_kill_fault(int shard, FaultPhase phase, std::size_t wave) const
+      FPISA_EXCLUDES(fault_mu_);
   /// Persistent straggler injection: extra wall time per wave for `shard`.
   double slowdown_ms(int shard) const;
   /// Draws the per-packet loss schedule (identical order to the
@@ -528,25 +545,29 @@ class AggregationService {
     std::string tenant;
   };
   std::vector<std::thread> job_pool_;
-  qos::WeightedScheduler<QueuedJob> job_sched_;
+  /// mutable: const snapshot accessors lock it. Rank kJobQueue == kStats:
+  /// job_mu_ and stats_mu_ must never nest, in either direction.
+  mutable util::OrderedMutex job_mu_{util::lock_rank::kJobQueue};
+  qos::WeightedScheduler<QueuedJob> job_sched_ FPISA_GUARDED_BY(job_mu_);
   /// Admission books (token buckets + per-tenant queued counts), guarded
   /// by job_mu_ like the scheduler it gates.
-  qos::AdmissionControl admission_;
+  qos::AdmissionControl admission_ FPISA_GUARDED_BY(job_mu_);
   bool qos_enabled_ = false;
-  mutable std::mutex job_mu_;  ///< mutable: const snapshot accessors lock it
-  std::condition_variable job_cv_;
+  /// condition_variable_any: waits on util::UniqueLock, so the cv's
+  /// unlock/relock rides the rank checker's bookkeeping.
+  std::condition_variable_any job_cv_;
   /// kBlock backpressure: blocked submitters wait here; runners notify
   /// after every dequeue (queue space freed).
-  std::condition_variable admission_cv_;
-  bool stopping_jobs_ = false;
+  std::condition_variable_any admission_cv_;
+  bool stopping_jobs_ FPISA_GUARDED_BY(job_mu_) = false;
   std::atomic<std::uint64_t> running_jobs_{0};
   std::atomic<std::uint64_t> peak_jobs_{0};
 
   // Slot-range allocation: jobs acquire ranges in ascending shard order
   // (the same order for every job), so concurrent tenants cannot deadlock
   // waiting on each other's ranges.
-  std::mutex alloc_mu_;
-  std::condition_variable alloc_cv_;
+  util::OrderedMutex alloc_mu_{util::lock_rank::kAlloc};
+  std::condition_variable_any alloc_cv_;
 
   // Telemetry: stable registry handles (resolved once at construction) and
   // the optional attached trace. Wave phase time lives ONLY in the
@@ -584,8 +605,9 @@ class AggregationService {
   // Shard liveness + one-shot fault claiming (mutable: the pipeline's
   // const peek probes the table too).
   ShardHealth health_;
-  mutable std::mutex fault_mu_;
-  std::vector<bool> fault_fired_;  ///< parallel to opts_.failover.faults
+  mutable util::OrderedMutex fault_mu_{util::lock_rank::kFaultTable};
+  /// parallel to opts_.failover.faults
+  std::vector<bool> fault_fired_ FPISA_GUARDED_BY(fault_mu_);
 
   // Cumulative accounting. The tenant map uses std::less<> so the
   // zero-copy JobView path (string_view tenants) looks up without
@@ -596,18 +618,22 @@ class AggregationService {
   };
   /// Find-or-create a tenant's books; heterogeneous lookup (a string key
   /// materializes only for a brand-new tenant). Caller holds stats_mu_.
-  TenantAccount& tenant_account_locked(std::string_view tenant);
-  mutable std::mutex stats_mu_;
-  std::map<std::string, TenantAccount, std::less<>> tenant_stats_;
+  TenantAccount& tenant_account_locked(std::string_view tenant)
+      FPISA_REQUIRES(stats_mu_);
+  /// Rank kStats == kJobQueue: never nests with job_mu_. Shard::mu (rank
+  /// kShard) legally nests beneath it.
+  mutable util::OrderedMutex stats_mu_{util::lock_rank::kStats};
+  std::map<std::string, TenantAccount, std::less<>> tenant_stats_
+      FPISA_GUARDED_BY(stats_mu_);
   /// Job-level failover events (shard deaths, re-routed chunks, retry
   /// passes). Fabric events, not any one shard's traffic — kept here so
   /// total_stats() and the per-tenant sums agree on the failover counters
   /// while Shard::stats stays pure per-shard protocol traffic.
-  switchml::SessionStats fabric_stats_;
-  std::uint64_t jobs_completed_ = 0;
-  std::uint64_t jobs_failed_ = 0;
-  std::uint64_t jobs_rejected_ = 0;
-  std::uint64_t next_job_id_ = 0;
+  switchml::SessionStats fabric_stats_ FPISA_GUARDED_BY(stats_mu_);
+  std::uint64_t jobs_completed_ FPISA_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t jobs_failed_ FPISA_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t jobs_rejected_ FPISA_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t next_job_id_ FPISA_GUARDED_BY(stats_mu_) = 0;
 };
 
 /// Modeled wall-clock seconds for a job whose packets are spread over

@@ -13,19 +13,19 @@ ShardHealth::ShardHealth(int num_shards, int max_consecutive_failures)
 }
 
 bool ShardHealth::alive(int shard) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   return shards_[static_cast<std::size_t>(shard)].alive;
 }
 
 int ShardHealth::num_alive() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   int n = 0;
   for (const State& s : shards_) n += s.alive ? 1 : 0;
   return n;
 }
 
 std::vector<int> ShardHealth::alive_shards() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   std::vector<int> out;
   out.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -35,7 +35,7 @@ std::vector<int> ShardHealth::alive_shards() const {
 }
 
 bool ShardHealth::record_failure(int shard) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   State& s = shards_[static_cast<std::size_t>(shard)];
   ++s.total;
   ++s.consecutive;
@@ -47,12 +47,12 @@ bool ShardHealth::record_failure(int shard) {
 }
 
 void ShardHealth::record_success(int shard) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   shards_[static_cast<std::size_t>(shard)].consecutive = 0;
 }
 
 void ShardHealth::mark_dead(int shard) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   State& s = shards_[static_cast<std::size_t>(shard)];
   if (s.alive) {
     s.alive = false;
@@ -61,17 +61,17 @@ void ShardHealth::mark_dead(int shard) {
 }
 
 std::uint64_t ShardHealth::consecutive_failures(int shard) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   return shards_[static_cast<std::size_t>(shard)].consecutive;
 }
 
 std::uint64_t ShardHealth::total_failures(int shard) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   return shards_[static_cast<std::size_t>(shard)].total;
 }
 
 std::uint64_t ShardHealth::deaths() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   return deaths_;
 }
 

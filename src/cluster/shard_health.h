@@ -14,10 +14,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/ordered_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fpisa::cluster {
 
@@ -81,24 +83,27 @@ class ShardHealth {
  public:
   ShardHealth(int num_shards, int max_consecutive_failures);
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
-  bool alive(int shard) const;
-  int num_alive() const;
+  int num_shards() const FPISA_EXCLUDES(mu_) {
+    util::LockGuard lk(mu_);
+    return static_cast<int>(shards_.size());
+  }
+  bool alive(int shard) const FPISA_EXCLUDES(mu_);
+  int num_alive() const FPISA_EXCLUDES(mu_);
   /// Ascending ids of every live shard.
-  std::vector<int> alive_shards() const;
+  std::vector<int> alive_shards() const FPISA_EXCLUDES(mu_);
 
   /// Records one retransmit-exhaustion (or injected-kill) event; the shard
   /// is declared dead once `max_consecutive_failures` accumulate without an
   /// intervening success. Returns true when the shard is dead afterwards.
-  bool record_failure(int shard);
+  bool record_failure(int shard) FPISA_EXCLUDES(mu_);
   /// A completed shard task: resets the consecutive-failure streak.
-  void record_success(int shard);
+  void record_success(int shard) FPISA_EXCLUDES(mu_);
   /// Administrative kill (bench degraded mode, operator drain).
-  void mark_dead(int shard);
+  void mark_dead(int shard) FPISA_EXCLUDES(mu_);
 
-  std::uint64_t consecutive_failures(int shard) const;
-  std::uint64_t total_failures(int shard) const;
-  std::uint64_t deaths() const;
+  std::uint64_t consecutive_failures(int shard) const FPISA_EXCLUDES(mu_);
+  std::uint64_t total_failures(int shard) const FPISA_EXCLUDES(mu_);
+  std::uint64_t deaths() const FPISA_EXCLUDES(mu_);
 
  private:
   struct State {
@@ -106,10 +111,10 @@ class ShardHealth {
     std::uint64_t consecutive = 0;
     std::uint64_t total = 0;
   };
-  mutable std::mutex mu_;
-  std::vector<State> shards_;
+  mutable util::OrderedMutex mu_{util::lock_rank::kHealth};
+  std::vector<State> shards_ FPISA_GUARDED_BY(mu_);
   int threshold_;
-  std::uint64_t deaths_ = 0;
+  std::uint64_t deaths_ FPISA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fpisa::cluster

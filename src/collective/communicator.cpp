@@ -76,9 +76,12 @@ void Communicator::set_trace(telemetry::Trace* trace,
   trace_.store(trace, std::memory_order_release);
 }
 
+// Conditionally locks run_mu_ (single-substrate backends only) through a
+// deferred UniqueLock — a flow the static analysis cannot follow; the
+// rank checker still covers it at runtime in Debug.
 ReduceStats Communicator::run_and_finish(
     std::span<const std::span<const float>> workers, std::span<float> out,
-    ReduceOp op, std::string_view tenant) {
+    ReduceOp op, std::string_view tenant) FPISA_NO_THREAD_SAFETY_ANALYSIS {
   validate(workers, out);
   ensure_metrics();
 
@@ -92,7 +95,7 @@ ReduceStats Communicator::run_and_finish(
   // are not internally synchronized; serialize their jobs so concurrent
   // allreduce calls — or deferred JobHandles waited from several threads —
   // cannot race the substrate.
-  std::unique_lock<std::mutex> lock(run_mu_, std::defer_lock);
+  util::UniqueLock lock(run_mu_, util::kDeferLock);
   if (!substrate_is_thread_safe()) lock.lock();
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -122,7 +125,7 @@ void Communicator::record_slo(std::string_view tenant, double wall_s,
                               bool completed, bool failed_over) {
   if (substrate_keeps_slo()) return;  // tenant_slo() reads the substrate's
   const std::string_view key = tenant.empty() ? "default" : tenant;
-  std::lock_guard<std::mutex> lk(slo_mu_);
+  util::LockGuard lk(slo_mu_);
   auto it = slo_.find(key);
   if (it == slo_.end()) {
     it = slo_.emplace(std::string(key), cluster::SloAccumulator{}).first;
@@ -132,7 +135,7 @@ void Communicator::record_slo(std::string_view tenant, double wall_s,
 
 TenantSlo Communicator::tenant_slo(std::string_view tenant) const {
   const std::string_view key = tenant.empty() ? "default" : tenant;
-  std::lock_guard<std::mutex> lk(slo_mu_);
+  util::LockGuard lk(slo_mu_);
   const auto it = slo_.find(key);
   return it == slo_.end() ? TenantSlo{} : it->second.snapshot();
 }

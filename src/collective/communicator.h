@@ -26,6 +26,9 @@
 #include <string_view>
 #include <vector>
 
+#include "util/ordered_mutex.h"
+#include "util/thread_annotations.h"
+
 #include "cluster/aggregation_service.h"
 #include "cluster/hierarchy.h"
 #include "cluster/slo.h"
@@ -129,7 +132,8 @@ class Communicator {
   /// through it (any backend); substrate-native multi-tenant backends (the
   /// cluster service) override this to report the substrate's own books,
   /// which also cover jobs submitted around the communicator.
-  virtual TenantSlo tenant_slo(std::string_view tenant = {}) const;
+  virtual TenantSlo tenant_slo(std::string_view tenant = {}) const
+      FPISA_EXCLUDES(slo_mu_);
 
   // --- uniform observability surface (identical across all backends) ---
 
@@ -213,7 +217,7 @@ class Communicator {
   /// both outcomes). Empty tenant keys under "default", matching the
   /// cluster backend's naming.
   void record_slo(std::string_view tenant, double wall_s, bool completed,
-                  bool failed_over);
+                  bool failed_over) FPISA_EXCLUDES(slo_mu_);
 
   fault::FaultOptions fault_;  ///< see set_fault_options()
 
@@ -222,9 +226,12 @@ class Communicator {
   /// the base constructor). Safe to call concurrently and from const paths.
   void ensure_metrics() const;
 
-  std::mutex run_mu_;  ///< serializes run() for single-substrate backends
-  mutable std::mutex slo_mu_;
-  std::map<std::string, cluster::SloAccumulator, std::less<>> slo_;
+  /// Serializes run() for single-substrate backends. Outermost rank in the
+  /// lock table: a job may take every service/telemetry lock beneath it.
+  util::OrderedMutex run_mu_{util::lock_rank::kCommRun};
+  mutable util::OrderedMutex slo_mu_{util::lock_rank::kCommSlo};
+  std::map<std::string, cluster::SloAccumulator, std::less<>> slo_
+      FPISA_GUARDED_BY(slo_mu_);
 
   mutable std::once_flag metrics_once_;
   mutable std::string comm_id_;  ///< "comm" instance label value

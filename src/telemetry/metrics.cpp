@@ -318,7 +318,7 @@ MetricsRegistry::Entry& MetricsRegistry::resolve(std::string_view name,
                                                  std::span<const double> bounds) {
   std::sort(labels.begin(), labels.end());
   const std::string key = canonical_key(name, labels);
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second.kind != kind) {
@@ -363,7 +363,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels,
 
 Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   // entries_ is keyed by name + canonical labels: iteration order is the
   // stable (name, labels) order the Snapshot contract promises.
   for (const auto& [key, e] : entries_) {

@@ -26,12 +26,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/ordered_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fpisa::telemetry {
 
@@ -164,12 +166,13 @@ class MetricsRegistry {
   /// Find-or-create. Handles are stable for the registry's lifetime; a
   /// name+labels key re-registered as a different metric kind (or a
   /// histogram with different bounds) throws std::logic_error.
-  Counter& counter(std::string_view name, Labels labels = {});
-  Gauge& gauge(std::string_view name, Labels labels = {});
+  Counter& counter(std::string_view name, Labels labels = {})
+      FPISA_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name, Labels labels = {}) FPISA_EXCLUDES(mu_);
   Histogram& histogram(std::string_view name, Labels labels,
-                       std::span<const double> bounds);
+                       std::span<const double> bounds) FPISA_EXCLUDES(mu_);
 
-  Snapshot snapshot() const;
+  Snapshot snapshot() const FPISA_EXCLUDES(mu_);
 
   /// Exponential wall-time bounds (seconds) shared by the stack's phase /
   /// job-wall histograms: 1us .. ~8s in powers of 4.
@@ -186,10 +189,11 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
   Entry& resolve(std::string_view name, Labels&& labels, Kind kind,
-                 std::span<const double> bounds);
+                 std::span<const double> bounds) FPISA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  ///< key: name + canonical labels
+  mutable util::OrderedMutex mu_{util::lock_rank::kTelemetry};
+  /// key: name + canonical labels
+  std::map<std::string, Entry> entries_ FPISA_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry every layer of the stack instruments into.

@@ -60,7 +60,7 @@ Trace::SpanId Trace::begin(std::string name, SpanId parent) {
 
 Trace::SpanId Trace::begin_at(std::string name, SpanId parent,
                               Clock::time_point t) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   Span s;
   s.name = std::move(name);
   s.parent = parent;
@@ -75,7 +75,7 @@ void Trace::end(SpanId id) { end_at(id, Clock::now()); }
 
 void Trace::end_at(SpanId id, Clock::time_point t) {
   if (id == kNone) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   if (id > spans_.size()) return;
   Span& s = spans_[id - 1];
   if (s.end_ns >= 0) return;  // already closed
@@ -84,18 +84,18 @@ void Trace::end_at(SpanId id, Clock::time_point t) {
 
 void Trace::annotate(SpanId id, std::string key, std::string value) {
   if (id == kNone) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   if (id > spans_.size()) return;
   spans_[id - 1].args.emplace_back(std::move(key), std::move(value));
 }
 
 std::size_t Trace::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   return spans_.size();
 }
 
 std::vector<Trace::SpanView> Trace::spans() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   std::vector<SpanView> out;
   out.reserve(spans_.size());
   for (std::size_t i = 0; i < spans_.size(); ++i) {
@@ -115,7 +115,7 @@ std::vector<Trace::SpanView> Trace::spans() const {
 }
 
 double Trace::total_seconds_of(std::string_view name) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::LockGuard lk(mu_);
   double total = 0;
   for (const Span& s : spans_) {
     if (s.name == name && s.end_ns >= 0) {

@@ -22,12 +22,14 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "util/ordered_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fpisa::telemetry {
 
@@ -42,14 +44,16 @@ class Trace {
   Trace() : epoch_(Clock::now()) {}
 
   /// Opens a span now / at an explicit clock reading.
-  SpanId begin(std::string name, SpanId parent = kNone);
-  SpanId begin_at(std::string name, SpanId parent, Clock::time_point t);
+  SpanId begin(std::string name, SpanId parent = kNone) FPISA_EXCLUDES(mu_);
+  SpanId begin_at(std::string name, SpanId parent, Clock::time_point t)
+      FPISA_EXCLUDES(mu_);
   /// Closes a span now / at an explicit clock reading. Closing an
   /// already-closed span or kNone is a no-op.
-  void end(SpanId id);
-  void end_at(SpanId id, Clock::time_point t);
+  void end(SpanId id) FPISA_EXCLUDES(mu_);
+  void end_at(SpanId id, Clock::time_point t) FPISA_EXCLUDES(mu_);
   /// Attaches a key=value argument to a span (shown in both exports).
-  void annotate(SpanId id, std::string key, std::string value);
+  void annotate(SpanId id, std::string key, std::string value)
+      FPISA_EXCLUDES(mu_);
 
   struct SpanView {
     std::string name;
@@ -62,19 +66,19 @@ class Trace {
     std::vector<std::pair<std::string, std::string>> args;
   };
 
-  std::size_t size() const;
+  std::size_t size() const FPISA_EXCLUDES(mu_);
   /// All spans in open (seq) order.
-  std::vector<SpanView> spans() const;
+  std::vector<SpanView> spans() const FPISA_EXCLUDES(mu_);
   /// Sum of closed-span durations (seconds) over spans named `name` —
   /// the bridge for comparing traced time against registry histograms.
-  double total_seconds_of(std::string_view name) const;
+  double total_seconds_of(std::string_view name) const FPISA_EXCLUDES(mu_);
 
   /// Human-readable indented tree, one line per span:
   ///   merge                         123.4us  [shards=4]
-  std::string tree() const;
+  std::string tree() const FPISA_EXCLUDES(mu_);
   /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...}]}. Open
   /// spans are exported with the trace's latest known timestamp.
-  std::string chrome_trace_json() const;
+  std::string chrome_trace_json() const FPISA_EXCLUDES(mu_);
 
  private:
   struct Span {
@@ -91,13 +95,13 @@ class Trace {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
         .count();
   }
-  int thread_index_locked(std::thread::id id);
+  int thread_index_locked(std::thread::id id) FPISA_REQUIRES(mu_);
 
   Clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
-  std::unordered_map<std::thread::id, int> tids_;
-  std::uint64_t next_seq_ = 0;
+  mutable util::OrderedMutex mu_{util::lock_rank::kTrace};
+  std::vector<Span> spans_ FPISA_GUARDED_BY(mu_);
+  std::unordered_map<std::thread::id, int> tids_ FPISA_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ FPISA_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: opens on construction, closes on destruction. A null trace

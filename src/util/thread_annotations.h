@@ -1,0 +1,56 @@
+#pragma once
+
+// Clang thread-safety analysis attributes behind FPISA_ macros.
+//
+// Under clang (-Wthread-safety, enabled automatically by CMake when the
+// compiler is clang) these expand to the static-analysis attributes; under
+// GCC and MSVC they are no-ops, so the annotated tree builds everywhere and
+// the clang CI leg is the one that proves the locking discipline.
+//
+// Cheat-sheet (see README "Static analysis & concurrency invariants"):
+//   FPISA_CAPABILITY("mutex")        - class is a lockable capability
+//   FPISA_SCOPED_CAPABILITY          - RAII class acquiring in ctor, releasing in dtor
+//   FPISA_GUARDED_BY(mu)             - field may only be touched while mu is held
+//   FPISA_PT_GUARDED_BY(mu)          - pointee may only be touched while mu is held
+//   FPISA_REQUIRES(mu)               - caller must hold mu across the call
+//   FPISA_ACQUIRE(mu) / FPISA_RELEASE(mu) - function acquires / releases mu
+//   FPISA_TRY_ACQUIRE(ok, mu)        - acquires mu iff it returns `ok`
+//   FPISA_EXCLUDES(mu)               - caller must NOT hold mu (anti-nesting rule)
+//   FPISA_ASSERT_CAPABILITY(mu)      - runtime assertion that mu is held
+//   FPISA_RETURN_CAPABILITY(mu)      - function returns a reference to mu
+//   FPISA_NO_THREAD_SAFETY_ANALYSIS  - opt a definition out (non-lexical flows)
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FPISA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FPISA_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define FPISA_CAPABILITY(x) FPISA_THREAD_ANNOTATION(capability(x))
+#define FPISA_SCOPED_CAPABILITY FPISA_THREAD_ANNOTATION(scoped_lockable)
+#define FPISA_GUARDED_BY(x) FPISA_THREAD_ANNOTATION(guarded_by(x))
+#define FPISA_PT_GUARDED_BY(x) FPISA_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FPISA_ACQUIRED_BEFORE(...) \
+  FPISA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FPISA_ACQUIRED_AFTER(...) \
+  FPISA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define FPISA_REQUIRES(...) \
+  FPISA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FPISA_REQUIRES_SHARED(...) \
+  FPISA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define FPISA_ACQUIRE(...) \
+  FPISA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FPISA_ACQUIRE_SHARED(...) \
+  FPISA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define FPISA_RELEASE(...) \
+  FPISA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FPISA_RELEASE_SHARED(...) \
+  FPISA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define FPISA_TRY_ACQUIRE(...) \
+  FPISA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FPISA_EXCLUDES(...) FPISA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FPISA_ASSERT_CAPABILITY(x) \
+  FPISA_THREAD_ANNOTATION(assert_capability(x))
+#define FPISA_RETURN_CAPABILITY(x) FPISA_THREAD_ANNOTATION(lock_returned(x))
+#define FPISA_NO_THREAD_SAFETY_ANALYSIS \
+  FPISA_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -53,8 +53,11 @@ TEST(CollectSchedule, ExtremeLossInvariantsHoldAcrossSeeds) {
         EXPECT_LE(sched.cleared, 8u);
         EXPECT_GE(sched.failure, 0);
         EXPECT_LE(sched.failure, 2);
-        if (sched.failure != 0) EXPECT_LT(sched.cleared, 8u);
-        if (sched.failure == 0) EXPECT_EQ(sched.cleared, 8u);
+        if (sched.failure != 0) {
+          EXPECT_LT(sched.cleared, 8u);
+        } else {
+          EXPECT_EQ(sched.cleared, 8u);
+        }
         // Traversal accounting: delivered counts only copies that reached
         // the switch; it is bounded by everything sent minus everything
         // lost.

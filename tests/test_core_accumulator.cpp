@@ -394,7 +394,8 @@ TEST_P(FormatSweep, HeadroomBoundary) {
   // 2^h same-scale max-mantissa adds must not overflow; one more must.
   FpisaAccumulator acc(cfg);
   const std::uint64_t max_man_bits =
-      (std::uint64_t{fmt->bias()} << fmt->man_bits) | fmt->man_mask();
+      (static_cast<std::uint64_t>(fmt->bias()) << fmt->man_bits) |
+      fmt->man_mask();
   const int n = 1 << h;
   for (int i = 0; i < n; ++i) acc.add_bits(max_man_bits);
   EXPECT_EQ(acc.counters().saturations, 0u) << fmt->name;

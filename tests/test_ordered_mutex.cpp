@@ -1,0 +1,158 @@
+// The lock-rank checker's own contract (src/util/ordered_mutex.h):
+// in-order nesting passes, every inversion aborts printing BOTH lock
+// names, equal ranks never nest in either direction (the job_mu_/stats_mu_
+// rule), and the Release wrapper is layout- and behavior-identical to a
+// plain std::mutex — the checks exist only where NDEBUG is off.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/ordered_mutex.h"
+
+namespace fpisa::util {
+namespace {
+
+namespace lr = lock_rank;
+
+#if !FPISA_LOCK_RANK_CHECKS
+// Release: the checker must cost nothing. Layout identity is the proxy the
+// bench overhead row rides on — a grown OrderedMutex would change false
+// sharing and queue behavior even if every call still inlined away.
+static_assert(sizeof(OrderedMutex) == sizeof(std::mutex));
+static_assert(alignof(OrderedMutex) == alignof(std::mutex));
+#endif
+
+TEST(OrderedMutex, InOrderNestingAndReuse) {
+  // The two real nesting chains from the rank table, back to back; the
+  // second acquisition proves the first released its bookkeeping.
+  OrderedMutex run(lr::kCommRun), slo(lr::kCommSlo);
+  OrderedMutex stats(lr::kStats), shard(lr::kShard);
+  {
+    LockGuard a(run);
+    LockGuard b(slo);
+  }
+  {
+    LockGuard a(stats);
+    LockGuard b(shard);
+  }
+  {
+    LockGuard again(run);
+  }
+}
+
+TEST(OrderedMutex, NonLifoReleaseIsLegal) {
+  // cv-wait patterns release the outer lock before the inner one; the
+  // held-stack search must not require LIFO order.
+  OrderedMutex alloc(lr::kAlloc), health(lr::kHealth);
+  UniqueLock a(alloc);
+  UniqueLock b(health);
+  a.unlock();
+  b.unlock();
+  LockGuard reuse(alloc);  // stack must be empty again
+}
+
+TEST(OrderedMutex, TryLockRecordsAndReleases) {
+  OrderedMutex fault(lr::kFaultTable);
+  ASSERT_TRUE(fault.try_lock());
+  fault.unlock();
+  LockGuard reuse(fault);
+}
+
+TEST(OrderedMutex, DeferLockAndCvWaitKeepTheBooksBalanced) {
+  // condition_variable_any routes its unlock/relock through
+  // OrderedMutex::unlock/lock, so the rank bookkeeping must survive a
+  // real wait (and the wake-side acquisition from another thread).
+  OrderedMutex job(lr::kJobQueue);
+  std::condition_variable_any cv;
+  bool ready = false;
+  UniqueLock lk(job, kDeferLock);
+  EXPECT_FALSE(lk.owns_lock());
+  lk.lock();
+  EXPECT_TRUE(lk.owns_lock());
+  std::thread waker([&] {
+    LockGuard g(job);
+    ready = true;
+    cv.notify_one();
+  });
+  cv.wait(lk, [&]() FPISA_REQUIRES(job) { return ready; });
+  lk.unlock();
+  waker.join();
+  LockGuard reuse(job);  // books balanced after the wait round-trip
+}
+
+#if FPISA_LOCK_RANK_CHECKS
+
+using OrderedMutexDeathTest = ::testing::Test;
+
+TEST(OrderedMutexDeathTest, RankInversionAbortsNamingBothLocks) {
+  OrderedMutex shard(lr::kShard), alloc(lr::kAlloc);
+  LockGuard outer(shard);
+  EXPECT_DEATH(
+      { LockGuard inner(alloc); },
+      "fpisa lock-rank inversion: acquiring 'cluster\\.alloc_mu' "
+      "\\(rank 40\\) while holding 'cluster\\.shard_mu' \\(rank 70\\)");
+}
+
+TEST(OrderedMutexDeathTest, EqualRankFamiliesNeverNestEitherWay) {
+  // job_mu_ and stats_mu_ share rank 60: the service's reject path rule
+  // (never hold both) is encoded as equal ranks, so BOTH nestings die.
+  OrderedMutex job(lr::kJobQueue), stats(lr::kStats);
+  EXPECT_DEATH(
+      {
+        LockGuard a(job);
+        LockGuard b(stats);
+      },
+      "acquiring 'cluster\\.stats_mu' \\(rank 60\\) while holding "
+      "'cluster\\.job_mu' \\(rank 60\\)");
+  EXPECT_DEATH(
+      {
+        LockGuard a(stats);
+        LockGuard b(job);
+      },
+      "acquiring 'cluster\\.job_mu' \\(rank 60\\) while holding "
+      "'cluster\\.stats_mu' \\(rank 60\\)");
+}
+
+TEST(OrderedMutexDeathTest, RelockingTheSameFamilyAborts) {
+  // Self-deadlock is just the degenerate equal-rank case — it aborts with
+  // both names (identical) instead of hanging.
+  OrderedMutex telem(lr::kTelemetry);
+  LockGuard outer(telem);
+  EXPECT_DEATH(
+      { LockGuard inner(telem); },
+      "acquiring 'telemetry\\.registry_mu' \\(rank 90\\) while holding "
+      "'telemetry\\.registry_mu' \\(rank 90\\)");
+}
+
+TEST(OrderedMutexDeathTest, TryLockOutOfOrderIsTheSameViolation) {
+  OrderedMutex shard(lr::kShard), alloc(lr::kAlloc);
+  LockGuard outer(shard);
+  EXPECT_DEATH((void)alloc.try_lock(),
+               "acquiring 'cluster\\.alloc_mu'.*while holding "
+               "'cluster\\.shard_mu'");
+}
+
+#else  // !FPISA_LOCK_RANK_CHECKS
+
+TEST(OrderedMutex, ReleaseModeImposesNoOrderingAtAll) {
+  // With NDEBUG the checker is compiled out: an acquisition order that
+  // would abort in Debug is indistinguishable from plain std::mutex use.
+  OrderedMutex shard(lr::kShard), alloc(lr::kAlloc);
+  {
+    LockGuard outer(shard);
+    LockGuard inner(alloc);  // inversion: legal (unchecked) in Release
+  }
+  LockGuard reuse(shard);
+}
+
+TEST(OrderedMutex, DeathTestsRequireDebugBuild) {
+  GTEST_SKIP() << "lock-rank checks compile out under NDEBUG; build Debug "
+                  "to exercise the abort paths";
+}
+
+#endif  // FPISA_LOCK_RANK_CHECKS
+
+}  // namespace
+}  // namespace fpisa::util

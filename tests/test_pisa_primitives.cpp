@@ -280,7 +280,7 @@ TEST(Pipeline, RecirculationAllowsRepeatedRegisterAccess) {
   spec.kind = SaluKind::kIncrement;
   spec.index = idx;
   spec.out = out;
-  prog.ingress[0].salus.push_back({{}, 0, spec, 0});
+  prog.ingress[0].salus.push_back({{}, 0, spec, 0, {}, 0});
   prog.ingress[0].salu_post_ops.push_back({"", {}});
 
   SwitchSim sim(SwitchConfig{}, std::move(prog));
@@ -313,7 +313,7 @@ TEST(Pipeline, RecirculationIsBounded) {
   SaluSpec spec;
   spec.kind = SaluKind::kIncrement;
   spec.index = idx;
-  prog.ingress[0].salus.push_back({{}, 0, spec, 0});
+  prog.ingress[0].salus.push_back({{}, 0, spec, 0, {}, 0});
   prog.ingress[0].salu_post_ops.push_back({"", {}});
 
   SwitchSim sim(SwitchConfig{}, std::move(prog));

@@ -490,7 +490,9 @@ TEST(TelemetrySwitch, RegistersPacketsOpsAndOccupancy) {
   pisa::FpisaProgramOptions popts;
   popts.slots = 8;
   popts.lanes = 1;
-  pisa::FpisaSwitch sw({}, popts);
+  pisa::SwitchConfig cfg;
+  cfg.ext.rsaw = true;  // full FPISA needs the RSAW extension
+  pisa::FpisaSwitch sw(cfg, popts);
   const std::uint32_t one = core::fp32_bits(1.0f);
   (void)sw.add(0, 0, {&one, 1});
   const auto adds_before_dup = sw.op_counters().adds;
